@@ -1,0 +1,188 @@
+//! BYOL (Grill et al., NeurIPS 2020): bootstrap your own latent — an
+//! online network predicts a slow-moving *target* network's projection of
+//! another augmented view; the target is an exponential moving average of
+//! the online weights and receives no gradients.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, two_augmented_views, BaselineConfig,
+    ConvEncoder, SslMethod,
+};
+use timedrl_data::Augmentation;
+use timedrl_nn::{Ctx, Linear, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The BYOL method.
+pub struct Byol {
+    cfg: BaselineConfig,
+    online_encoder: ConvEncoder,
+    online_proj: Linear,
+    predictor1: Linear,
+    predictor2: Linear,
+    target_encoder: ConvEncoder,
+    target_proj: Linear,
+    /// EMA coefficient: `target = tau·target + (1-tau)·online`.
+    tau: f32,
+}
+
+impl Byol {
+    /// Builds BYOL; the target starts as a copy of the online network.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0xb401_0000);
+        let d = cfg.d_model;
+        let online_encoder = ConvEncoder::new(&cfg, &mut rng);
+        let online_proj = Linear::new(d, d, &mut rng);
+        // Target towers share the architecture; weights are synced below.
+        let mut rng_t = Prng::new(cfg.seed ^ 0xb401_0001);
+        let target_encoder = ConvEncoder::new(&cfg, &mut rng_t);
+        let target_proj = Linear::new(d, d, &mut rng_t);
+        let byol = Self {
+            predictor1: Linear::new(d, d, &mut rng),
+            predictor2: Linear::new(d, d, &mut rng),
+            online_encoder,
+            online_proj,
+            target_encoder,
+            target_proj,
+            tau: 0.99,
+            cfg,
+        };
+        byol.sync_target(0.0); // hard copy at initialization
+        byol
+    }
+
+    /// EMA update of the target tower: `target = tau·target + (1-tau)·online`.
+    /// `tau = 0` copies the online weights outright.
+    fn sync_target(&self, tau: f32) {
+        let online: Vec<Var> = self
+            .online_encoder
+            .parameters()
+            .into_iter()
+            .chain(self.online_proj.parameters())
+            .collect();
+        let target: Vec<Var> = self
+            .target_encoder
+            .parameters()
+            .into_iter()
+            .chain(self.target_proj.parameters())
+            .collect();
+        for (o, t) in online.iter().zip(target.iter()) {
+            let blended = t.to_array().scale(tau).add(&o.to_array().scale(1.0 - tau));
+            t.set_value(blended);
+        }
+    }
+
+    fn online_predict(&self, x: &NdArray, ctx: &mut Ctx) -> Var {
+        let z = gap_instances(&self.online_encoder.forward(&Var::constant(x.clone()), ctx));
+        let p = self.online_proj.forward(&z);
+        self.predictor2.forward(&self.predictor1.forward(&p).relu())
+    }
+
+    fn target_project(&self, x: &NdArray, ctx: &mut Ctx) -> Var {
+        let z = gap_instances(&self.target_encoder.forward(&Var::constant(x.clone()), ctx));
+        // Target receives no gradients.
+        self.target_proj.forward(&z).detach()
+    }
+}
+
+impl SslMethod for Byol {
+    fn name(&self) -> &'static str {
+        "BYOL"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        // Only the online tower trains; the target follows by EMA.
+        let mut params = self.online_encoder.parameters();
+        params.extend(self.online_proj.parameters());
+        params.extend(self.predictor1.parameters());
+        params.extend(self.predictor2.parameters());
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            let (v1, v2) =
+                two_augmented_views(batch, &[Augmentation::Jitter, Augmentation::Scaling], rng);
+            let p1 = this.online_predict(&v1, ctx);
+            let p2 = this.online_predict(&v2, ctx);
+            let t1 = this.target_project(&v1, ctx);
+            let t2 = this.target_project(&v2, ctx);
+            // Symmetric negative cosine, then EMA-update the target.
+            let loss = p1
+                .cosine_similarity_mean(&t2)
+                .add(&p2.cosine_similarity_mean(&t1))
+                .scale(0.5)
+                .neg();
+            this.sync_target(this.tau);
+            loss
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.online_encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.online_encoder.forward(&Var::constant(chunk.clone()), ctx))
+                .to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            ((flat % t) as f32 * (0.2 + 0.1 * (i % 4) as f32)).sin() + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn target_initialized_to_online_copy() {
+        let m = Byol::new(BaselineConfig::compact(16, 1));
+        let o = m.online_encoder.parameters();
+        let t = m.target_encoder.parameters();
+        for (a, b) in o.iter().zip(t.iter()) {
+            assert_eq!(a.to_array(), b.to_array());
+        }
+    }
+
+    #[test]
+    fn ema_moves_target_slowly() {
+        let m = Byol::new(BaselineConfig::compact(16, 1));
+        // Manually perturb the online weights, then one EMA step.
+        let o = &m.online_encoder.parameters()[0];
+        let before = o.to_array();
+        o.set_value(before.add_scalar(1.0));
+        m.sync_target(0.9);
+        let t = m.target_encoder.parameters()[0].to_array();
+        // Target moved 10% of the way.
+        let moved = t.sub(&before).mean();
+        assert!((moved - 0.1).abs() < 1e-3, "moved {moved}");
+    }
+
+    #[test]
+    fn pretrain_runs_and_stays_bounded() {
+        let cfg = BaselineConfig { epochs: 4, ..BaselineConfig::compact(16, 1) };
+        let mut m = Byol::new(cfg);
+        let history = m.pretrain(&windows(24, 16, 0));
+        for l in &history {
+            assert!((-1.0..=1.0).contains(l), "cosine-range loss, got {l}");
+        }
+    }
+
+    #[test]
+    fn no_collapse_after_training() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = Byol::new(cfg);
+        let w = windows(32, 16, 1);
+        m.pretrain(&w);
+        let z = m.embed_instances(&w);
+        let std = z.var_axis(0, false).mean().sqrt();
+        assert!(std > 1e-4, "collapsed: std {std}");
+    }
+}

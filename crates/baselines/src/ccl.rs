@@ -1,0 +1,133 @@
+//! CCL (Sharma et al., FG 2020): clustering-based contrastive learning —
+//! cluster assignments act as pseudo-labels; samples are pulled toward
+//! their own (detached) centroid and pushed from the others via a
+//! prototype softmax.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use crate::kmeans::kmeans;
+use timedrl_nn::loss::l2_normalize_rows;
+use timedrl_nn::Module;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The CCL method.
+pub struct Ccl {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Number of clusters (the pseudo-class count).
+    pub n_clusters: usize,
+}
+
+impl Ccl {
+    /// Builds CCL with `n_clusters` pseudo-classes.
+    pub fn new(cfg: BaselineConfig, n_clusters: usize) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0xcc10_0000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        Self { cfg, encoder, n_clusters }
+    }
+
+    /// Prototype cross-entropy: cluster in-batch embeddings, then classify
+    /// each sample into its own centroid against the others.
+    pub(crate) fn prototype_loss(z: &Var, k: usize, temperature: f32, rng: &mut Prng) -> Var {
+        let n = z.shape()[0];
+        let k = k.min(n).max(1);
+        if k < 2 {
+            return Var::scalar(0.0);
+        }
+        let z_norm = l2_normalize_rows(z);
+        // Cluster on detached values; centroids are constants.
+        let clustering = kmeans(&z_norm.to_array(), k, 10, rng);
+        let centroids = normalize_rows_nd(&clustering.centroids);
+        let logits = z_norm
+            .matmul(&Var::constant(centroids.transpose()))
+            .scale(1.0 / temperature);
+        logits.cross_entropy(&clustering.assignments)
+    }
+}
+
+/// Row-normalizes an `[K, D]` array (plain-value counterpart of
+/// `l2_normalize_rows`).
+fn normalize_rows_nd(x: &NdArray) -> NdArray {
+    let (k, d) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    for i in 0..k {
+        let row = &x.data()[i * d..(i + 1) * d];
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+        for j in 0..d {
+            out.data_mut()[i * d + j] /= norm;
+        }
+    }
+    out
+}
+
+impl SslMethod for Ccl {
+    fn name(&self) -> &'static str {
+        "CCL"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let params = self.encoder.parameters();
+        let cfg = self.cfg.clone();
+        let k = self.n_clusters;
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            let z = gap_instances(&this.encoder.forward(&Var::constant(batch.clone()), ctx));
+            Self::prototype_loss(&z, k, cfg.temperature, rng)
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            let freq = [0.2f32, 0.8, 1.6][i % 3];
+            ((flat % t) as f32 * freq).sin() * 2.0 + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn prototype_loss_finite_and_differentiable() {
+        let mut rng = Prng::new(0);
+        let z = Var::parameter(rng.randn(&[16, 8]));
+        let loss = Ccl::prototype_loss(&z, 4, 0.5, &mut rng);
+        assert!(loss.item().is_finite());
+        loss.backward();
+        assert!(z.grad().is_some());
+    }
+
+    #[test]
+    fn degenerate_batch_is_safe() {
+        let mut rng = Prng::new(1);
+        let z = Var::parameter(rng.randn(&[1, 8]));
+        assert_eq!(Ccl::prototype_loss(&z, 4, 0.5, &mut rng).item(), 0.0);
+    }
+
+    #[test]
+    fn pretrain_reduces_prototype_loss() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = Ccl::new(cfg, 3);
+        let history = m.pretrain(&clustered_windows(36, 16, 2));
+        assert!(history.iter().all(|l| l.is_finite()));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+}

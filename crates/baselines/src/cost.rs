@@ -1,0 +1,164 @@
+//! CoST (Woo et al., ICLR 2022): contrastive learning of disentangled
+//! seasonal-trend representations via time-domain and frequency-domain
+//! losses.
+//!
+//! The time-domain branch contrasts instance embeddings of two augmented
+//! views (scaling + jitter, as CoST prescribes). The frequency-domain
+//! branch maps per-timestep embeddings through a discrete Fourier
+//! transform — implemented as constant cosine/sine matrices so it stays
+//! differentiable through our primitive set — and aligns the amplitude
+//! spectra of the two views.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, two_augmented_views, BaselineConfig,
+    ConvEncoder, SslMethod,
+};
+use timedrl_data::Augmentation;
+use timedrl_nn::loss::nt_xent;
+use timedrl_nn::Module;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The CoST method.
+pub struct Cost {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Constant DFT basis `[T, K]` (cosines) for the frequency branch.
+    dft_cos: NdArray,
+    /// Constant DFT basis `[T, K]` (sines).
+    dft_sin: NdArray,
+}
+
+impl Cost {
+    /// Builds CoST; the frequency branch keeps the first `T/2` rFFT bins.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0xc057_0000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        let t = cfg.input_len;
+        let k = (t / 2).max(1);
+        let (dft_cos, dft_sin) = dft_bases(t, k);
+        Self { cfg, encoder, dft_cos, dft_sin }
+    }
+
+    /// Amplitude spectrum of `[B, T, D]` embeddings: `[B, K, D]` where
+    /// `amp[k] = sqrt(cos_proj^2 + sin_proj^2)`.
+    fn amplitude_spectrum(&self, z: &Var) -> Var {
+        // Project over time: [B, T, D] -> [B, K, D] via basis^T on axis 1.
+        let zt = z.permute(&[0, 2, 1]); // [B, D, T]
+        let re = zt.matmul(&Var::constant(self.dft_cos.clone())); // [B, D, K]
+        let im = zt.matmul(&Var::constant(self.dft_sin.clone()));
+        re.mul(&re).add(&im.mul(&im)).add_scalar(1e-8).sqrt().permute(&[0, 2, 1])
+    }
+}
+
+/// Real-DFT bases: columns `k` hold `cos(2π k t / T)` and `sin(2π k t / T)`.
+fn dft_bases(t: usize, k: usize) -> (NdArray, NdArray) {
+    let cos = NdArray::from_fn(&[t, k], |flat| {
+        let (ti, ki) = (flat / k, flat % k);
+        (std::f32::consts::TAU * ki as f32 * ti as f32 / t as f32).cos()
+    });
+    let sin = NdArray::from_fn(&[t, k], |flat| {
+        let (ti, ki) = (flat / k, flat % k);
+        (std::f32::consts::TAU * ki as f32 * ti as f32 / t as f32).sin()
+    });
+    (cos, sin)
+}
+
+impl SslMethod for Cost {
+    fn name(&self) -> &'static str {
+        "CoST"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let params = self.encoder.parameters();
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            let (v1, v2) =
+                two_augmented_views(batch, &[Augmentation::Scaling, Augmentation::Jitter], rng);
+            let z1 = this.encoder.forward(&Var::constant(v1), ctx);
+            let z2 = this.encoder.forward(&Var::constant(v2), ctx);
+            // Time-domain: instance-level NT-Xent on pooled embeddings.
+            let time_loss = if batch.shape()[0] >= 2 {
+                nt_xent(&gap_instances(&z1), &gap_instances(&z2), cfg.temperature)
+            } else {
+                Var::scalar(0.0)
+            };
+            // Frequency-domain: align amplitude spectra across views.
+            let a1 = this.amplitude_spectrum(&z1);
+            let a2 = this.amplitude_spectrum(&z2);
+            let freq_loss = a1.sub(&a2).powf(2.0).mean();
+            time_loss.add(&freq_loss.scale(0.5))
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_basis_identifies_pure_tone() {
+        // Projecting a pure cosine at bin 3 onto the bases concentrates
+        // amplitude at bin 3.
+        let t = 16;
+        let (cos_b, sin_b) = dft_bases(t, 8);
+        let tone = NdArray::from_fn(&[1, t], |i| {
+            (std::f32::consts::TAU * 3.0 * i as f32 / t as f32).cos()
+        });
+        let re = timedrl_tensor::matmul(&tone, &cos_b).unwrap();
+        let im = timedrl_tensor::matmul(&tone, &sin_b).unwrap();
+        let amp: Vec<f32> = (0..8)
+            .map(|k| (re.data()[k].powi(2) + im.data()[k].powi(2)).sqrt())
+            .collect();
+        let max_bin = amp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_bin, 3, "spectrum {amp:?}");
+    }
+
+    fn seasonal_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            let step = flat % t;
+            (std::f32::consts::TAU * step as f32 / 8.0 + i as f32).sin()
+                + 0.05 * step as f32
+                + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn pretrain_runs_and_decreases() {
+        let cfg = BaselineConfig { epochs: 5, ..BaselineConfig::compact(16, 1) };
+        let mut m = Cost::new(cfg);
+        let history = m.pretrain(&seasonal_windows(32, 16, 0));
+        assert!(history.iter().all(|l| l.is_finite()));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn embedding_shapes() {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(16, 1) };
+        let mut m = Cost::new(cfg);
+        let w = seasonal_windows(6, 16, 1);
+        m.pretrain(&w);
+        assert_eq!(m.embed_instances(&w).shape(), &[6, 32]);
+        assert_eq!(m.embed_timestamps_flat(&w).shape(), &[6, 256]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Lloyd's k-means on embeddings, used by the clustering-based baselines
+//! (CCL, MHCCL).
+
+use timedrl_tensor::{NdArray, Prng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Centroids `[K, D]`.
+    pub centroids: NdArray,
+    /// Per-sample cluster index.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f32,
+}
+
+/// Runs Lloyd's algorithm on `[N, D]` points with k-means++-style seeding
+/// (first centroid uniform, subsequent centroids from distant points).
+pub fn kmeans(points: &NdArray, k: usize, iters: usize, rng: &mut Prng) -> KMeansResult {
+    assert_eq!(points.rank(), 2, "kmeans expects [N, D]");
+    let n = points.shape()[0];
+    let d = points.shape()[1];
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (k={k}, n={n})");
+
+    // Seeding: pick the first uniformly, then greedily far points.
+    let mut centers: Vec<usize> = vec![rng.below(n)];
+    while centers.len() < k {
+        let mut best = (0usize, -1.0f32);
+        for cand in 0..n {
+            let dist = centers
+                .iter()
+                .map(|&c| sq_dist(points, cand, points, c, d))
+                .fold(f32::INFINITY, f32::min);
+            // Mix in a little randomness so ties break differently per run.
+            let score = dist * (0.5 + rng.uniform());
+            if score > best.1 {
+                best = (cand, score);
+            }
+        }
+        centers.push(best.0);
+    }
+    let mut centroids = NdArray::zeros(&[k, d]);
+    for (ci, &p) in centers.iter().enumerate() {
+        for j in 0..d {
+            centroids.set(&[ci, j], points.at(&[p, j]));
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step.
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let mut best = (0usize, f32::INFINITY);
+            for c in 0..k {
+                let dist = sq_dist(points, i, &centroids, c, d);
+                if dist < best.1 {
+                    best = (c, dist);
+                }
+            }
+            *slot = best.0;
+        }
+        // Update step.
+        let mut sums = vec![0.0f32; k * d];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignments.iter().enumerate() {
+            counts[c] += 1;
+            for j in 0..d {
+                sums[c * d + j] += points.at(&[i, j]);
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let p = rng.below(n);
+                for j in 0..d {
+                    centroids.set(&[c, j], points.at(&[p, j]));
+                }
+            } else {
+                for j in 0..d {
+                    centroids.set(&[c, j], sums[c * d + j] / counts[c] as f32);
+                }
+            }
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(points, i, &centroids, assignments[i], d))
+        .sum();
+    KMeansResult { centroids, assignments, inertia }
+}
+
+fn sq_dist(a: &NdArray, ai: usize, b: &NdArray, bi: usize, d: usize) -> f32 {
+    let ad = &a.data()[ai * d..(ai + 1) * d];
+    let bd = &b.data()[bi * d..(bi + 1) * d];
+    ad.iter().zip(bd.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, centers: &[(f32, f32)], seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        let n = per * centers.len();
+        let mut data = Vec::with_capacity(n * 2);
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                data.push(cx + rng.normal_with(0.0, 0.2));
+                data.push(cy + rng.normal_with(0.0, 0.2));
+            }
+        }
+        NdArray::from_vec(&[n, 2], data).unwrap()
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let pts = blobs(30, &[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)], 0);
+        let result = kmeans(&pts, 3, 20, &mut Prng::new(1));
+        // Every blob must be internally consistent.
+        for blob in 0..3 {
+            let first = result.assignments[blob * 30];
+            for i in 0..30 {
+                assert_eq!(result.assignments[blob * 30 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(result.inertia < 30.0);
+    }
+
+    #[test]
+    fn more_clusters_reduce_inertia() {
+        let pts = blobs(20, &[(0.0, 0.0), (4.0, 0.0), (0.0, 4.0), (4.0, 4.0)], 2);
+        let i2 = kmeans(&pts, 2, 15, &mut Prng::new(3)).inertia;
+        let i4 = kmeans(&pts, 4, 15, &mut Prng::new(3)).inertia;
+        assert!(i4 < i2);
+    }
+
+    #[test]
+    fn k_equals_n_is_exact() {
+        let pts = blobs(1, &[(0.0, 0.0), (9.0, 9.0)], 4);
+        let result = kmeans(&pts, 2, 5, &mut Prng::new(5));
+        assert!(result.inertia < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn rejects_k_beyond_n() {
+        let pts = blobs(1, &[(0.0, 0.0)], 6);
+        kmeans(&pts, 5, 3, &mut Prng::new(7));
+    }
+}

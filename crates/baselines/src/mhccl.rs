@@ -1,0 +1,123 @@
+//! MHCCL (Meng et al., AAAI 2023): Masked Hierarchical Cluster-wise
+//! Contrastive Learning — prototype contrast at *multiple* clustering
+//! granularities, combined with an instance-level contrast between two
+//! dropout views.
+//!
+//! The hierarchy here is a fan of k-means runs at coarse-to-fine `k`
+//! (the original builds a bottom-up dendrogram and masks outlier members;
+//! the multi-granularity prototype pull — the part responsible for its
+//! classification gains — is preserved).
+
+use crate::ccl::Ccl;
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use timedrl_nn::loss::nt_xent;
+use timedrl_nn::Module;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The MHCCL method.
+pub struct Mhccl {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Cluster counts per hierarchy level (coarse to fine).
+    pub levels: Vec<usize>,
+}
+
+impl Mhccl {
+    /// Builds MHCCL with a default 3-level hierarchy derived from the
+    /// expected class count.
+    pub fn new(cfg: BaselineConfig, base_clusters: usize) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x3bcc_1000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        let k = base_clusters.max(2);
+        Self { cfg, encoder, levels: vec![(k / 2).max(2), k, k * 2] }
+    }
+}
+
+impl SslMethod for Mhccl {
+    fn name(&self) -> &'static str {
+        "MHCCL"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let params = self.encoder.parameters();
+        let cfg = self.cfg.clone();
+        let levels = self.levels.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            // Two dropout views of the batch embeddings.
+            let z1 = gap_instances(&this.encoder.forward(&Var::constant(batch.clone()), ctx));
+            let z2 = gap_instances(&this.encoder.forward(&Var::constant(batch.clone()), ctx));
+            // Instance-level contrast between views.
+            let mut loss = if batch.shape()[0] >= 2 {
+                nt_xent(&z1, &z2, cfg.temperature)
+            } else {
+                Var::scalar(0.0)
+            };
+            // Hierarchical prototype contrast at each granularity.
+            for &k in &levels {
+                let proto = Ccl::prototype_loss(&z1, k, cfg.temperature, rng);
+                loss = loss.add(&proto.scale(1.0 / levels.len() as f32));
+            }
+            loss
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            let freq = [0.2f32, 0.5, 1.0, 2.0][i % 4];
+            ((flat % t) as f32 * freq).sin() * 1.5 + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn hierarchy_levels_are_coarse_to_fine() {
+        let m = Mhccl::new(BaselineConfig::compact(16, 1), 6);
+        assert_eq!(m.levels, vec![3, 6, 12]);
+        for w in m.levels.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn pretrain_reduces_loss() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = Mhccl::new(cfg, 4);
+        let history = m.pretrain(&class_windows(40, 16, 0));
+        assert!(history.iter().all(|l| l.is_finite()));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn no_collapse_after_training() {
+        let cfg = BaselineConfig { epochs: 5, ..BaselineConfig::compact(16, 1) };
+        let mut m = Mhccl::new(cfg, 4);
+        let w = class_windows(32, 16, 1);
+        m.pretrain(&w);
+        let z = m.embed_instances(&w);
+        let std = z.var_axis(0, false).mean().sqrt();
+        assert!(std > 1e-4, "collapsed: std {std}");
+    }
+}

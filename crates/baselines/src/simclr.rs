@@ -1,0 +1,135 @@
+//! SimCLR (Chen et al., ICML 2020) adapted to time-series: two augmented
+//! views per instance, a projection head, and NT-Xent with in-batch
+//! negatives.
+//!
+//! The augmentations (jitter + scaling) follow the standard time-series
+//! adaptation used by the paper's comparison — exactly the
+//! transformation-invariance assumptions TimeDRL avoids.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, two_augmented_views, BaselineConfig,
+    ConvEncoder, SslMethod,
+};
+use timedrl_data::Augmentation;
+use timedrl_nn::loss::nt_xent;
+use timedrl_nn::{Ctx, Linear, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The SimCLR method.
+pub struct SimClr {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    proj1: Linear,
+    proj2: Linear,
+}
+
+impl SimClr {
+    /// Builds SimCLR with a 2-layer projection head.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x51c1_0000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        let d = cfg.d_model;
+        Self {
+            proj1: Linear::new(d, d, &mut rng),
+            proj2: Linear::new(d, d, &mut rng),
+            encoder,
+            cfg,
+        }
+    }
+
+    fn project(&self, x: &NdArray, ctx: &mut Ctx) -> Var {
+        let z = gap_instances(&self.encoder.forward(&Var::constant(x.clone()), ctx));
+        self.proj2.forward(&self.proj1.forward(&z).relu())
+    }
+}
+
+impl SslMethod for SimClr {
+    fn name(&self) -> &'static str {
+        "SimCLR"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let mut params = self.encoder.parameters();
+        params.extend(self.proj1.parameters());
+        params.extend(self.proj2.parameters());
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            if batch.shape()[0] < 2 {
+                // NT-Xent needs negatives; skip degenerate remainder batches.
+                return Var::scalar(0.0);
+            }
+            let (v1, v2) =
+                two_augmented_views(batch, &[Augmentation::Jitter, Augmentation::Scaling], rng);
+            let p1 = this.project(&v1, ctx);
+            let p2 = this.project(&v2, ctx);
+            nt_xent(&p1, &p2, cfg.temperature)
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            let step = flat % t;
+            let freq = if i % 2 == 0 { 0.3 } else { 1.2 };
+            (step as f32 * freq).sin() + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn pretrain_reduces_nt_xent() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = SimClr::new(cfg);
+        let history = m.pretrain(&two_class_windows(32, 16, 0));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn class_structure_emerges_in_embeddings() {
+        let cfg = BaselineConfig { epochs: 8, ..BaselineConfig::compact(16, 1) };
+        let mut m = SimClr::new(cfg);
+        let w = two_class_windows(40, 16, 1);
+        m.pretrain(&w);
+        let z = m.embed_instances(&w);
+        // Mean within-class distance should be below cross-class distance.
+        let d = |a: usize, b: usize| {
+            let mut s = 0.0f32;
+            for k in 0..32 {
+                let diff = z.at(&[a, k]) - z.at(&[b, k]);
+                s += diff * diff;
+            }
+            s.sqrt()
+        };
+        let within = (d(0, 2) + d(1, 3) + d(4, 6)) / 3.0;
+        let across = (d(0, 1) + d(2, 3) + d(4, 5)) / 3.0;
+        assert!(within < across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn single_sample_batch_is_safe() {
+        let cfg = BaselineConfig { epochs: 1, batch_size: 32, ..BaselineConfig::compact(16, 1) };
+        let mut m = SimClr::new(cfg);
+        // 33 samples: the remainder batch has exactly 1 element.
+        let history = m.pretrain(&two_class_windows(33, 16, 2));
+        assert!(history[0].is_finite());
+    }
+}

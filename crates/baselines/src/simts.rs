@@ -1,0 +1,143 @@
+//! SimTS (Zheng et al., 2023): predict the *future in latent space* from
+//! the past, without negative pairs.
+//!
+//! Each window is split into a history half and a future half. The shared
+//! encoder embeds both; a predictor MLP maps the last history embedding to
+//! the sequence of future latents; the loss is negative cosine similarity
+//! against the (stop-gradient) encoded future — the Siamese asymmetry that
+//! avoids collapse without negatives.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use timedrl_nn::{Linear, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The SimTS method.
+pub struct SimTs {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Predictor: last history latent `[B, D]` → flattened future latents
+    /// `[B, F·D]` through a hidden layer.
+    pred_hidden: Linear,
+    pred_out: Linear,
+    future_len: usize,
+}
+
+impl SimTs {
+    /// Builds SimTS; the future half is `input_len / 2` steps.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x51b7_5000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        let future_len = (cfg.input_len / 2).max(1);
+        let d = cfg.d_model;
+        Self {
+            pred_hidden: Linear::new(d, d * 2, &mut rng),
+            pred_out: Linear::new(d * 2, future_len * d, &mut rng),
+            encoder,
+            cfg,
+            future_len,
+        }
+    }
+
+    fn history_len(&self) -> usize {
+        self.cfg.input_len - self.future_len
+    }
+}
+
+impl SslMethod for SimTs {
+    fn name(&self) -> &'static str {
+        "SimTS"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let mut params = self.encoder.parameters();
+        params.extend(self.pred_hidden.parameters());
+        params.extend(self.pred_out.parameters());
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, _| {
+            let b = batch.shape()[0];
+            let d = cfg.d_model;
+            let h = this.history_len();
+            let f = this.future_len;
+            let history = batch.slice(1, 0, h).expect("history");
+            let future = batch.slice(1, h, f).expect("future");
+            // Encode the history; the last latent summarizes the past.
+            let z_hist = this.encoder.forward(&Var::constant(history), ctx);
+            let last = z_hist.slice(1, h - 1, 1).reshape(&[b, d]);
+            let predicted = this
+                .pred_out
+                .forward(&this.pred_hidden.forward(&last).relu())
+                .reshape(&[b * f, d]);
+            // Encode the future and stop its gradient (SimTS's asymmetry).
+            let z_future = this
+                .encoder
+                .forward(&Var::constant(future), ctx)
+                .reshape(&[b * f, d])
+                .detach();
+            predicted.cosine_similarity_mean(&z_future).neg()
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        // Autoregressive data: the future genuinely depends on the past.
+        let mut rng = Prng::new(seed);
+        let mut data = Vec::with_capacity(n * t);
+        for _ in 0..n {
+            let mut v = rng.normal();
+            for _ in 0..t {
+                v = 0.9 * v + rng.normal_with(0.0, 0.2);
+                data.push(v);
+            }
+        }
+        NdArray::from_vec(&[n, t, 1], data).unwrap()
+    }
+
+    #[test]
+    fn loss_decreases_on_predictable_data() {
+        let cfg = BaselineConfig { epochs: 5, ..BaselineConfig::compact(16, 1) };
+        let mut m = SimTs::new(cfg);
+        let history = m.pretrain(&ar_windows(32, 16, 0));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn loss_is_bounded_by_cosine_range() {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(16, 1) };
+        let mut m = SimTs::new(cfg);
+        let history = m.pretrain(&ar_windows(16, 16, 1));
+        for l in history {
+            assert!((-1.0..=1.0).contains(&l), "loss {l}");
+        }
+    }
+
+    #[test]
+    fn embeddings_shapes() {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(16, 1) };
+        let mut m = SimTs::new(cfg);
+        let w = ar_windows(10, 16, 2);
+        m.pretrain(&w);
+        assert_eq!(m.embed_instances(&w).shape(), &[10, 32]);
+        assert_eq!(m.embed_timestamps_flat(&w).shape(), &[10, 256]);
+    }
+}

@@ -1,0 +1,139 @@
+//! T-Loss (Franceschi et al., NeurIPS 2019): unsupervised scalable
+//! representation learning with a time-based logistic triplet loss.
+//!
+//! Anchor: a random subseries of a sample. Positive: a sub-subseries of the
+//! anchor. Negatives: random subseries of *other* samples in the batch.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use timedrl_nn::loss::tloss_logistic;
+use timedrl_nn::{Ctx, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The T-Loss method.
+pub struct TLoss {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Number of negative samples per anchor.
+    n_negatives: usize,
+}
+
+impl TLoss {
+    /// Builds T-Loss with 4 negatives per anchor.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x7105_5000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        Self { cfg, encoder, n_negatives: 4 }
+    }
+
+    fn encode_crop(&self, batch: &NdArray, start: usize, len: usize, ctx: &mut Ctx) -> Var {
+        let crop = batch.slice(1, start, len).expect("crop");
+        gap_instances(&self.encoder.forward(&Var::constant(crop), ctx))
+    }
+}
+
+impl SslMethod for TLoss {
+    fn name(&self) -> &'static str {
+        "T-Loss"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let params = self.encoder.parameters();
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            let b = batch.shape()[0];
+            let t = batch.shape()[1];
+            if b < 2 || t < 4 {
+                return Var::scalar(0.0);
+            }
+            // Anchor subseries: random range of length >= t/2.
+            let a_len = t / 2 + rng.below(t / 2);
+            let a_start = rng.below(t - a_len + 1);
+            // Positive: a sub-subseries inside the anchor.
+            let p_len = (a_len / 2).max(2);
+            let p_start = a_start + rng.below(a_len - p_len + 1);
+            let anchor = this.encode_crop(batch, a_start, a_len, ctx);
+            let positive = this.encode_crop(batch, p_start, p_len, ctx);
+            // Negatives: random subseries from a shuffled batch.
+            let mut negatives = Vec::with_capacity(this.n_negatives);
+            for _ in 0..this.n_negatives {
+                let n_len = (t / 2).max(2);
+                let n_start = rng.below(t - n_len + 1);
+                let mut perm: Vec<usize> = (0..b).collect();
+                rng.shuffle(&mut perm);
+                // Derangement-ish: rotate so sample i never pairs with
+                // itself at position i.
+                perm.rotate_left(1 + rng.below(b - 1));
+                let shuffled = crate::common::gather(batch, &perm);
+                negatives.push(this.encode_crop(&shuffled, n_start, n_len, ctx));
+            }
+            tloss_logistic(&anchor, &positive, &negatives)
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        // Per-series levels: subseries of the same series are similar.
+        let mut rng = Prng::new(seed);
+        let mut data = Vec::with_capacity(n * t);
+        for _ in 0..n {
+            let level = rng.normal_with(0.0, 2.0);
+            for _ in 0..t {
+                data.push(level + rng.normal_with(0.0, 0.2));
+            }
+        }
+        NdArray::from_vec(&[n, t, 1], data).unwrap()
+    }
+
+    #[test]
+    fn pretrain_reduces_triplet_loss() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = TLoss::new(cfg);
+        let history = m.pretrain(&level_windows(32, 16, 0));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn same_series_crops_embed_closer_than_cross_series() {
+        let cfg = BaselineConfig { epochs: 8, ..BaselineConfig::compact(16, 1) };
+        let mut m = TLoss::new(cfg);
+        let w = level_windows(32, 16, 1);
+        m.pretrain(&w);
+        let mut ctx = Ctx::eval();
+        let a = m.encode_crop(&w, 0, 8, &mut ctx).to_array();
+        let p = m.encode_crop(&w, 8, 8, &mut ctx).to_array();
+        // Cross-series: compare sample i's crop against sample i+1's.
+        let d_pos: f32 = (0..32 * 32)
+            .map(|i| (a.data()[i] - p.data()[i]).powi(2))
+            .sum::<f32>();
+        let mut cross = 0.0f32;
+        for s in 0..31 {
+            for k in 0..32 {
+                cross += (a.data()[s * 32 + k] - p.data()[(s + 1) * 32 + k]).powi(2);
+            }
+        }
+        let d_pos = d_pos / 32.0;
+        let cross = cross / 31.0;
+        assert!(d_pos < cross, "within {d_pos} vs cross {cross}");
+    }
+}

@@ -1,0 +1,169 @@
+//! TNC (Tonekaboni et al., 2021): Temporal Neighborhood Coding.
+//!
+//! Windows close in time are encouraged to share representations; distant
+//! windows are treated as *unlabeled* rather than strictly negative
+//! (Positive-Unlabeled learning), softening the sampling-bias problem of
+//! periodic series. The neighborhood radius plays the role of the
+//! original's ADF-test-determined neighborhood.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use timedrl_nn::{Ctx, Linear, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The TNC method.
+pub struct Tnc {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Bilinear-style discriminator on concatenated pair embeddings.
+    disc_hidden: Linear,
+    disc_out: Linear,
+    /// Sub-window length used for anchor/neighbor/distant samples.
+    sub_len: usize,
+    /// PU-learning weight: probability mass assigned to distant windows
+    /// actually being positive.
+    pu_weight: f32,
+}
+
+impl Tnc {
+    /// Builds TNC with sub-windows of half the input length.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x7c00_0a00);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        let d = cfg.d_model;
+        Self {
+            disc_hidden: Linear::new(2 * d, d, &mut rng),
+            disc_out: Linear::new(d, 1, &mut rng),
+            encoder,
+            sub_len: (cfg.input_len / 2).max(2),
+            pu_weight: 0.05,
+            cfg,
+        }
+    }
+
+    /// Discriminator score for `[B, D]` embedding pairs.
+    fn score(&self, a: &Var, b: &Var) -> Var {
+        let pair = Var::concat(&[a.clone(), b.clone()], 1);
+        self.disc_out.forward(&self.disc_hidden.forward(&pair).relu())
+    }
+
+    fn encode_gap(&self, x: NdArray, ctx: &mut Ctx) -> Var {
+        gap_instances(&self.encoder.forward(&Var::constant(x), ctx))
+    }
+}
+
+impl SslMethod for Tnc {
+    fn name(&self) -> &'static str {
+        "TNC"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let mut params = self.encoder.parameters();
+        params.extend(self.disc_hidden.parameters());
+        params.extend(self.disc_out.parameters());
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            let t = batch.shape()[1];
+            let l = this.sub_len;
+            let b = batch.shape()[0];
+            // Anchor at a random offset; neighbor overlaps it; distant is
+            // as far as the window allows (or another series in the batch).
+            let max_start = t - l;
+            let anchor_at = rng.below(max_start + 1);
+            let neighbor_at = (anchor_at + 1 + rng.below(l / 2 + 1)).min(max_start);
+            let distant_at = if anchor_at > max_start / 2 { 0 } else { max_start };
+            let anchor = batch.slice(1, anchor_at, l).expect("anchor");
+            let neighbor = batch.slice(1, neighbor_at, l).expect("neighbor");
+            // Distant: far offset *and* shuffled across the batch.
+            let mut perm: Vec<usize> = (0..b).collect();
+            rng.shuffle(&mut perm);
+            let distant_src = batch.slice(1, distant_at, l).expect("distant");
+            let distant = crate::common::gather(&distant_src, &perm);
+
+            let za = this.encode_gap(anchor, ctx);
+            let zn = this.encode_gap(neighbor, ctx);
+            let zd = this.encode_gap(distant, ctx);
+
+            // PU objective: neighbors positive; distants unlabeled —
+            // mostly negative, with weight w treated as positive.
+            let pos = this.score(&za, &zn).sigmoid().add_scalar(1e-7).ln().mean().neg();
+            let s_d = this.score(&za, &zd).sigmoid();
+            let neg = s_d.neg().add_scalar(1.0 + 1e-7).ln().mean().neg();
+            let pos_d = s_d.add_scalar(1e-7).ln().mean().neg();
+            pos.add(&neg.scale(1.0 - this.pu_weight)).add(&pos_d.scale(this.pu_weight))
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regime_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        // Each series has its own level: neighborhoods are genuinely more
+        // similar than cross-series pairs.
+        let mut rng = Prng::new(seed);
+        let mut data = Vec::with_capacity(n * t);
+        for _ in 0..n {
+            let level = rng.normal_with(0.0, 2.0);
+            for step in 0..t {
+                data.push(level + (step as f32 * 0.3).sin() + rng.normal_with(0.0, 0.1));
+            }
+        }
+        NdArray::from_vec(&[n, t, 1], data).unwrap()
+    }
+
+    #[test]
+    fn pretrain_reduces_pu_loss() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = Tnc::new(cfg);
+        let history = m.pretrain(&regime_windows(32, 16, 0));
+        assert!(history.iter().all(|l| l.is_finite()));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn discriminator_learns_neighborhoods() {
+        let cfg = BaselineConfig { epochs: 8, ..BaselineConfig::compact(16, 1) };
+        let mut m = Tnc::new(cfg);
+        let w = regime_windows(32, 16, 1);
+        m.pretrain(&w);
+        // After training, scores for (anchor, neighbor) from the same
+        // series should exceed scores for cross-series pairs.
+        let mut ctx = Ctx::eval();
+        let a = m.encode_gap(w.slice(1, 0, 8).unwrap(), &mut ctx);
+        let n = m.encode_gap(w.slice(1, 4, 8).unwrap(), &mut ctx);
+        let mut perm: Vec<usize> = (0..32).collect();
+        perm.rotate_left(7);
+        let far_src = w.slice(1, 8, 8).unwrap();
+        let far = m.encode_gap(crate::common::gather(&far_src, &perm), &mut ctx);
+        let s_pos = m.score(&a, &n).to_array().mean();
+        let s_neg = m.score(&a, &far).to_array().mean();
+        assert!(s_pos > s_neg, "pos {s_pos} vs neg {s_neg}");
+    }
+
+    #[test]
+    fn embedding_shapes() {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(16, 1) };
+        let mut m = Tnc::new(cfg);
+        let w = regime_windows(8, 16, 2);
+        m.pretrain(&w);
+        assert_eq!(m.embed_instances(&w).shape(), &[8, 32]);
+    }
+}

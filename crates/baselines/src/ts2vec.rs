@@ -1,0 +1,162 @@
+//! TS2Vec (Yue et al., AAAI 2022): hierarchical contrastive learning over
+//! overlapping cropped contexts with timestamp masking.
+//!
+//! Faithful at the structure level: two views come from *cropping* (two
+//! overlapping subwindows) plus *masking* (random input zeroing) — exactly
+//! the two augmentations Table VI shows to be "relatively less harmful" —
+//! then the shared overlap region is contrasted both instance-wise and
+//! temporally at multiple temporal scales, with max pooling between
+//! scales exactly as the original prescribes.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use timedrl_data::augment::masking;
+use timedrl_nn::loss::{ts2vec_instance_contrast, ts2vec_temporal_contrast};
+use timedrl_nn::Module;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The TS2Vec method.
+pub struct Ts2Vec {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+}
+
+impl Ts2Vec {
+    /// Builds TS2Vec with a fresh encoder.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x7520_7e00);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        Self { cfg, encoder }
+    }
+
+    /// The hierarchical loss over a pair of aligned `[B, T, D]` views.
+    fn hierarchical_loss(&self, mut z1: Var, mut z2: Var) -> Var {
+        let mut total = Var::scalar(0.0);
+        let mut scales = 0usize;
+        loop {
+            let li = ts2vec_instance_contrast(&z1, &z2, self.cfg.temperature);
+            let lt = ts2vec_temporal_contrast(&z1, &z2, self.cfg.temperature);
+            total = total.add(&li).add(&lt);
+            scales += 1;
+            let t = z1.shape()[1];
+            if t < 2 {
+                break;
+            }
+            // Halve the temporal scale by max pooling pairs (TS2Vec's
+            // original hierarchy).
+            let t2 = t / 2;
+            let d = z1.shape()[2];
+            let b = z1.shape()[0];
+            z1 = z1.slice(1, 0, t2 * 2).reshape(&[b, t2, 2, d]).max_axis(2, false);
+            z2 = z2.slice(1, 0, t2 * 2).reshape(&[b, t2, 2, d]).max_axis(2, false);
+            if t2 < 2 {
+                // One more round at the instance scale, then stop.
+                let li = ts2vec_instance_contrast(&z1, &z2, self.cfg.temperature);
+                total = total.add(&li);
+                scales += 1;
+                break;
+            }
+        }
+        total.scale(1.0 / scales as f32)
+    }
+}
+
+impl SslMethod for Ts2Vec {
+    fn name(&self) -> &'static str {
+        "TS2Vec"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let encoder = &self.encoder;
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(encoder.parameters(), windows, &cfg, |batch, ctx, rng| {
+            let t = batch.shape()[1];
+            // Two overlapping crops a1 <= a2 < b1 <= b2 with a non-empty
+            // common region [a2, b1).
+            let min_overlap = (t / 4).max(2).min(t);
+            let a2 = rng.below(t - min_overlap + 1);
+            let b1 = (a2 + min_overlap + rng.below(t - a2 - min_overlap + 1)).min(t);
+            let a1 = rng.below(a2 + 1);
+            let b2 = b1 + rng.below(t - b1 + 1);
+            let crop1 = batch.slice(1, a1, b1 - a1).expect("crop1");
+            let crop2 = batch.slice(1, a2, b2 - a2).expect("crop2");
+            // Timestamp masking per view (TS2Vec's second augmentation).
+            let m1 = mask_batch(&crop1, 0.1, rng);
+            let m2 = mask_batch(&crop2, 0.1, rng);
+            let z1 = encoder.forward(&Var::constant(m1), ctx);
+            let z2 = encoder.forward(&Var::constant(m2), ctx);
+            // Align on the overlap region.
+            let o1 = z1.slice(1, a2 - a1, b1 - a2);
+            let o2 = z2.slice(1, 0, b1 - a2);
+            this.hierarchical_loss(o1, o2)
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+fn mask_batch(x: &NdArray, p: f32, rng: &mut Prng) -> NdArray {
+    let b = x.shape()[0];
+    let parts: Vec<NdArray> = (0..b).map(|i| masking(&x.index_axis0(i), p, rng)).collect();
+    let refs: Vec<&NdArray> = parts.iter().collect();
+    NdArray::stack(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            let step = flat % t;
+            ((step as f32 * 0.5) + i as f32 * 0.37).sin() + rng.normal_with(0.0, 0.05)
+        })
+    }
+
+    #[test]
+    fn pretrain_runs_and_losses_finite() {
+        let cfg = BaselineConfig { epochs: 2, ..BaselineConfig::compact(16, 1) };
+        let mut m = Ts2Vec::new(cfg);
+        let history = m.pretrain(&sine_windows(24, 16, 0));
+        assert_eq!(history.len(), 2);
+        assert!(history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn embeddings_have_declared_shapes() {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(16, 1) };
+        let mut m = Ts2Vec::new(cfg);
+        let w = sine_windows(12, 16, 1);
+        m.pretrain(&w);
+        assert_eq!(m.embed_instances(&w).shape(), &[12, 32]);
+        assert_eq!(m.embed_timestamps_flat(&w).shape(), &[12, 8 * 32]);
+    }
+
+    #[test]
+    fn similar_inputs_embed_closer_after_training() {
+        let cfg = BaselineConfig { epochs: 4, ..BaselineConfig::compact(16, 1) };
+        let mut m = Ts2Vec::new(cfg);
+        let w = sine_windows(32, 16, 2);
+        m.pretrain(&w);
+        let z = m.embed_instances(&w);
+        // Embeddings should not have collapsed to a constant.
+        let std = z.var_axis(0, false).mean().sqrt();
+        assert!(std > 1e-4, "collapsed: std {std}");
+    }
+}

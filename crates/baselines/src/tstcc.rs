@@ -1,0 +1,155 @@
+//! TS-TCC (Eldele et al., IJCAI 2021): temporal and contextual contrasting
+//! between a *strong* and a *weak* augmented view.
+//!
+//! Strong view: permutation + jitter. Weak view: scaling + jitter. The
+//! temporal-contrasting module summarizes the past half with an
+//! autoregressive GRU (as the original does) and predicts the *other*
+//! view's future summary from it; the contextual-contrasting module
+//! applies NT-Xent to the two context vectors.
+
+use crate::common::{
+    embed_chunked, fit_ssl, gap_instances, segment_pool_flat, BaselineConfig, ConvEncoder,
+    SslMethod,
+};
+use timedrl_data::Augmentation;
+use timedrl_nn::loss::nt_xent;
+use timedrl_nn::{Ctx, Gru, Linear, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// The TS-TCC method.
+pub struct TsTcc {
+    cfg: BaselineConfig,
+    encoder: ConvEncoder,
+    /// Autoregressive context summarizer over the past half (the
+    /// original's GRU).
+    summarizer: Gru,
+    /// Cross-view future predictor (strong context -> weak future and
+    /// vice versa; weights shared, as both map `[B, D] -> [B, D]`).
+    temporal_head: Linear,
+    /// Contextual projection head.
+    context_proj: Linear,
+}
+
+impl TsTcc {
+    /// Builds TS-TCC.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let mut rng = Prng::new(cfg.seed ^ 0x75cc_0000);
+        let encoder = ConvEncoder::new(&cfg, &mut rng);
+        let d = cfg.d_model;
+        Self {
+            summarizer: Gru::new(d, d, &mut rng),
+            temporal_head: Linear::new(d, d, &mut rng),
+            context_proj: Linear::new(d, d, &mut rng),
+            encoder,
+            cfg,
+        }
+    }
+
+    /// Context = GRU summary of the past half; future = GAP over the
+    /// future half.
+    fn context_and_future(&self, x: &NdArray, ctx: &mut Ctx) -> (Var, Var) {
+        let t = x.shape()[1];
+        let half = t / 2;
+        let z = self.encoder.forward(&Var::constant(x.clone()), ctx);
+        let past = self.summarizer.summarize(&z.slice(1, 0, half));
+        let future = z.slice(1, half, t - half).mean_axis(1, false);
+        (past, future)
+    }
+}
+
+impl SslMethod for TsTcc {
+    fn name(&self) -> &'static str {
+        "TS-TCC"
+    }
+
+    fn pretrain(&mut self, windows: &NdArray) -> Vec<f32> {
+        let mut params = self.encoder.parameters();
+        params.extend(self.summarizer.parameters());
+        params.extend(self.temporal_head.parameters());
+        params.extend(self.context_proj.parameters());
+        let cfg = self.cfg.clone();
+        let this = &*self;
+        fit_ssl(params, windows, &cfg, |batch, ctx, rng| {
+            if batch.shape()[0] < 2 {
+                return Var::scalar(0.0);
+            }
+            // Strong and weak augmentations (the cross-view asymmetry).
+            let strong = {
+                let a = Augmentation::Permutation.apply_batch(batch, rng);
+                Augmentation::Jitter.apply_batch(&a, rng)
+            };
+            let weak = {
+                let a = Augmentation::Scaling.apply_batch(batch, rng);
+                Augmentation::Jitter.apply_batch(&a, rng)
+            };
+            let (c_strong, f_strong) = this.context_and_future(&strong, ctx);
+            let (c_weak, f_weak) = this.context_and_future(&weak, ctx);
+            // Temporal contrasting: each view's context predicts the
+            // *other* view's future, contrasted against in-batch futures.
+            let p_sw = this.temporal_head.forward(&c_strong);
+            let p_ws = this.temporal_head.forward(&c_weak);
+            let temporal = nt_xent(&p_sw, &f_weak, cfg.temperature)
+                .add(&nt_xent(&p_ws, &f_strong, cfg.temperature))
+                .scale(0.5);
+            // Contextual contrasting between the two full contexts.
+            let ctx_s = this.context_proj.forward(&c_strong);
+            let ctx_w = this.context_proj.forward(&c_weak);
+            let contextual = nt_xent(&ctx_s, &ctx_w, cfg.temperature);
+            temporal.add(&contextual)
+        })
+    }
+
+    fn embed_timestamps_flat(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            let z = self.encoder.forward(&Var::constant(chunk.clone()), ctx).to_array();
+            segment_pool_flat(&z, 8)
+        })
+    }
+
+    fn embed_instances(&self, x: &NdArray) -> NdArray {
+        embed_chunked(x, |chunk, ctx| {
+            gap_instances(&self.encoder.forward(&Var::constant(chunk.clone()), ctx)).to_array()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            ((flat % t) as f32 * 0.4 + i as f32 * 0.9).sin() + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn pretrain_reduces_loss() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::compact(16, 1) };
+        let mut m = TsTcc::new(cfg);
+        let history = m.pretrain(&windows(32, 16, 0));
+        assert!(history.last().unwrap() < &history[0], "history {history:?}");
+    }
+
+    #[test]
+    fn context_and_future_split_time() {
+        let cfg = BaselineConfig::compact(16, 1);
+        let m = TsTcc::new(cfg);
+        let x = Prng::new(1).randn(&[3, 16, 1]);
+        let (c, f) = m.context_and_future(&x, &mut Ctx::eval());
+        assert_eq!(c.shape(), vec![3, 32]);
+        assert_eq!(f.shape(), vec![3, 32]);
+        assert!(c.to_array().max_abs_diff(&f.to_array()) > 1e-5);
+    }
+
+    #[test]
+    fn embedding_shapes() {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(16, 1) };
+        let mut m = TsTcc::new(cfg);
+        let w = windows(8, 16, 2);
+        m.pretrain(&w);
+        assert_eq!(m.embed_instances(&w).shape(), &[8, 32]);
+    }
+}

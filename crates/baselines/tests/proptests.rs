@@ -1,0 +1,81 @@
+//! Property-based tests for the baselines crate: k-means invariants,
+//! encoder shape contracts, and segment pooling laws.
+
+use proptest::prelude::*;
+use timedrl_baselines::common::{segment_pool_flat, BaselineConfig, ConvEncoder};
+use timedrl_baselines::kmeans;
+use timedrl_nn::Ctx;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kmeans_assignments_in_range(n in 4usize..20, k in 1usize..4, seed in 0u64..500) {
+        prop_assume!(k <= n);
+        let pts = Prng::new(seed).randn(&[n, 3]);
+        let result = kmeans(&pts, k, 8, &mut Prng::new(seed ^ 1));
+        prop_assert_eq!(result.assignments.len(), n);
+        prop_assert!(result.assignments.iter().all(|&a| a < k));
+        prop_assert!(result.inertia >= 0.0);
+        prop_assert_eq!(result.centroids.shape(), &[k, 3]);
+    }
+
+    #[test]
+    fn kmeans_every_cluster_assignment_is_nearest(seed in 0u64..200) {
+        let pts = Prng::new(seed).randn(&[15, 2]);
+        let result = kmeans(&pts, 3, 15, &mut Prng::new(seed ^ 2));
+        // Lloyd's invariant after convergence iterations: each point's
+        // assigned centroid is (weakly) nearest.
+        for i in 0..15 {
+            let dist = |c: usize| -> f32 {
+                (0..2)
+                    .map(|j| {
+                        let d = pts.at(&[i, j]) - result.centroids.at(&[c, j]);
+                        d * d
+                    })
+                    .sum()
+            };
+            let assigned = dist(result.assignments[i]);
+            for c in 0..3 {
+                prop_assert!(assigned <= dist(c) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_encoder_shape_contract(b in 1usize..4, t in 4usize..20, c in 1usize..4, seed in 0u64..200) {
+        let cfg = BaselineConfig::compact(t, c);
+        let mut rng = Prng::new(seed);
+        let enc = ConvEncoder::new(&cfg, &mut rng);
+        let x = Var::constant(rng.randn(&[b, t, c]));
+        let z = enc.forward(&x, &mut Ctx::eval());
+        prop_assert_eq!(z.shape(), vec![b, t, cfg.d_model]);
+        prop_assert!(!z.to_array().has_non_finite());
+    }
+
+    #[test]
+    fn segment_pool_preserves_mean(b in 1usize..4, t in 4usize..24, segs in 1usize..6, seed in 0u64..200) {
+        // Pooling into segments then averaging equals the global average
+        // when segments tile the axis evenly.
+        prop_assume!(t % segs == 0);
+        let z = Prng::new(seed).randn(&[b, t, 4]);
+        let pooled = segment_pool_flat(&z, segs);
+        prop_assert_eq!(pooled.shape(), &[b, segs * 4]);
+        for bi in 0..b {
+            for d in 0..4 {
+                let global: f32 = (0..t).map(|ti| z.at(&[bi, ti, d])).sum::<f32>() / t as f32;
+                let seg_avg: f32 =
+                    (0..segs).map(|s| pooled.at(&[bi, s * 4 + d])).sum::<f32>() / segs as f32;
+                prop_assert!((global - seg_avg).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_pool_more_segments_than_steps_clamps(seed in 0u64..100) {
+        let z = Prng::new(seed).randn(&[2, 3, 4]);
+        let pooled = segment_pool_flat(&z, 10);
+        prop_assert_eq!(pooled.shape(), &[2, 3 * 4]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Embedding atlas: pre-train TimeDRL on synthetic HAR, project the [CLS]
+//! instance embeddings to 2-D with PCA, and render the class structure as
+//! a terminal scatter chart — a quick qualitative check that the
+//! instance-contrastive task produced class-separable geometry without
+//! ever seeing a label.
+//!
+//! ```text
+//! cargo run -p timedrl-bench --release --example embedding_atlas
+//! ```
+
+use timedrl::{pretrain, TimeDrl, TimeDrlConfig};
+use timedrl_bench::{scatter_chart, Series};
+use timedrl_data::synth::classify::har;
+use timedrl_eval::Pca;
+use timedrl_tensor::Prng;
+
+fn main() {
+    let ds = har(240, 3);
+    let mut cfg = TimeDrlConfig::classification(ds.sample_len(), ds.features());
+    cfg.epochs = 5;
+    let model = TimeDrl::new(cfg);
+    println!("pre-training on {} unlabeled HAR samples...", ds.len());
+    pretrain(&model, &ds.to_batch());
+
+    let z = model.embed_instances(&ds.to_batch());
+    let pca = Pca::fit(&z, 2, &mut Prng::new(0));
+    let xy = pca.transform(&z);
+    println!(
+        "PCA explained variance: {:?}",
+        pca.explained_variance().iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>()
+    );
+
+    // One series per activity class (labels used only for coloring the
+    // plot, never for training).
+    let names = ["walk", "upstairs", "downstairs", "sit", "stand", "lay"];
+    let series: Vec<Series> = (0..ds.n_classes)
+        .map(|class| Series {
+            label: names[class].to_string(),
+            points: ds
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == class)
+                .map(|(i, _)| (xy.at(&[i, 0]), xy.at(&[i, 1])))
+                .collect(),
+        })
+        .collect();
+    println!("{}", scatter_chart(&series, 72, 22, "HAR [CLS] embeddings, PCA projection"));
+    println!("Expected: active classes (walk/up/down) separate from static ones (sit/stand/lay).");
+}

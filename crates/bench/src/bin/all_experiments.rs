@@ -1,0 +1,65 @@
+//! Runs every table/figure binary in sequence — the one-command
+//! regeneration entry point for EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p timedrl-bench --release --bin all_experiments [-- --quick]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 13] = [
+    "table1_datasets",
+    "table2_datasets",
+    "table3_forecast_multi",
+    "table4_forecast_uni",
+    "table5_classification",
+    "fig4_pretrain_time",
+    "fig5_semisupervised",
+    "fig6_lambda_sensitivity",
+    "table6_augmentation",
+    "table7_pooling",
+    "table8_encoders",
+    "ablation_anisotropy",
+    "ablation_channel_independence",
+];
+const LAST: &str = "table9_stop_gradient";
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS.iter().chain(std::iter::once(&LAST)) {
+        println!("\n================== {name} ==================\n");
+        let mut cmd = Command::new(exe_dir.join(name));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} exited with {status}");
+                failed.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "{name} failed to launch ({e}); build all binaries first: \
+                     cargo build -p timedrl-bench --release --bins"
+                );
+                failed.push(*name);
+            }
+        }
+    }
+
+    println!("\n=============================================");
+    if failed.is_empty() {
+        println!("All {} experiments completed.", EXPERIMENTS.len() + 1);
+    } else {
+        println!("Failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

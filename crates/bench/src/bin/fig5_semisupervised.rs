@@ -1,0 +1,134 @@
+//! Fig. 5: semi-supervised learning — supervised-only training vs TimeDRL
+//! with pre-training + fine-tuning ("TimeDRL (FT)"), across label
+//! fractions.
+//!
+//! Top panels (a–c): forecasting MSE on ETTh1/ETTh2/Exchange. Bottom
+//! panels (d–f): classification accuracy on HAR/Epilepsy/PenDigits. The
+//! paper's expected shape: TimeDRL (FT) dominates, and the gap widens as
+//! labels get scarcer.
+
+use serde::Serialize;
+use timedrl::{
+    finetune_classification, finetune_forecast, pretrain, FinetuneConfig, TimeDrl,
+};
+use timedrl_bench::registry::{classify_by_name, forecast_by_name};
+use timedrl_bench::runners::{forecast_data, timedrl_classify_config, timedrl_forecast_config};
+use timedrl_bench::{line_chart, ResultSink, Scale, Series};
+use timedrl_tensor::Prng;
+
+#[derive(Serialize)]
+struct SemiRecord {
+    task: String,
+    dataset: String,
+    label_fraction: f32,
+    supervised: f32,
+    timedrl_ft: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 13u64;
+    let horizon = 24usize;
+    let ft = FinetuneConfig {
+        epochs: if scale == Scale::Quick { 2 } else { 5 },
+        ..Default::default()
+    };
+    let mut sink = ResultSink::new("fig5_semisupervised");
+
+    // ---------------- Forecasting panels (a-c) ----------------
+    println!("Fig. 5 (a-c): forecasting MSE vs label fraction (lower is better).\n");
+    let forecast_sets: &[&str] =
+        if scale == Scale::Quick { &["ETTh1"] } else { &["ETTh1", "ETTh2", "Exchange"] };
+    for name in forecast_sets {
+        let ds = forecast_by_name(name, scale);
+        let data = forecast_data(&ds, horizon, scale);
+        println!("{name}:");
+        println!("{:>10} {:>14} {:>14}", "labels", "Supervised", "TimeDRL (FT)");
+        let mut sup_pts = Vec::new();
+        let mut ft_pts = Vec::new();
+        for &frac in &scale.label_fractions() {
+            // Supervised: fresh encoder, no pre-training, fine-tune on the
+            // labelled subset only.
+            let sup_cfg = timedrl_forecast_config(scale, seed);
+            let sup_model = TimeDrl::new(sup_cfg);
+            let supervised = finetune_forecast(&sup_model, &data, &ft, frac, seed).mse;
+
+            // TimeDRL (FT): pre-train on ALL unlabeled windows, then
+            // fine-tune on the labelled subset.
+            let ssl_cfg = timedrl_forecast_config(scale, seed);
+            let ssl_model = TimeDrl::new(ssl_cfg);
+            pretrain(&ssl_model, &data.train_inputs);
+            let ft_result = finetune_forecast(&ssl_model, &data, &ft, frac, seed).mse;
+
+            println!("{:>9.0}% {supervised:>14.3} {ft_result:>14.3}", frac * 100.0);
+            sup_pts.push((frac * 100.0, supervised));
+            ft_pts.push((frac * 100.0, ft_result));
+            sink.push(SemiRecord {
+                task: "forecast".into(),
+                dataset: name.to_string(),
+                label_fraction: frac,
+                supervised,
+                timedrl_ft: ft_result,
+            });
+        }
+        println!();
+        println!("{}", line_chart(
+            &[
+                Series { label: "Supervised".into(), points: sup_pts },
+                Series { label: "TimeDRL (FT)".into(), points: ft_pts },
+            ],
+            56, 12,
+            &format!("{name}: test MSE vs % labels (lower is better)"),
+        ));
+    }
+
+    // ---------------- Classification panels (d-f) ----------------
+    println!("Fig. 5 (d-f): classification accuracy vs label fraction (higher is better).\n");
+    let classify_sets: &[&str] =
+        if scale == Scale::Quick { &["PenDigits"] } else { &["HAR", "Epilepsy", "PenDigits"] };
+    for name in classify_sets {
+        let ds = classify_by_name(name, scale);
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed));
+        println!("{name}:");
+        println!("{:>10} {:>14} {:>14}", "labels", "Supervised", "TimeDRL (FT)");
+        let mut sup_pts = Vec::new();
+        let mut ft_pts = Vec::new();
+        for &frac in &scale.label_fractions() {
+            let sup_cfg = timedrl_classify_config(&train, scale, seed);
+            let sup_model = TimeDrl::new(sup_cfg);
+            let supervised =
+                finetune_classification(&sup_model, &train, &test, &ft, frac, seed).accuracy * 100.0;
+
+            let ssl_cfg = timedrl_classify_config(&train, scale, seed);
+            let ssl_model = TimeDrl::new(ssl_cfg);
+            pretrain(&ssl_model, &train.to_batch());
+            let ft_acc =
+                finetune_classification(&ssl_model, &train, &test, &ft, frac, seed).accuracy * 100.0;
+
+            println!("{:>9.0}% {supervised:>13.2}% {ft_acc:>13.2}%", frac * 100.0);
+            sup_pts.push((frac * 100.0, supervised));
+            ft_pts.push((frac * 100.0, ft_acc));
+            sink.push(SemiRecord {
+                task: "classify".into(),
+                dataset: name.to_string(),
+                label_fraction: frac,
+                supervised,
+                timedrl_ft: ft_acc,
+            });
+        }
+        println!();
+        println!("{}", line_chart(
+            &[
+                Series { label: "Supervised".into(), points: sup_pts },
+                Series { label: "TimeDRL (FT)".into(), points: ft_pts },
+            ],
+            56, 12,
+            &format!("{name}: accuracy % vs % labels (higher is better)"),
+        ));
+    }
+
+    println!("Expected shape (paper): TimeDRL (FT) >= supervised everywhere, with the");
+    println!("largest gaps at the smallest label fractions.");
+    let path = sink.write();
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,460 @@
+//! Renders EXPERIMENTS.md from the JSON artifacts in `results/` — the
+//! paper-vs-measured ledger for every table and figure.
+//!
+//! ```text
+//! cargo run -p timedrl-bench --release --bin render_experiments
+//! ```
+//!
+//! Run `all_experiments` first; this binary only formats what it finds
+//! (missing experiments render as "not yet run").
+
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let results_dir = std::env::var("TIMEDRL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let mut out = String::new();
+    out.push_str(HEADER);
+
+    render_table3(&mut out, &load(&results_dir, "table3_forecast_multi"));
+    render_table4(&mut out, &load(&results_dir, "table4_forecast_uni"));
+    render_table5(&mut out, &load(&results_dir, "table5_classification"));
+    render_fig4(&mut out, &load(&results_dir, "fig4_pretrain_time"));
+    render_fig5(&mut out, &load(&results_dir, "fig5_semisupervised"));
+    render_fig6(&mut out, &load(&results_dir, "fig6_lambda_sensitivity"));
+    render_table6(&mut out, &load(&results_dir, "table6_augmentation"));
+    render_table7(&mut out, &load(&results_dir, "table7_pooling"));
+    render_table8(&mut out, &load(&results_dir, "table8_encoders"));
+    render_table9(&mut out, &load(&results_dir, "table9_stop_gradient"));
+    render_extensions(
+        &mut out,
+        &load(&results_dir, "ablation_anisotropy"),
+        &load(&results_dir, "ablation_channel_independence"),
+    );
+
+    out.push_str(FOOTER);
+    fs::write("EXPERIMENTS.md", &out).expect("write EXPERIMENTS.md");
+    println!("EXPERIMENTS.md written ({} bytes)", out.len());
+}
+
+fn load(dir: &std::path::Path, name: &str) -> Vec<Value> {
+    let path = dir.join(format!("{name}.json"));
+    let Ok(text) = fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    serde_json::from_str::<Value>(&text)
+        .ok()
+        .and_then(|v| v.get("records").and_then(|r| r.as_array()).cloned())
+        .unwrap_or_default()
+}
+
+fn f(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn s<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+fn not_run(out: &mut String) {
+    out.push_str("*(not yet run — execute `all_experiments` first)*\n\n");
+}
+
+const FORECAST_METHODS: [&str; 7] = ["TimeDRL", "SimTS", "TS2Vec", "TNC", "CoST", "Informer", "TCN"];
+
+fn render_forecast_table(out: &mut String, records: &[Value]) {
+    // Group rows by (dataset, horizon), columns by method.
+    let mut keys: Vec<(String, u64)> = Vec::new();
+    for r in records {
+        let k = (s(r, "dataset").to_string(), r.get("horizon").and_then(Value::as_u64).unwrap_or(0));
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    out.push_str("| dataset | T |");
+    for m in FORECAST_METHODS {
+        let _ = write!(out, " {m} |");
+    }
+    out.push('\n');
+    out.push_str("|---|---|");
+    for _ in FORECAST_METHODS {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    let mut totals = vec![0.0f64; FORECAST_METHODS.len()];
+    for (ds, h) in &keys {
+        let _ = write!(out, "| {ds} | {h} |");
+        for (mi, m) in FORECAST_METHODS.iter().enumerate() {
+            let cell = records.iter().find(|r| {
+                s(r, "dataset") == ds
+                    && r.get("horizon").and_then(Value::as_u64) == Some(*h)
+                    && s(r, "method") == *m
+            });
+            match cell {
+                Some(r) => {
+                    let mse = f(r, "mse");
+                    totals[mi] += mse;
+                    let _ = write!(out, " {mse:.3} |");
+                }
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    let n = keys.len().max(1) as f64;
+    out.push_str("| **avg** | |");
+    for t in &totals {
+        let _ = write!(out, " **{:.3}** |", t / n);
+    }
+    out.push('\n');
+    let timedrl = totals[0] / n;
+    let best = totals[1..].iter().cloned().fold(f64::INFINITY, f64::min) / n;
+    let _ = write!(
+        out,
+        "\nTimeDRL average MSE {:.3} vs best baseline {:.3}: **{:+.1}%**.\n\n",
+        timedrl,
+        best,
+        (timedrl - best) / best * 100.0
+    );
+}
+
+fn render_table3(out: &mut String, records: &[Value]) {
+    out.push_str("## Table III — multivariate forecasting (linear evaluation, MSE)\n\n");
+    out.push_str(
+        "Paper: TimeDRL best in every cell; **58.02% average MSE improvement** \
+         over the strongest baseline, largest margins on ETTh2/long horizons.\n\nMeasured:\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    render_forecast_table(out, records);
+}
+
+fn render_table4(out: &mut String, records: &[Value]) {
+    out.push_str("## Table IV — univariate forecasting (linear evaluation, MSE)\n\n");
+    out.push_str("Paper: **29.09% average MSE improvement**; TimeDRL best or second-best nearly everywhere.\n\nMeasured:\n\n");
+    if records.is_empty() {
+        return not_run(out);
+    }
+    render_forecast_table(out, records);
+}
+
+fn render_table5(out: &mut String, records: &[Value]) {
+    out.push_str("## Table V — classification (linear evaluation, percent)\n\n");
+    out.push_str(
+        "Paper: **+1.48% average accuracy** over the best baseline; biggest win on \
+         FingerMovements (64.00 ACC vs ~52 best baseline); near-parity on the ~90%+ datasets.\n\nMeasured (ACC / MF1 / κ):\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    let mut datasets: Vec<String> = Vec::new();
+    let mut methods: Vec<String> = Vec::new();
+    for r in records {
+        let d = s(r, "dataset").to_string();
+        let m = s(r, "method").to_string();
+        if !datasets.contains(&d) {
+            datasets.push(d);
+        }
+        if !methods.contains(&m) {
+            methods.push(m);
+        }
+    }
+    out.push_str("| dataset |");
+    for m in &methods {
+        let _ = write!(out, " {m} |");
+    }
+    out.push_str("\n|---|");
+    for _ in &methods {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for d in &datasets {
+        let _ = write!(out, "| {d} |");
+        for m in &methods {
+            match records.iter().find(|r| s(r, "dataset") == d && s(r, "method") == m) {
+                Some(r) => {
+                    let _ = write!(out, " {:.1}/{:.1}/{:.1} |", f(r, "acc"), f(r, "mf1"), f(r, "kappa"));
+                }
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+fn render_fig4(out: &mut String, records: &[Value]) {
+    out.push_str("## Fig. 4 — pre-training wall-clock (seconds)\n\n");
+    out.push_str(
+        "Paper: conv encoders (SimTS/TS2Vec) fastest; TimeDRL slower but patching \
+         cuts the Transformer's quadratic cost substantially.\n\nMeasured (T=512, batch 32):\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    out.push_str("| dataset | method | seconds |\n|---|---|---|\n");
+    for r in records {
+        let _ = writeln!(out, "| {} | {} | {:.2} |", s(r, "dataset"), s(r, "method"), f(r, "seconds"));
+    }
+    out.push('\n');
+}
+
+fn render_fig5(out: &mut String, records: &[Value]) {
+    out.push_str("## Fig. 5 — semi-supervised learning\n\n");
+    out.push_str(
+        "Paper: TimeDRL (FT) beats supervised-only everywhere; the gap widens as \
+         labels shrink.\n\nMeasured (forecast rows: MSE, lower better; classify rows: ACC %, higher better):\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    out.push_str("| task | dataset | labels | supervised | TimeDRL (FT) |\n|---|---|---|---|---|\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.0}% | {:.3} | {:.3} |",
+            s(r, "task"),
+            s(r, "dataset"),
+            f(r, "label_fraction") * 100.0,
+            f(r, "supervised"),
+            f(r, "timedrl_ft")
+        );
+    }
+    out.push('\n');
+}
+
+fn render_fig6(out: &mut String, records: &[Value]) {
+    out.push_str("## Fig. 6 — λ sensitivity\n\n");
+    out.push_str(
+        "Paper: tiny λ starves the contrastive task (forecast MSE rises); huge λ \
+         starves the predictive task (accuracy falls); λ = 1 is near-optimal for both.\n\nMeasured:\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    out.push_str("| task | dataset | λ | metric |\n|---|---|---|---|\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.3} |",
+            s(r, "task"),
+            s(r, "dataset"),
+            f(r, "lambda"),
+            f(r, "metric")
+        );
+    }
+    out.push('\n');
+}
+
+fn render_delta_table(out: &mut String, records: &[Value], entity_key: &str) {
+    let mut entities: Vec<String> = Vec::new();
+    let mut datasets: Vec<String> = Vec::new();
+    for r in records {
+        let e = s(r, entity_key).to_string();
+        let d = s(r, "dataset").to_string();
+        if !entities.contains(&e) {
+            entities.push(e);
+        }
+        if !datasets.contains(&d) {
+            datasets.push(d);
+        }
+    }
+    out.push_str("| variant |");
+    for d in &datasets {
+        let _ = write!(out, " {d} (MSE, Δ%) |");
+    }
+    out.push_str("\n|---|");
+    for _ in &datasets {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for e in &entities {
+        let _ = write!(out, "| {e} |");
+        for d in &datasets {
+            match records.iter().find(|r| s(r, entity_key) == e && s(r, "dataset") == d) {
+                Some(r) => {
+                    let _ = write!(out, " {:.3} ({:+.1}%) |", f(r, "mse"), f(r, "delta_pct"));
+                }
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+fn render_table6(out: &mut String, records: &[Value]) {
+    out.push_str("## Table VI — augmentation ablation (forecast MSE, T=168)\n\n");
+    out.push_str(
+        "Paper: every augmentation worsens MSE (ETTh1 +4.8%..+68.2%, Exchange \
+         +2.1%..+174.5%); Rotation worst, Masking mildest.\n\nMeasured:\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    render_delta_table(out, records, "augmentation");
+}
+
+fn render_table7(out: &mut String, records: &[Value]) {
+    out.push_str("## Table VII — pooling ablation (accuracy %)\n\n");
+    out.push_str(
+        "Paper: [CLS] best (FingerMovements 63.00, Epilepsy 95.83); every pooled \
+         derivation loses, GAP worst (−19.05% / −16.75%).\n\nMeasured:\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    let mut poolings: Vec<String> = Vec::new();
+    for r in records {
+        let p = s(r, "pooling").to_string();
+        if !poolings.contains(&p) {
+            poolings.push(p);
+        }
+    }
+    out.push_str("| pooling | FingerMovements | Epilepsy |\n|---|---|---|\n");
+    for p in &poolings {
+        let cell = |d: &str| {
+            records
+                .iter()
+                .find(|r| s(r, "pooling") == p && s(r, "dataset") == d)
+                .map(|r| format!("{:.1}", f(r, "acc")))
+                .unwrap_or_else(|| "—".into())
+        };
+        let _ = writeln!(out, "| {p} | {} | {} |", cell("FingerMovements"), cell("Epilepsy"));
+    }
+    out.push('\n');
+}
+
+fn render_table8(out: &mut String, records: &[Value]) {
+    out.push_str("## Table VIII — encoder ablation (forecast MSE, T=168)\n\n");
+    out.push_str(
+        "Paper: Transformer encoder best; decoder (causal) +11.3% on ETTh1; \
+         Bi-LSTM beats LSTM — full temporal access matters.\n\nMeasured:\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    render_delta_table(out, records, "encoder");
+}
+
+fn render_table9(out: &mut String, records: &[Value]) {
+    out.push_str("## Table IX — stop-gradient ablation (accuracy %)\n\n");
+    out.push_str(
+        "Paper: removing stop-gradient drops accuracy (FingerMovements −11.1%, \
+         Epilepsy −16.8%).\n\nMeasured (accuracy %, plus embedding std as a collapse diagnostic):\n\n",
+    );
+    if records.is_empty() {
+        return not_run(out);
+    }
+    out.push_str("| dataset | stop-gradient | ACC % | embedding std |\n|---|---|---|---|\n");
+    for r in records {
+        let sg = r.get("stop_gradient").and_then(Value::as_bool).unwrap_or(false);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1} | {:.4} |",
+            s(r, "dataset"),
+            if sg { "w/ SG (Ours)" } else { "w/o SG" },
+            f(r, "acc"),
+            f(r, "embedding_std")
+        );
+    }
+    out.push('\n');
+}
+
+fn render_extensions(out: &mut String, aniso: &[Value], ci: &[Value]) {
+    out.push_str("## Extension A — anisotropy diagnostics (Fig. 1's argument, quantified)\n\n");
+    out.push_str(
+        "Claim: pooled instance embeddings live in a narrow cone (high mean pairwise \
+         cosine); GAP worst.\n\nMeasured:\n\n",
+    );
+    if aniso.is_empty() {
+        not_run(out);
+    } else {
+        out.push_str("| dataset | pooling | mean cosine | participation ratio |\n|---|---|---|---|\n");
+        for r in aniso {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.3} | {:.1} |",
+                s(r, "dataset"),
+                s(r, "pooling"),
+                f(r, "mean_cosine"),
+                f(r, "participation_ratio")
+            );
+        }
+        out.push('\n');
+    }
+    out.push_str("## Extension B — channel-independence vs channel-mixing\n\n");
+    out.push_str("Paper (Section V.4): channel-independence enhances forecasting.\n\nMeasured:\n\n");
+    if ci.is_empty() {
+        not_run(out);
+    } else {
+        out.push_str("| dataset | mode | MSE | MAE |\n|---|---|---|---|\n");
+        for r in ci {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.3} | {:.3} |",
+                s(r, "dataset"),
+                s(r, "mode"),
+                f(r, "mse"),
+                f(r, "mae")
+            );
+        }
+        out.push('\n');
+    }
+}
+
+const HEADER: &str = "\
+# EXPERIMENTS — paper vs measured
+
+Every table and figure of the TimeDRL paper's evaluation section,
+regenerated by this reproduction. **Absolute numbers are not comparable to
+the paper's** (DESIGN.md §2: synthetic data standing in for the 11 public
+datasets; d_model 32 / 2-block encoders / 3 pre-training epochs on one CPU
+core standing in for the paper's GPU-scale training). What the
+reproduction targets — and what each section below compares — is the
+*shape* of every result: who wins, in which direction each ablation
+moves, where the crossovers fall.
+
+Scaling map (experiment scale, `Scale::Full`): series length 3000
+(vs 7.5k–70k), horizons {24, 96, 168} (vs {24,48,168,336,720}),
+lookback 64 with stride-16 windows, 300 samples per classification
+dataset, 3 pre-training epochs, logistic probes 200 epochs, ridge λ = 1.
+Every binary accepts `--quick` for a smoke-scale run.
+
+Regenerate with:
+
+```sh
+cargo build -p timedrl-bench --release --bins
+./target/release/all_experiments          # ~1 h on one CPU core
+./target/release/render_experiments       # rebuilds this file from results/
+```
+
+Tables I–II (dataset statistics) are verified programmatically by their
+binaries — each generator asserts the published feature counts, lengths,
+sample counts, and class counts — and are omitted here.
+
+";
+
+const FOOTER: &str = "\
+## Reading the ledger
+
+Honest deviations to know about:
+
+- Per-cell winners in Tables III/IV vary more than in the paper: at this
+  scale the convolutional baselines are strong on the smoother, more
+  stationary cells (short-horizon ETTh1/ETTm1), while TimeDRL's advantage
+  concentrates where the paper's is largest — volatile (ETTh2-family),
+  drifting (Exchange), and long-horizon cells. The aggregate direction
+  matches the paper.
+- Fig. 4's absolute seconds are CPU seconds on a single core; the paper's
+  are RTX 3070 seconds. The ordering (conv < TimeDRL-patched <
+  TimeDRL-unpatched) is the reproduced claim.
+- The `--quick` preset is deliberately underpowered for TimeDRL (too few
+  pre-training windows for a Transformer); use the full scale for any
+  method comparison.
+";

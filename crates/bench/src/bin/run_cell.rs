@@ -1,0 +1,45 @@
+//! Developer tool: run a single (dataset, horizon) cell of Table III at
+//! full experiment scale and print every method's MSE/MAE.
+//!
+//! ```text
+//! run_cell <dataset> <horizon> [--quick]
+//! e.g. run_cell ETTh1 168
+//! ```
+
+use timedrl_baselines::{Cost, Informer, SimTs, TcnForecaster, Tnc, Ts2Vec};
+use timedrl_bench::registry::forecast_by_name;
+use timedrl_bench::runners::{
+    baseline_forecast_config, forecast_data, run_e2e_forecast, run_ssl_forecast,
+    run_timedrl_forecast,
+};
+use timedrl_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args.get(1).map(String::as_str).unwrap_or("ETTh1");
+    let horizon: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(24);
+    let scale = Scale::from_args();
+
+    let ds = forecast_by_name(dataset, scale);
+    let data = forecast_data(&ds, horizon, scale);
+    println!(
+        "{dataset} horizon {horizon} ({} train / {} test folds)",
+        data.train_inputs.shape()[0],
+        data.test_inputs.shape()[0]
+    );
+
+    let seed = 7u64;
+    let t = run_timedrl_forecast(&data, scale, seed);
+    println!("{:<10} {:>8.3} {:>8.3}", "TimeDRL", t.mse, t.mae);
+    let bcfg = baseline_forecast_config(scale, seed);
+    for (name, r) in [
+        ("SimTS", run_ssl_forecast(&mut SimTs::new(bcfg.clone()), &data)),
+        ("TS2Vec", run_ssl_forecast(&mut Ts2Vec::new(bcfg.clone()), &data)),
+        ("TNC", run_ssl_forecast(&mut Tnc::new(bcfg.clone()), &data)),
+        ("CoST", run_ssl_forecast(&mut Cost::new(bcfg.clone()), &data)),
+        ("Informer", run_e2e_forecast(&mut Informer::new(bcfg.clone(), horizon), &data)),
+        ("TCN", run_e2e_forecast(&mut TcnForecaster::new(bcfg, horizon), &data)),
+    ] {
+        println!("{name:<10} {:>8.3} {:>8.3}", r.mse, r.mae);
+    }
+}

@@ -1,0 +1,51 @@
+//! Table II: statistical overview of the classification datasets.
+//!
+//! Prints the generators' paper-scale statistics (samples, features,
+//! classes, length) and verifies each matches the published Table II row.
+//! Generating the full sample counts takes a few seconds; pass `--quick`
+//! to check shapes at 1/10 sample counts instead.
+
+use timedrl_bench::Scale;
+use timedrl_data::synth::classify::{self, default_n};
+
+fn main() {
+    let quick = Scale::from_args() == Scale::Quick;
+    let scale_n = |n: usize| if quick { n / 10 } else { n };
+    println!("Table II. Statistical overview of the classification datasets.\n");
+    println!(
+        "{:<18} {:>8} {:>9} {:>8} {:>7}",
+        "Datasets", "Samples", "Features", "Classes", "Length"
+    );
+    let rows = [
+        classify::finger_movements(scale_n(default_n::FINGER_MOVEMENTS), 0),
+        classify::pendigits(scale_n(default_n::PENDIGITS), 0),
+        classify::har(scale_n(default_n::HAR), 0),
+        classify::epilepsy(scale_n(default_n::EPILEPSY), 0),
+        classify::wisdm(scale_n(default_n::WISDM), 0),
+    ];
+    for ds in &rows {
+        println!(
+            "{:<18} {:>8} {:>9} {:>8} {:>7}",
+            ds.name,
+            ds.len(),
+            ds.features(),
+            ds.n_classes,
+            ds.sample_len()
+        );
+    }
+    println!("\nPaper row check (features / classes / length):");
+    let expected = [
+        ("FingerMovements", 28, 2, 50),
+        ("PenDigits", 2, 10, 8),
+        ("HAR", 9, 6, 128),
+        ("Epilepsy", 1, 2, 178),
+        ("WISDM", 3, 6, 256),
+    ];
+    for ((name, feats, classes, len), ds) in expected.iter().zip(rows.iter()) {
+        assert_eq!(ds.name, *name);
+        assert_eq!(ds.features(), *feats, "{name} features");
+        assert_eq!(ds.n_classes, *classes, "{name} classes");
+        assert_eq!(ds.sample_len(), *len, "{name} length");
+        println!("  {name}: OK");
+    }
+}

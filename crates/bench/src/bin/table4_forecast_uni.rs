@@ -1,0 +1,71 @@
+//! Table IV: linear evaluation on **univariate** time-series forecasting —
+//! the same method grid as Table III, restricted to each dataset's target
+//! channel (oil temperature for ETT, "Singapore" for Exchange, "wet bulb"
+//! for Weather).
+
+use timedrl_baselines::{Cost, Informer, SimTs, TcnForecaster, Tnc, Ts2Vec};
+use timedrl_bench::registry::forecast_registry;
+use timedrl_bench::runners::{
+    baseline_forecast_config, forecast_data, run_e2e_forecast, run_ssl_forecast,
+    run_timedrl_forecast,
+};
+use timedrl_bench::table::ForecastRecord;
+use timedrl_bench::{ResultSink, Scale};
+
+const METHODS: [&str; 7] = ["TimeDRL", "SimTS", "TS2Vec", "TNC", "CoST", "Informer", "TCN"];
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 7u64;
+    let mut sink = ResultSink::new("table4_forecast_uni");
+
+    println!("Table IV. Linear evaluation on univariate time-series forecasting.");
+    println!("(scaled reproduction: target channel only per dataset)\n");
+    print!("{:<10} {:>4}", "dataset", "T");
+    for m in METHODS {
+        print!(" | {m:>8} MSE {m:>8} MAE");
+    }
+    println!();
+
+    let mut totals = vec![0.0f64; METHODS.len()];
+    let mut cells = 0usize;
+
+    for ds in forecast_registry(scale) {
+        let uni = ds.univariate();
+        for &horizon in &scale.horizons() {
+            let data = forecast_data(&uni, horizon, scale);
+            let mut results = Vec::with_capacity(METHODS.len());
+
+            results.push(run_timedrl_forecast(&data, scale, seed));
+            let bcfg = baseline_forecast_config(scale, seed);
+            results.push(run_ssl_forecast(&mut SimTs::new(bcfg.clone()), &data));
+            results.push(run_ssl_forecast(&mut Ts2Vec::new(bcfg.clone()), &data));
+            results.push(run_ssl_forecast(&mut Tnc::new(bcfg.clone()), &data));
+            results.push(run_ssl_forecast(&mut Cost::new(bcfg.clone()), &data));
+            results.push(run_e2e_forecast(&mut Informer::new(bcfg.clone(), horizon), &data));
+            results.push(run_e2e_forecast(&mut TcnForecaster::new(bcfg, horizon), &data));
+
+            print!("{:<10} {:>4}", uni.name, horizon);
+            for (i, r) in results.iter().enumerate() {
+                print!(" |    {:>9.3}    {:>9.3}", r.mse, r.mae);
+                totals[i] += r.mse as f64;
+                sink.push(ForecastRecord {
+                    dataset: uni.name.to_string(),
+                    horizon,
+                    method: METHODS[i].to_string(),
+                    mse: r.mse,
+                    mae: r.mae,
+                });
+            }
+            println!();
+            cells += 1;
+        }
+    }
+
+    println!("\nAverage univariate MSE over {cells} cells:");
+    for (m, t) in METHODS.iter().zip(totals.iter()) {
+        println!("  {m:<10} {:.4}", t / cells as f64);
+    }
+    let path = sink.write();
+    println!("results written to {}", path.display());
+}

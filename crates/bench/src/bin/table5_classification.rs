@@ -1,0 +1,68 @@
+//! Table V: linear evaluation on time-series classification — TimeDRL vs
+//! MHCCL, CCL, SimCLR, BYOL, TS2Vec, TS-TCC, T-Loss across the five
+//! classification datasets, reporting ACC / MF1 / Cohen's κ (percent).
+
+use timedrl_baselines::{classification_baselines, SslMethod};
+use timedrl_bench::registry::classify_registry;
+use timedrl_bench::runners::{
+    baseline_classify_config, run_ssl_classification, run_timedrl_classification,
+};
+use timedrl_bench::table::ClassifyRecord;
+use timedrl_bench::{ResultSink, Scale};
+use timedrl_tensor::Prng;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 11u64;
+    let mut sink = ResultSink::new("table5_classification");
+
+    println!("Table V. Linear evaluation on time-series classification (percent).\n");
+    println!(
+        "{:<18} {:<10} {:>8} {:>8} {:>8}",
+        "dataset", "method", "ACC", "MF1", "kappa"
+    );
+
+    let mut acc_totals: Vec<(String, f64, usize)> = Vec::new();
+
+    for ds in classify_registry(scale) {
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed));
+
+        // TimeDRL first, then the seven baselines.
+        let report = run_timedrl_classification(&train, &test, scale, seed);
+        let mut rows = vec![("TimeDRL".to_string(), report)];
+        let bcfg = baseline_classify_config(&ds, scale, seed);
+        let methods: Vec<Box<dyn SslMethod>> = classification_baselines(&bcfg, ds.n_classes);
+        for mut method in methods {
+            let name = method.name().to_string();
+            let report = run_ssl_classification(method.as_mut(), &train, &test, scale, seed);
+            rows.push((name, report));
+        }
+
+        for (name, r) in &rows {
+            let (acc, mf1, kappa) = r.as_percentages();
+            println!("{:<18} {:<10} {acc:>8.2} {mf1:>8.2} {kappa:>8.2}", ds.name, name);
+            sink.push(ClassifyRecord {
+                dataset: ds.name.to_string(),
+                method: name.clone(),
+                acc,
+                mf1,
+                kappa,
+            });
+            match acc_totals.iter_mut().find(|(n, _, _)| n == name) {
+                Some(entry) => {
+                    entry.1 += acc as f64;
+                    entry.2 += 1;
+                }
+                None => acc_totals.push((name.clone(), acc as f64, 1)),
+            }
+        }
+        println!();
+    }
+
+    println!("Average accuracy across datasets:");
+    for (name, total, n) in &acc_totals {
+        println!("  {name:<10} {:.2}%", total / *n as f64);
+    }
+    let path = sink.write();
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,28 @@
+//! # timedrl-bench
+//!
+//! The experiment harness: shared scaffolding for the per-table/per-figure
+//! binaries in `src/bin/` (scaled-down dataset registry, method runners,
+//! table formatting, JSON result output) plus criterion benches.
+//!
+//! Every binary accepts `--quick` for a smoke-test scale (seconds) and
+//! defaults to the "experiment" scale documented in EXPERIMENTS.md
+//! (minutes). The absolute numbers differ from the paper (CPU-scale models
+//! on synthetic data; DESIGN.md §2); the *comparisons* are the
+//! reproduction target.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod registry;
+pub mod runners;
+pub mod scale;
+pub mod table;
+
+pub use plot::{line_chart, scatter_chart, Series};
+pub use registry::{classify_registry, forecast_registry};
+pub use runners::{
+    run_e2e_forecast, run_ssl_classification, run_ssl_forecast, run_timedrl_classification,
+    run_timedrl_forecast,
+};
+pub use scale::Scale;
+pub use table::{format_row, ResultSink};

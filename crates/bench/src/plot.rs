@@ -1,0 +1,195 @@
+//! Terminal plotting for the figure binaries: multi-series line charts
+//! rendered as Unicode text, so `fig5_semisupervised` and
+//! `fig6_lambda_sensitivity` print actual *figures*, not just tables.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (x ascending is not required; points are plotted as
+    /// given).
+    pub points: Vec<(f32, f32)>,
+}
+
+/// Renders series into a `width` × `height` character grid with y-axis
+/// labels and a legend. Each series gets a distinct glyph.
+pub fn line_chart(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    render(series, width, height, title, true)
+}
+
+/// Like [`line_chart`] but without connecting segments — a scatter plot
+/// (e.g. for PCA embedding atlases).
+pub fn scatter_chart(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    render(series, width, height, title, false)
+}
+
+fn render(series: &[Series], width: usize, height: usize, title: &str, connect: bool) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    const GLYPHS: [char; 6] = ['●', '○', '▲', '△', '■', '□'];
+
+    let all: Vec<(f32, f32)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f32::INFINITY, f32::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Draw connecting segments by dense parameter sampling, then the
+        // markers on top.
+        for pair in s.points.windows(2) {
+            if !connect {
+                break;
+            }
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            for k in 0..=32 {
+                let t = k as f32 / 32.0;
+                let x = x0 + (x1 - x0) * t;
+                let y = y0 + (y1 - y0) * t;
+                let (cx, cy) = to_cell(x, y, x_min, x_max, y_min, y_max, width, height);
+                if grid[cy][cx] == ' ' {
+                    grid[cy][cx] = '·';
+                }
+            }
+        }
+        for &(x, y) in &s.points {
+            let (cx, cy) = to_cell(x, y, x_min, x_max, y_min, y_max, width, height);
+            grid[cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (row_idx, row) in grid.iter().enumerate() {
+        // y label on the first, middle, and last rows.
+        let y_here = y_max - (y_max - y_min) * row_idx as f32 / (height - 1) as f32;
+        let label = if row_idx == 0 || row_idx == height - 1 || row_idx == height / 2 {
+            format!("{y_here:>9.3} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>10} {:<} .. {:>}\n", "", fmt_num(x_min), fmt_num(x_max)));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:>12} {} {}\n", "", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+fn to_cell(
+    x: f32,
+    y: f32,
+    x_min: f32,
+    x_max: f32,
+    y_min: f32,
+    y_max: f32,
+    width: usize,
+    height: usize,
+) -> (usize, usize) {
+    let fx = (x - x_min) / (x_max - x_min);
+    let fy = (y - y_min) / (y_max - y_min);
+    let cx = ((fx * (width - 1) as f32).round() as usize).min(width - 1);
+    let cy = height - 1 - ((fy * (height - 1) as f32).round() as usize).min(height - 1);
+    (cx, cy)
+}
+
+fn fmt_num(v: f32) -> String {
+    if v.abs() >= 100.0 || (v != 0.0 && v.abs() < 0.01) {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(f32, f32)]) -> Series {
+        Series { label: label.into(), points: pts.to_vec() }
+    }
+
+    #[test]
+    fn renders_without_panicking() {
+        let chart = line_chart(
+            &[
+                series("a", &[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]),
+                series("b", &[(0.0, 1.0), (1.0, 0.2), (2.0, 0.9)]),
+            ],
+            40,
+            10,
+            "test chart",
+        );
+        assert!(chart.contains("test chart"));
+        assert!(chart.contains('●'));
+        assert!(chart.contains('○'));
+        assert!(chart.contains("a\n") || chart.contains(" a"));
+    }
+
+    #[test]
+    fn extremes_land_on_borders() {
+        let chart = line_chart(&[series("s", &[(0.0, 0.0), (10.0, 5.0)])], 30, 8, "t");
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max y is the first grid row; min y is the last grid row.
+        assert!(lines[1].contains('●'), "top row has max point: {chart}");
+        assert!(lines[8].contains('●'), "bottom row has min point: {chart}");
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let chart = line_chart(&[series("s", &[])], 30, 8, "empty");
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_no_division_by_zero() {
+        let chart = line_chart(&[series("s", &[(1.0, 3.0), (2.0, 3.0)])], 30, 8, "flat");
+        assert!(chart.contains('●'));
+    }
+
+    #[test]
+    fn log_like_small_values_formatted() {
+        assert_eq!(fmt_num(0.001), "1.0e-3");
+        assert_eq!(fmt_num(1000.0), "1.0e3");
+        assert_eq!(fmt_num(0.5), "0.500");
+    }
+}
+
+#[cfg(test)]
+mod scatter_tests {
+    use super::*;
+
+    #[test]
+    fn scatter_has_no_connecting_dots() {
+        let s = Series { label: "s".into(), points: vec![(0.0, 0.0), (10.0, 10.0)] };
+        let chart = scatter_chart(&[s], 30, 8, "t");
+        assert!(!chart.contains('·'), "scatter must not draw segments:\n{chart}");
+        // Two plotted markers plus one legend glyph.
+        assert_eq!(chart.matches('●').count(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Dataset registry at experiment scale.
+
+use crate::scale::Scale;
+use timedrl_data::synth::{classify, forecast};
+use timedrl_data::{ClassifyDataset, ForecastDataset};
+
+/// Master seed shared by all experiments so every binary sees the same
+/// synthetic data.
+pub const DATA_SEED: u64 = 2024;
+
+/// The six forecasting datasets of Table I at the given scale.
+pub fn forecast_registry(scale: Scale) -> Vec<ForecastDataset> {
+    let len = scale.series_len();
+    vec![
+        forecast::etth1(len, DATA_SEED),
+        forecast::etth2(len, DATA_SEED),
+        forecast::ettm1(len, DATA_SEED),
+        forecast::ettm2(len, DATA_SEED),
+        forecast::exchange(len, DATA_SEED),
+        forecast::weather(len, DATA_SEED),
+    ]
+}
+
+/// Looks up one forecasting dataset by its Table I name.
+pub fn forecast_by_name(name: &str, scale: Scale) -> ForecastDataset {
+    forecast_registry(scale)
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown forecasting dataset {name}"))
+}
+
+/// The five classification datasets of Table II at the given scale.
+pub fn classify_registry(scale: Scale) -> Vec<ClassifyDataset> {
+    let n = scale.n_samples();
+    vec![
+        classify::finger_movements(n, DATA_SEED),
+        classify::pendigits(n, DATA_SEED),
+        classify::har(n, DATA_SEED),
+        classify::epilepsy(n, DATA_SEED),
+        classify::wisdm(n, DATA_SEED),
+    ]
+}
+
+/// Looks up one classification dataset by its Table II name.
+pub fn classify_by_name(name: &str, scale: Scale) -> ClassifyDataset {
+    classify_registry(scale)
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown classification dataset {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_cover_the_paper_tables() {
+        let f = forecast_registry(Scale::Quick);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f[0].name, "ETTh1");
+        let c = classify_registry(Scale::Quick);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c[0].name, "FingerMovements");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(forecast_by_name("Exchange", Scale::Quick).features(), 8);
+        assert_eq!(classify_by_name("HAR", Scale::Quick).n_classes, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown forecasting dataset")]
+    fn unknown_name_panics() {
+        forecast_by_name("nope", Scale::Quick);
+    }
+}

@@ -1,0 +1,132 @@
+//! Table formatting and JSON result persistence for the experiment
+//! binaries.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Formats one table row: a label column followed by fixed-precision
+/// numeric cells.
+pub fn format_row(label: &str, cells: &[f32]) -> String {
+    let mut row = format!("{label:<28}");
+    for c in cells {
+        row.push_str(&format!(" {c:>9.3}"));
+    }
+    row
+}
+
+/// Collects experiment results and writes them as JSON under
+/// `results/<experiment>.json` (next to the workspace root), so
+/// EXPERIMENTS.md can be regenerated from artifacts.
+pub struct ResultSink {
+    experiment: String,
+    records: Vec<serde_json::Value>,
+}
+
+impl ResultSink {
+    /// Creates a sink for a named experiment (e.g. `"table3"`).
+    pub fn new(experiment: &str) -> Self {
+        Self { experiment: experiment.to_string(), records: Vec::new() }
+    }
+
+    /// Appends one result record.
+    pub fn push(&mut self, record: impl Serialize) {
+        self.records
+            .push(serde_json::to_value(record).expect("result record serializes"));
+    }
+
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Writes `results/<experiment>.json`; returns the path.
+    pub fn write(&self) -> PathBuf {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{}.json", self.experiment));
+        let mut file = fs::File::create(&path).expect("create results file");
+        let doc = serde_json::json!({
+            "experiment": self.experiment,
+            "records": self.records,
+        });
+        writeln!(file, "{}", serde_json::to_string_pretty(&doc).unwrap()).expect("write results");
+        path
+    }
+}
+
+/// `results/` directory: honours `TIMEDRL_RESULTS_DIR`, else the current
+/// working directory.
+fn results_dir() -> PathBuf {
+    std::env::var("TIMEDRL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// One forecasting-table record.
+#[derive(Debug, Serialize)]
+pub struct ForecastRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Prediction horizon.
+    pub horizon: usize,
+    /// Method name.
+    pub method: String,
+    /// Test MSE.
+    pub mse: f32,
+    /// Test MAE.
+    pub mae: f32,
+}
+
+/// One classification-table record.
+#[derive(Debug, Serialize)]
+pub struct ClassifyRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Accuracy (percent).
+    pub acc: f32,
+    /// Macro-F1 (percent).
+    pub mf1: f32,
+    /// Cohen's kappa (percent).
+    pub kappa: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align() {
+        let r1 = format_row("TimeDRL", &[0.327, 0.378]);
+        let r2 = format_row("SimTS", &[0.377, 0.422]);
+        assert_eq!(r1.len(), r2.len());
+        assert!(r1.contains("0.327"));
+    }
+
+    #[test]
+    fn sink_writes_json() {
+        let dir = std::env::temp_dir().join("timedrl_test_results");
+        std::env::set_var("TIMEDRL_RESULTS_DIR", &dir);
+        let mut sink = ResultSink::new("unit_test");
+        sink.push(ForecastRecord {
+            dataset: "ETTh1".into(),
+            horizon: 24,
+            method: "TimeDRL".into(),
+            mse: 0.3,
+            mae: 0.4,
+        });
+        let path = sink.write();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"ETTh1\""));
+        std::env::remove_var("TIMEDRL_RESULTS_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,88 @@
+//! Smoke tests over the experiment harness: every table/figure pathway
+//! runs end-to-end at miniature scale and produces sane, finite numbers.
+
+use timedrl_baselines::{
+    classification_baselines, forecast_e2e_baselines, forecast_ssl_baselines,
+};
+use timedrl_bench::registry::{classify_by_name, classify_registry, forecast_by_name, forecast_registry};
+use timedrl_bench::runners::{
+    baseline_classify_config, baseline_forecast_config, forecast_data, run_e2e_forecast,
+    run_ssl_classification, run_ssl_forecast, run_timedrl_classification, run_timedrl_forecast,
+};
+use timedrl_bench::Scale;
+use timedrl_tensor::Prng;
+
+#[test]
+fn registries_are_complete_and_scaled() {
+    let f = forecast_registry(Scale::Quick);
+    assert_eq!(f.iter().map(|d| d.name).collect::<Vec<_>>(),
+        vec!["ETTh1", "ETTh2", "ETTm1", "ETTm2", "Exchange", "Weather"]);
+    for ds in &f {
+        assert_eq!(ds.timesteps(), Scale::Quick.series_len());
+    }
+    let c = classify_registry(Scale::Quick);
+    assert_eq!(c.len(), 5);
+}
+
+#[test]
+fn table3_cell_every_ssl_method() {
+    // One (dataset, horizon) cell through all four SSL forecasting
+    // baselines plus TimeDRL: exercised exactly as table3 does.
+    let ds = forecast_by_name("ETTh1", Scale::Quick);
+    let data = forecast_data(&ds, 24, Scale::Quick);
+    let t = run_timedrl_forecast(&data, Scale::Quick, 0);
+    assert!(t.mse.is_finite() && t.mae.is_finite());
+    let cfg = baseline_forecast_config(Scale::Quick, 0);
+    for mut m in forecast_ssl_baselines(&cfg) {
+        let r = run_ssl_forecast(m.as_mut(), &data);
+        assert!(r.mse.is_finite() && r.mse > 0.0, "{} broken", m.name());
+    }
+}
+
+#[test]
+fn table3_cell_every_e2e_method() {
+    let ds = forecast_by_name("Exchange", Scale::Quick);
+    let data = forecast_data(&ds, 24, Scale::Quick);
+    let cfg = baseline_forecast_config(Scale::Quick, 0);
+    for mut m in forecast_e2e_baselines(&cfg, 24) {
+        let r = run_e2e_forecast(m.as_mut(), &data);
+        assert!(r.mse.is_finite(), "{} broken", m.name());
+    }
+}
+
+#[test]
+fn table5_cell_every_classifier() {
+    let ds = classify_by_name("PenDigits", Scale::Quick);
+    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0));
+    let t = run_timedrl_classification(&train, &test, Scale::Quick, 0);
+    assert!(t.accuracy > 0.0);
+    let cfg = baseline_classify_config(&ds, Scale::Quick, 0);
+    for mut m in classification_baselines(&cfg, ds.n_classes) {
+        let r = run_ssl_classification(m.as_mut(), &train, &test, Scale::Quick, 0);
+        assert!(
+            (0.0..=1.0).contains(&r.accuracy),
+            "{} out of range: {}",
+            m.name(),
+            r.accuracy
+        );
+    }
+}
+
+#[test]
+fn univariate_view_matches_table4_geometry() {
+    for ds in forecast_registry(Scale::Quick) {
+        let uni = ds.univariate();
+        assert_eq!(uni.features(), 1, "{}", ds.name);
+        let data = forecast_data(&uni, 24, Scale::Quick);
+        // One channel: train fold count equals window count.
+        assert_eq!(data.train_inputs.shape()[2], 1);
+    }
+}
+
+#[test]
+fn experiment_scale_fits_every_table_geometry() {
+    // The ablation tables run horizon 168 at Full scale: the train split
+    // must yield windows for it.
+    let full_train = Scale::Full.series_len() * 6 / 10;
+    assert!(full_train > Scale::Full.lookback() + 168 + Scale::Full.window_stride());
+}

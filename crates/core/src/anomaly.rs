@@ -1,0 +1,179 @@
+//! Anomaly detection on timestamp-level embeddings — the third downstream
+//! task the paper's introduction motivates ("timestamp-level embeddings
+//! are effective for forecasting *and anomaly detection*") and names as
+//! future work.
+//!
+//! The detector reuses the timestamp-predictive head: a window's patches
+//! that the pre-trained model reconstructs poorly are anomalous. Scores
+//! are per-patch reconstruction errors; a threshold calibrated on normal
+//! validation data (quantile rule) yields binary detections.
+
+use crate::model::TimeDrl;
+use timedrl_nn::Ctx;
+use timedrl_tensor::NdArray;
+
+/// Per-window, per-patch anomaly scores.
+#[derive(Debug, Clone)]
+pub struct AnomalyScores {
+    /// Reconstruction error per patch, `[N, T_p]`.
+    pub per_patch: NdArray,
+    /// Maximum patch error per window, `[N]` — the window-level score.
+    pub per_window: Vec<f32>,
+}
+
+/// Scores a `[N, T, C]` batch by reconstruction error of the
+/// timestamp-predictive head.
+pub fn anomaly_scores(model: &TimeDrl, x: &NdArray) -> AnomalyScores {
+    assert_eq!(x.rank(), 3, "anomaly_scores expects [N, T, C]");
+    let n = x.shape()[0];
+    let t_p = model.config().num_patches();
+    let mut ctx = Ctx::eval();
+    let mut per_patch = NdArray::zeros(&[n, t_p]);
+    let chunk = 128;
+    let mut start = 0;
+    while start < n {
+        let len = chunk.min(n - start);
+        let slice = x.slice(0, start, len).expect("score chunk");
+        let enc = model.encode(&slice, &mut ctx);
+        let recon = model.predict_patches(&enc.timestamps()).to_array();
+        // Mean squared error per patch token.
+        let diff = recon.sub(&enc.x_patched);
+        let err = diff.mul(&diff).mean_axis(2, false); // [len, T_p]
+        for i in 0..len {
+            for p in 0..t_p {
+                per_patch.set(&[start + i, p], err.at(&[i, p]));
+            }
+        }
+        start += len;
+    }
+    let per_window = (0..n)
+        .map(|i| (0..t_p).map(|p| per_patch.at(&[i, p])).fold(f32::NEG_INFINITY, f32::max))
+        .collect();
+    AnomalyScores { per_patch, per_window }
+}
+
+/// A calibrated threshold detector over window-level scores.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyDetector {
+    threshold: f32,
+}
+
+impl AnomalyDetector {
+    /// Calibrates the threshold as the `quantile` (e.g. 0.99) of scores on
+    /// normal data.
+    pub fn calibrate(normal_scores: &[f32], quantile: f32) -> Self {
+        assert!(!normal_scores.is_empty(), "need calibration scores");
+        assert!((0.0..=1.0).contains(&quantile), "quantile in [0,1]");
+        let mut sorted = normal_scores.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let idx = (((sorted.len() - 1) as f32) * quantile).round() as usize;
+        Self { threshold: sorted[idx] }
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Flags each score above the threshold.
+    pub fn detect(&self, scores: &[f32]) -> Vec<bool> {
+        scores.iter().map(|&s| s > self.threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimeDrlConfig;
+    use crate::trainer::pretrain;
+    use timedrl_tensor::Prng;
+
+    fn sine_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            ((flat % t) as f32 * 0.4 + i as f32 * 0.2).sin() + rng.normal_with(0.0, 0.05)
+        })
+    }
+
+    /// Injects a spike anomaly into the middle patches of each window.
+    fn inject_spikes(x: &NdArray, magnitude: f32) -> NdArray {
+        let (n, t, _) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut y = x.clone();
+        for i in 0..n {
+            for dt in 0..3 {
+                let at = t / 2 + dt;
+                let v = y.at(&[i, at, 0]);
+                y.set(&[i, at, 0], v + magnitude);
+            }
+        }
+        y
+    }
+
+    fn trained_model(seed: u64) -> TimeDrl {
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 5;
+        cfg.seed = seed;
+        let model = TimeDrl::new(cfg);
+        pretrain(&model, &sine_windows(64, 32, seed ^ 1));
+        model
+    }
+
+    #[test]
+    fn anomalous_windows_score_higher() {
+        let model = trained_model(0);
+        let normal = sine_windows(16, 32, 99);
+        let anomalous = inject_spikes(&normal, 6.0);
+        let s_normal = anomaly_scores(&model, &normal);
+        let s_anom = anomaly_scores(&model, &anomalous);
+        let mean_n: f32 = s_normal.per_window.iter().sum::<f32>() / 16.0;
+        let mean_a: f32 = s_anom.per_window.iter().sum::<f32>() / 16.0;
+        assert!(mean_a > mean_n * 1.5, "anomalous {mean_a} vs normal {mean_n}");
+    }
+
+    #[test]
+    fn per_patch_scores_localize_the_anomaly() {
+        let model = trained_model(1);
+        let normal = sine_windows(8, 32, 100);
+        let anomalous = inject_spikes(&normal, 6.0);
+        let scores = anomaly_scores(&model, &anomalous);
+        // The spike sits at t = 16..19 -> patch index 2 of 4 (patch len 8).
+        let t_p = model.config().num_patches();
+        for i in 0..8 {
+            let hottest = (0..t_p)
+                .max_by(|&a, &b| {
+                    scores.per_patch.at(&[i, a]).total_cmp(&scores.per_patch.at(&[i, b]))
+                })
+                .unwrap();
+            assert_eq!(hottest, 2, "window {i} hottest patch {hottest}");
+        }
+    }
+
+    #[test]
+    fn detector_calibration_controls_false_positives() {
+        let model = trained_model(2);
+        let normal = sine_windows(64, 32, 101);
+        let scores = anomaly_scores(&model, &normal);
+        let detector = AnomalyDetector::calibrate(&scores.per_window, 0.95);
+        let flags = detector.detect(&scores.per_window);
+        let fp = flags.iter().filter(|&&f| f).count();
+        // ~5% of calibration data sits above its own 95th percentile.
+        assert!(fp <= 5, "false positives {fp}");
+        // And injected anomalies are caught.
+        let anomalous = inject_spikes(&sine_windows(16, 32, 102), 6.0);
+        let s = anomaly_scores(&model, &anomalous);
+        let caught = detector.detect(&s.per_window).iter().filter(|&&f| f).count();
+        assert!(caught >= 14, "caught only {caught}/16");
+    }
+
+    #[test]
+    fn detector_threshold_is_monotone_in_quantile() {
+        let scores: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let d90 = AnomalyDetector::calibrate(&scores, 0.90);
+        let d99 = AnomalyDetector::calibrate(&scores, 0.99);
+        assert!(d99.threshold() > d90.threshold());
+    }
+}

@@ -1,0 +1,225 @@
+//! Configuration for the TimeDRL framework.
+
+use crate::pooling::Pooling;
+use timedrl_data::{Augmentation, PatchConfig};
+
+/// Backbone encoder architecture (Table VIII ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncoderKind {
+    /// Bidirectional Transformer encoder — TimeDRL's choice.
+    TransformerEncoder,
+    /// Transformer with masked (causal) self-attention.
+    TransformerDecoder,
+    /// 1-D ResNet-style convolutional encoder.
+    ResNet,
+    /// Temporal Convolutional Network (dilated causal convolutions).
+    Tcn,
+    /// Uni-directional LSTM.
+    Lstm,
+    /// Bi-directional LSTM.
+    BiLstm,
+}
+
+impl EncoderKind {
+    /// All six rows of Table VIII, TimeDRL's choice first.
+    pub const ALL: [EncoderKind; 6] = [
+        EncoderKind::TransformerEncoder,
+        EncoderKind::TransformerDecoder,
+        EncoderKind::ResNet,
+        EncoderKind::Tcn,
+        EncoderKind::Lstm,
+        EncoderKind::BiLstm,
+    ];
+
+    /// The row label used in Table VIII.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EncoderKind::TransformerEncoder => "Transformer Encoder (Ours)",
+            EncoderKind::TransformerDecoder => "Transformer Decoder",
+            EncoderKind::ResNet => "ResNet",
+            EncoderKind::Tcn => "TCN",
+            EncoderKind::Lstm => "LSTM",
+            EncoderKind::BiLstm => "Bi-LSTM",
+        }
+    }
+}
+
+/// Full configuration of a TimeDRL model and its pre-training run.
+#[derive(Debug, Clone)]
+pub struct TimeDrlConfig {
+    /// Input window length `T` (timesteps per sample).
+    pub input_len: usize,
+    /// Feature count `C` as seen by the model (1 under
+    /// channel-independence).
+    pub n_features: usize,
+    /// Patching parameters (Eq. 1).
+    pub patch: PatchConfig,
+    /// Transformer latent width `D`.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Number of encoder blocks `L`.
+    pub n_layers: usize,
+    /// Dropout probability — the randomness source for the two contrastive
+    /// views (Section IV-C).
+    pub dropout: f32,
+    /// Backbone architecture.
+    pub encoder: EncoderKind,
+    /// λ weighting the instance-contrastive loss (Eq. 19).
+    pub lambda: f32,
+    /// Apply the stop-gradient operation in Eqs. 16–17 (Table IX toggles
+    /// this off).
+    pub stop_gradient: bool,
+    /// Data augmentation applied during pre-training (Table VI; TimeDRL
+    /// uses `None`).
+    pub augmentation: Augmentation,
+    /// Instance-embedding pooling strategy (Table VII; TimeDRL uses
+    /// `[CLS]`).
+    pub pooling: Pooling,
+    /// Treat each channel as an independent univariate series through
+    /// shared weights (on for forecasting, off for classification —
+    /// Section V.4).
+    pub channel_independence: bool,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+    /// Pre-training batch size.
+    pub batch_size: usize,
+    /// Pre-training epochs.
+    pub epochs: usize,
+    /// Master seed for weights, dropout, and batch order.
+    pub seed: u64,
+}
+
+impl TimeDrlConfig {
+    /// A compact forecasting configuration (channel-independent), sized for
+    /// CPU-scale experiments.
+    pub fn forecasting(input_len: usize) -> Self {
+        Self {
+            input_len,
+            n_features: 1,
+            patch: PatchConfig::non_overlapping(8),
+            d_model: 32,
+            n_heads: 4,
+            d_ff: 64,
+            n_layers: 2,
+            dropout: 0.1,
+            encoder: EncoderKind::TransformerEncoder,
+            lambda: 1.0,
+            stop_gradient: true,
+            augmentation: Augmentation::None,
+            pooling: Pooling::Cls,
+            channel_independence: true,
+            lr: 1e-3,
+            weight_decay: 1e-4,
+            batch_size: 32,
+            epochs: 10,
+            seed: 0,
+        }
+    }
+
+    /// A compact classification configuration (channel-mixing).
+    pub fn classification(input_len: usize, n_features: usize) -> Self {
+        let patch_len = pick_patch_len(input_len);
+        Self {
+            input_len,
+            n_features,
+            patch: PatchConfig::non_overlapping(patch_len),
+            d_model: 32,
+            n_heads: 4,
+            d_ff: 64,
+            n_layers: 2,
+            dropout: 0.1,
+            encoder: EncoderKind::TransformerEncoder,
+            lambda: 1.0,
+            stop_gradient: true,
+            augmentation: Augmentation::None,
+            pooling: Pooling::Cls,
+            channel_independence: false,
+            lr: 1e-3,
+            weight_decay: 1e-4,
+            batch_size: 32,
+            epochs: 10,
+            seed: 0,
+        }
+    }
+
+    /// Number of patch tokens `T_p` for this configuration.
+    pub fn num_patches(&self) -> usize {
+        self.patch.num_patches(self.input_len)
+    }
+
+    /// Patched token width `C · P`.
+    pub fn token_width(&self) -> usize {
+        self.n_features * self.patch.patch_len
+    }
+
+    /// Validates internal consistency, panicking with a clear message on
+    /// misconfiguration.
+    pub fn validate(&self) {
+        assert!(self.input_len >= self.patch.patch_len, "window shorter than a patch");
+        assert!(self.d_model % self.n_heads == 0, "d_model must divide by n_heads");
+        assert!((0.0..1.0).contains(&self.dropout), "dropout in [0,1)");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.batch_size > 0 && self.epochs > 0, "degenerate training plan");
+        if self.channel_independence {
+            assert_eq!(self.n_features, 1, "channel-independence implies n_features = 1");
+        }
+    }
+}
+
+/// Picks a patch length that divides short classification windows evenly.
+fn pick_patch_len(input_len: usize) -> usize {
+    for p in [8usize, 4, 2] {
+        if input_len >= p * 2 {
+            return p;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecasting_defaults_validate() {
+        let cfg = TimeDrlConfig::forecasting(64);
+        cfg.validate();
+        assert_eq!(cfg.num_patches(), 8);
+        assert_eq!(cfg.token_width(), 8);
+    }
+
+    #[test]
+    fn classification_defaults_validate() {
+        let cfg = TimeDrlConfig::classification(128, 9);
+        cfg.validate();
+        assert!(!cfg.channel_independence);
+        assert_eq!(cfg.token_width(), 9 * cfg.patch.patch_len);
+    }
+
+    #[test]
+    fn short_windows_get_small_patches() {
+        // PenDigits-style length-8 samples.
+        let cfg = TimeDrlConfig::classification(8, 2);
+        cfg.validate();
+        assert!(cfg.num_patches() >= 2, "need at least 2 tokens for context");
+    }
+
+    #[test]
+    #[should_panic(expected = "window shorter than a patch")]
+    fn invalid_patch_caught() {
+        let mut cfg = TimeDrlConfig::forecasting(64);
+        cfg.input_len = 4;
+        cfg.validate();
+    }
+
+    #[test]
+    fn encoder_names_cover_table_viii() {
+        assert_eq!(EncoderKind::ALL.len(), 6);
+        assert!(EncoderKind::ALL[0].name().contains("Ours"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The swappable backbone encoder: Transformer encoder (TimeDRL's choice)
+//! plus the five alternatives of the Table VIII ablation.
+//!
+//! Every variant maps a token sequence `[B, T', D] -> [B, T', D]` and
+//! contains dropout, so the two-views-via-dropout mechanism works
+//! regardless of backbone.
+
+use crate::config::{EncoderKind, TimeDrlConfig};
+use timedrl_nn::{
+    BasicBlock1d, BiLstm, Ctx, Lstm, Module, Tcn, TransformerConfig, TransformerEncoder,
+};
+use timedrl_tensor::{Prng, Var};
+
+/// A sequence-to-sequence backbone with uniform shape contract.
+pub enum Encoder {
+    /// Bidirectional Transformer encoder.
+    Transformer(TransformerEncoder),
+    /// Causal (masked) Transformer.
+    TransformerDecoder(TransformerEncoder),
+    /// Length-preserving 1-D residual CNN over the token axis.
+    ResNet {
+        /// Stride-1 residual blocks.
+        blocks: Vec<BasicBlock1d>,
+        /// Output dropout giving the two-view randomness.
+        dropout: f32,
+    },
+    /// Dilated causal TCN over the token axis.
+    Tcn {
+        /// The underlying network (its blocks carry dropout).
+        net: Tcn,
+    },
+    /// Uni-directional LSTM.
+    Lstm {
+        /// The recurrent cell stack.
+        net: Lstm,
+        /// Output dropout giving the two-view randomness.
+        dropout: f32,
+    },
+    /// Bi-directional LSTM (hidden width `D/2` per direction).
+    BiLstm {
+        /// Forward + backward cells.
+        net: BiLstm,
+        /// Output dropout giving the two-view randomness.
+        dropout: f32,
+    },
+}
+
+impl Encoder {
+    /// Builds the backbone selected by `cfg.encoder`.
+    pub fn new(cfg: &TimeDrlConfig, rng: &mut Prng) -> Self {
+        let d = cfg.d_model;
+        match cfg.encoder {
+            EncoderKind::TransformerEncoder => Encoder::Transformer(TransformerEncoder::new(
+                &transformer_cfg(cfg, false),
+                rng,
+            )),
+            EncoderKind::TransformerDecoder => Encoder::TransformerDecoder(
+                TransformerEncoder::new(&transformer_cfg(cfg, true), rng),
+            ),
+            EncoderKind::ResNet => {
+                let blocks = (0..cfg.n_layers.max(2))
+                    .map(|_| BasicBlock1d::new(d, d, 1, rng))
+                    .collect();
+                Encoder::ResNet { blocks, dropout: cfg.dropout }
+            }
+            EncoderKind::Tcn => Encoder::Tcn {
+                net: Tcn::new(d, &vec![d; cfg.n_layers.max(2)], 3, cfg.dropout, rng),
+            },
+            EncoderKind::Lstm => Encoder::Lstm { net: Lstm::new(d, d, rng), dropout: cfg.dropout },
+            EncoderKind::BiLstm => {
+                assert!(d % 2 == 0, "Bi-LSTM needs even d_model");
+                Encoder::BiLstm { net: BiLstm::new(d, d / 2, rng), dropout: cfg.dropout }
+            }
+        }
+    }
+
+    /// Applies the backbone to a `[B, T', D]` token sequence.
+    pub fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        match self {
+            Encoder::Transformer(t) | Encoder::TransformerDecoder(t) => t.forward(x, ctx),
+            Encoder::ResNet { blocks, dropout } => {
+                // Conv nets take channels-first: [B, D, T'].
+                let mut h = x.permute(&[0, 2, 1]);
+                for b in blocks {
+                    h = b.forward(&h);
+                }
+                h.permute(&[0, 2, 1]).dropout(*dropout, ctx.training, &mut ctx.rng)
+            }
+            Encoder::Tcn { net } => {
+                let h = net.forward(&x.permute(&[0, 2, 1]), ctx);
+                h.permute(&[0, 2, 1])
+            }
+            Encoder::Lstm { net, dropout } => {
+                net.forward(x).dropout(*dropout, ctx.training, &mut ctx.rng)
+            }
+            Encoder::BiLstm { net, dropout } => {
+                net.forward(x).dropout(*dropout, ctx.training, &mut ctx.rng)
+            }
+        }
+    }
+}
+
+impl Module for Encoder {
+    fn parameters(&self) -> Vec<Var> {
+        match self {
+            Encoder::Transformer(t) | Encoder::TransformerDecoder(t) => t.parameters(),
+            Encoder::ResNet { blocks, .. } => blocks.iter().flat_map(|b| b.parameters()).collect(),
+            Encoder::Tcn { net } => net.parameters(),
+            Encoder::Lstm { net, .. } => net.parameters(),
+            Encoder::BiLstm { net, .. } => net.parameters(),
+        }
+    }
+}
+
+fn transformer_cfg(cfg: &TimeDrlConfig, causal: bool) -> TransformerConfig {
+    TransformerConfig {
+        d_model: cfg.d_model,
+        n_heads: cfg.n_heads,
+        d_ff: cfg.d_ff,
+        n_layers: cfg.n_layers,
+        dropout: cfg.dropout,
+        causal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimeDrlConfig;
+
+    fn cfg_with(kind: EncoderKind) -> TimeDrlConfig {
+        let mut cfg = TimeDrlConfig::forecasting(64);
+        cfg.encoder = kind;
+        cfg
+    }
+
+    #[test]
+    fn every_backbone_preserves_token_shape() {
+        let mut rng = Prng::new(0);
+        for kind in EncoderKind::ALL {
+            let enc = Encoder::new(&cfg_with(kind), &mut rng);
+            let x = Var::constant(rng.randn(&[2, 9, 32]));
+            let y = enc.forward(&x, &mut Ctx::eval());
+            assert_eq!(y.shape(), vec![2, 9, 32], "shape broken for {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_backbone_produces_two_distinct_training_views() {
+        let mut rng = Prng::new(1);
+        for kind in EncoderKind::ALL {
+            let enc = Encoder::new(&cfg_with(kind), &mut rng);
+            let x = Var::constant(rng.randn(&[2, 9, 32]));
+            let mut ctx = Ctx::train(11);
+            let a = enc.forward(&x, &mut ctx).to_array();
+            let b = enc.forward(&x, &mut ctx).to_array();
+            assert!(
+                a.max_abs_diff(&b) > 1e-5,
+                "{} has no live dropout for the two-view trick",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_backbone_is_trainable() {
+        let mut rng = Prng::new(2);
+        for kind in EncoderKind::ALL {
+            let enc = Encoder::new(&cfg_with(kind), &mut rng);
+            let x = Var::constant(rng.randn(&[1, 5, 32]));
+            enc.forward(&x, &mut Ctx::train(3)).powf(2.0).mean().backward();
+            let with_grad = enc.parameters().iter().filter(|p| p.grad().is_some()).count();
+            assert!(with_grad > 0, "{} has no trainable path", kind.name());
+        }
+    }
+}

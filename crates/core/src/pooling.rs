@@ -1,0 +1,108 @@
+//! Instance-embedding extraction strategies (Table VII ablation).
+
+use timedrl_tensor::Var;
+
+/// How to derive the instance-level embedding `z_i` from the encoder
+/// output `z ∈ [B, 1+T_p, D]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pooling {
+    /// The dedicated `[CLS]` token (position 0) — TimeDRL's choice,
+    /// disentangled from the timestamp-level embeddings.
+    Cls,
+    /// The last timestamp-level embedding.
+    Last,
+    /// Global average pooling over timestamp-level embeddings.
+    Gap,
+    /// Flatten all timestamp-level embeddings into one long vector.
+    All,
+}
+
+impl Pooling {
+    /// All four rows of Table VII, `[CLS]` first.
+    pub const ALL: [Pooling; 4] = [Pooling::Cls, Pooling::Last, Pooling::Gap, Pooling::All];
+
+    /// The row label used in Table VII.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pooling::Cls => "[CLS] (Ours)",
+            Pooling::Last => "Last",
+            Pooling::Gap => "GAP",
+            Pooling::All => "All",
+        }
+    }
+
+    /// Extracts `z_i` from the full token sequence `z ∈ [B, 1+T_p, D]`.
+    ///
+    /// Output is `[B, D]` for `Cls`/`Last`/`Gap` and `[B, T_p·D]` for
+    /// `All`.
+    pub fn extract(&self, z: &Var) -> Var {
+        let shape = z.shape();
+        assert_eq!(shape.len(), 3, "pooling expects [B, 1+Tp, D]");
+        let (b, tokens, d) = (shape[0], shape[1], shape[2]);
+        let t_p = tokens - 1;
+        match self {
+            Pooling::Cls => z.slice(1, 0, 1).reshape(&[b, d]),
+            Pooling::Last => z.slice(1, tokens - 1, 1).reshape(&[b, d]),
+            Pooling::Gap => z.slice(1, 1, t_p).mean_axis(1, false),
+            Pooling::All => z.slice(1, 1, t_p).reshape(&[b, t_p * d]),
+        }
+    }
+
+    /// Instance-embedding width for a given token width `d` and patch
+    /// count `t_p`.
+    pub fn output_dim(&self, d: usize, t_p: usize) -> usize {
+        match self {
+            Pooling::All => t_p * d,
+            _ => d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::NdArray;
+
+    fn token_seq() -> Var {
+        // z[b, t, d] = 100 b + 10 t + d, for B=2, tokens=4 (CLS + 3), D=2.
+        Var::constant(NdArray::from_fn(&[2, 4, 2], |flat| {
+            let b = flat / 8;
+            let t = (flat % 8) / 2;
+            let d = flat % 2;
+            (100 * b + 10 * t + d) as f32
+        }))
+    }
+
+    #[test]
+    fn cls_takes_position_zero() {
+        let z_i = Pooling::Cls.extract(&token_seq()).to_array();
+        assert_eq!(z_i.shape(), &[2, 2]);
+        assert_eq!(z_i.data(), &[0.0, 1.0, 100.0, 101.0]);
+    }
+
+    #[test]
+    fn last_takes_final_token() {
+        let z_i = Pooling::Last.extract(&token_seq()).to_array();
+        assert_eq!(z_i.data(), &[30.0, 31.0, 130.0, 131.0]);
+    }
+
+    #[test]
+    fn gap_averages_timestamp_tokens_only() {
+        let z_i = Pooling::Gap.extract(&token_seq()).to_array();
+        // Mean over tokens 1..4: (10+20+30)/3 = 20 for d=0 of batch 0.
+        assert_eq!(z_i.data(), &[20.0, 21.0, 120.0, 121.0]);
+    }
+
+    #[test]
+    fn all_flattens_timestamp_tokens() {
+        let z_i = Pooling::All.extract(&token_seq()).to_array();
+        assert_eq!(z_i.shape(), &[2, 6]);
+        assert_eq!(&z_i.data()[..6], &[10.0, 11.0, 20.0, 21.0, 30.0, 31.0]);
+    }
+
+    #[test]
+    fn output_dims() {
+        assert_eq!(Pooling::Cls.output_dim(32, 8), 32);
+        assert_eq!(Pooling::All.output_dim(32, 8), 256);
+    }
+}

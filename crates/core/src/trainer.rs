@@ -1,0 +1,240 @@
+//! The self-supervised pre-training loop (Fig. 3a).
+
+use crate::model::TimeDrl;
+use crate::pretext::pretext_loss;
+use timedrl_data::BatchIndices;
+use timedrl_nn::{clip_grad_norm, AdamW, Ctx, Module, Optimizer};
+use timedrl_tensor::{NdArray, Prng};
+
+/// Per-epoch history of a pre-training run.
+#[derive(Debug, Clone, Default)]
+pub struct PretrainReport {
+    /// Mean joint loss per epoch.
+    pub total: Vec<f32>,
+    /// Mean predictive loss per epoch.
+    pub predictive: Vec<f32>,
+    /// Mean contrastive loss per epoch.
+    pub contrastive: Vec<f32>,
+    /// Validation joint loss per epoch (only when pre-training with a
+    /// validation set; empty otherwise).
+    pub validation: Vec<f32>,
+}
+
+impl PretrainReport {
+    /// Final-epoch joint loss.
+    pub fn final_loss(&self) -> f32 {
+        *self.total.last().expect("empty report")
+    }
+
+    /// Epoch index with the lowest validation loss, if tracked.
+    pub fn best_validation_epoch(&self) -> Option<usize> {
+        self.validation
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Pre-trains `model` on unlabeled windows `[N, T, C]` with AdamW, exactly
+/// the Siamese two-pass protocol of Fig. 3a. Returns the loss history.
+///
+/// The caller applies channel-independence (if configured) *before* calling
+/// this: windows must already match the model's `n_features`.
+pub fn pretrain(model: &TimeDrl, windows: &NdArray) -> PretrainReport {
+    pretrain_impl(model, windows, None)
+}
+
+/// Like [`pretrain`], additionally evaluating the pretext loss on
+/// `val_windows` at the end of every epoch (the paper's 60/20/20 split
+/// reserves 20% for validation). Validation uses a fixed dropout stream
+/// per epoch so the two-view loss is comparable across epochs, and takes
+/// no gradient steps.
+pub fn pretrain_with_validation(
+    model: &TimeDrl,
+    windows: &NdArray,
+    val_windows: &NdArray,
+) -> PretrainReport {
+    pretrain_impl(model, windows, Some(val_windows))
+}
+
+fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArray>) -> PretrainReport {
+    let cfg = model.config().clone();
+    assert_eq!(windows.rank(), 3, "pretrain expects [N, T, C]");
+    assert!(windows.shape()[0] > 0, "no training windows");
+    let mut opt = AdamW::new(model.parameters(), cfg.lr, cfg.weight_decay);
+    let mut epoch_rng = Prng::new(cfg.seed ^ 0x5eed_0001);
+    let mut ctx = Ctx::train(cfg.seed ^ 0x5eed_0002);
+    let mut aug_rng = Prng::new(cfg.seed ^ 0x5eed_0003);
+    let n = windows.shape()[0];
+
+    let mut report = PretrainReport::default();
+    for _epoch in 0..cfg.epochs {
+        let mut sums = (0.0f64, 0.0f64, 0.0f64);
+        let mut batches = 0usize;
+        for idx in BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng)) {
+            let batch = gather_rows(windows, &idx);
+            opt.zero_grad();
+            let (loss, breakdown) = pretext_loss(model, &batch, &mut ctx, &mut aug_rng);
+            loss.backward();
+            clip_grad_norm(opt.parameters(), 5.0);
+            opt.step();
+            sums.0 += breakdown.total as f64;
+            sums.1 += breakdown.predictive as f64;
+            sums.2 += breakdown.contrastive as f64;
+            batches += 1;
+        }
+        let b = batches as f64;
+        report.total.push((sums.0 / b) as f32);
+        report.predictive.push((sums.1 / b) as f32);
+        report.contrastive.push((sums.2 / b) as f32);
+
+        if let Some(val) = val_windows {
+            // Fixed seed per evaluation: the dropout views (which the
+            // contrastive term needs) are identical across epochs, so the
+            // validation series is comparable.
+            let mut val_ctx = Ctx::train(cfg.seed ^ 0x5eed_0004);
+            let mut val_aug = Prng::new(cfg.seed ^ 0x5eed_0005);
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for idx in BatchIndices::new(val.shape()[0], cfg.batch_size, None) {
+                let batch = gather_rows(val, &idx);
+                let (_, breakdown) = pretext_loss(model, &batch, &mut val_ctx, &mut val_aug);
+                sum += breakdown.total as f64;
+                count += 1;
+            }
+            report.validation.push((sum / count.max(1) as f64) as f32);
+        }
+    }
+    report
+}
+
+/// Gathers rows of a `[N, T, C]` tensor into a `[B, T, C]` batch.
+pub fn gather_rows(x: &NdArray, indices: &[usize]) -> NdArray {
+    let (t, c) = (x.shape()[1], x.shape()[2]);
+    let row = t * c;
+    let mut data = Vec::with_capacity(indices.len() * row);
+    for &i in indices {
+        data.extend_from_slice(&x.data()[i * row..(i + 1) * row]);
+    }
+    NdArray::from_vec(&[indices.len(), t, c], data).expect("batch shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimeDrlConfig;
+
+    fn tiny_model(seed: u64) -> TimeDrl {
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 3;
+        cfg.batch_size = 8;
+        cfg.seed = seed;
+        TimeDrl::new(cfg)
+    }
+
+    /// Windows with learnable structure: noisy sinusoids.
+    fn structured_windows(n: usize, t: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, t, 1], |flat| {
+            let i = flat / t;
+            let step = flat % t;
+            let phase = i as f32 * 0.3;
+            (step as f32 * 0.4 + phase).sin() + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let m = tiny_model(0);
+        let windows = structured_windows(48, 32, 1);
+        let report = pretrain(&m, &windows);
+        assert_eq!(report.total.len(), 3);
+        assert!(
+            report.final_loss() < report.total[0],
+            "loss must decrease: {:?}",
+            report.total
+        );
+    }
+
+    #[test]
+    fn predictive_component_decreases() {
+        let m = tiny_model(1);
+        let windows = structured_windows(48, 32, 2);
+        let report = pretrain(&m, &windows);
+        assert!(report.predictive.last().unwrap() < &report.predictive[0]);
+    }
+
+    #[test]
+    fn no_embedding_collapse_with_stop_gradient() {
+        // After pre-training, instance embeddings of different inputs must
+        // remain distinct (std across batch > 0): the SimSiam asymmetry
+        // prevents the trivial constant solution.
+        let m = tiny_model(2);
+        let windows = structured_windows(48, 32, 3);
+        pretrain(&m, &windows);
+        let z = m.embed_instances(&windows);
+        let std = z.var_axis(0, false).mean().sqrt();
+        assert!(std > 1e-3, "embedding std {std} indicates collapse");
+    }
+
+    #[test]
+    fn training_is_reproducible_per_seed() {
+        let w = structured_windows(24, 32, 4);
+        let r1 = pretrain(&tiny_model(7), &w);
+        let r2 = pretrain(&tiny_model(7), &w);
+        assert_eq!(r1.total, r2.total);
+    }
+
+    #[test]
+    fn gather_rows_layout() {
+        let x = NdArray::from_fn(&[3, 2, 2], |i| i as f32);
+        let b = gather_rows(&x, &[2, 0]);
+        assert_eq!(b.shape(), &[2, 2, 2]);
+        assert_eq!(b.at(&[0, 0, 0]), 8.0);
+        assert_eq!(b.at(&[1, 0, 0]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod validation_tests {
+    use super::*;
+    use crate::config::TimeDrlConfig;
+
+    fn windows(n: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, 32, 1], |flat| {
+            ((flat % 32) as f32 * 0.4).sin() + rng.normal_with(0.0, 0.1)
+        })
+    }
+
+    #[test]
+    fn validation_loss_is_tracked_and_decreases() {
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 4;
+        let model = crate::model::TimeDrl::new(cfg);
+        let report = pretrain_with_validation(&model, &windows(48, 0), &windows(16, 1));
+        assert_eq!(report.validation.len(), 4);
+        assert!(report.validation.last().unwrap() < &report.validation[0]);
+        assert!(report.best_validation_epoch().is_some());
+    }
+
+    #[test]
+    fn plain_pretrain_has_no_validation_series() {
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 1;
+        let model = crate::model::TimeDrl::new(cfg);
+        let report = pretrain(&model, &windows(16, 2));
+        assert!(report.validation.is_empty());
+        assert!(report.best_validation_epoch().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! The six time-series augmentations of the Table VI ablation.
+//!
+//! TimeDRL's thesis is that *none* of these should be applied — each
+//! encodes a transformation-invariance assumption that hurts on at least
+//! some datasets. They are implemented here so the ablation harness can
+//! demonstrate exactly that (Table VI: every augmentation worsens MSE).
+
+use timedrl_tensor::{NdArray, Prng};
+
+/// One of the paper's six augmentation families, or `None` (TimeDRL's
+/// choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Augmentation {
+    /// No augmentation — the TimeDRL default.
+    None,
+    /// Additive Gaussian noise (simulated sensor noise).
+    Jitter,
+    /// Multiplication by a random scalar.
+    Scaling,
+    /// Feature-order permutation with random sign flips.
+    Rotation,
+    /// Segment-shuffling along the time axis.
+    Permutation,
+    /// Random zeroing of individual values.
+    Masking,
+    /// Zeroing the left and right margins of the window.
+    Cropping,
+}
+
+impl Augmentation {
+    /// All seven rows of Table VI, `None` first.
+    pub const ALL: [Augmentation; 7] = [
+        Augmentation::None,
+        Augmentation::Jitter,
+        Augmentation::Scaling,
+        Augmentation::Rotation,
+        Augmentation::Permutation,
+        Augmentation::Masking,
+        Augmentation::Cropping,
+    ];
+
+    /// The row label used in Table VI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Augmentation::None => "None (Ours)",
+            Augmentation::Jitter => "Jitter",
+            Augmentation::Scaling => "Scaling",
+            Augmentation::Rotation => "Rotation",
+            Augmentation::Permutation => "Permutation",
+            Augmentation::Masking => "Masking",
+            Augmentation::Cropping => "Cropping",
+        }
+    }
+
+    /// Applies the augmentation to a `[T, C]` sample.
+    pub fn apply(&self, x: &NdArray, rng: &mut Prng) -> NdArray {
+        assert_eq!(x.rank(), 2, "augmentations operate on [T, C] samples");
+        match self {
+            Augmentation::None => x.clone(),
+            Augmentation::Jitter => jitter(x, 0.1, rng),
+            Augmentation::Scaling => scaling(x, 0.2, rng),
+            Augmentation::Rotation => rotation(x, rng),
+            Augmentation::Permutation => permutation(x, 5, rng),
+            Augmentation::Masking => masking(x, 0.15, rng),
+            Augmentation::Cropping => cropping(x, 0.2, rng),
+        }
+    }
+
+    /// Applies the augmentation independently per sample of a `[B, T, C]`
+    /// batch.
+    pub fn apply_batch(&self, x: &NdArray, rng: &mut Prng) -> NdArray {
+        if matches!(self, Augmentation::None) {
+            return x.clone();
+        }
+        let b = x.shape()[0];
+        let parts: Vec<NdArray> = (0..b).map(|i| self.apply(&x.index_axis0(i), rng)).collect();
+        let refs: Vec<&NdArray> = parts.iter().collect();
+        NdArray::stack(&refs)
+    }
+}
+
+/// Additive Gaussian noise with standard deviation `sigma`.
+pub fn jitter(x: &NdArray, sigma: f32, rng: &mut Prng) -> NdArray {
+    NdArray::from_fn(x.shape(), |_| rng.normal_with(0.0, sigma)).add(x)
+}
+
+/// Per-channel multiplicative scaling by `N(1, sigma)` factors.
+pub fn scaling(x: &NdArray, sigma: f32, rng: &mut Prng) -> NdArray {
+    let c = x.shape()[1];
+    let factors = NdArray::from_fn(&[1, c], |_| rng.normal_with(1.0, sigma));
+    x.mul(&factors)
+}
+
+/// Rotation (Um et al.): permutes the feature order and flips random
+/// feature signs.
+pub fn rotation(x: &NdArray, rng: &mut Prng) -> NdArray {
+    let (t, c) = (x.shape()[0], x.shape()[1]);
+    let mut order: Vec<usize> = (0..c).collect();
+    rng.shuffle(&mut order);
+    let signs: Vec<f32> = (0..c).map(|_| if rng.bernoulli(0.5) { -1.0 } else { 1.0 }).collect();
+    NdArray::from_fn(&[t, c], |flat| {
+        let (ti, ci) = (flat / c, flat % c);
+        signs[ci] * x.at(&[ti, order[ci]])
+    })
+}
+
+/// Slices the series into `segments` chunks and shuffles their order.
+pub fn permutation(x: &NdArray, segments: usize, rng: &mut Prng) -> NdArray {
+    let t = x.shape()[0];
+    let n = segments.min(t).max(1);
+    // Segment boundaries as even as possible.
+    let mut bounds = vec![0usize];
+    for i in 1..=n {
+        bounds.push(i * t / n);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut parts = Vec::with_capacity(n);
+    for &seg in &order {
+        let start = bounds[seg];
+        let len = bounds[seg + 1] - start;
+        parts.push(x.slice(0, start, len).expect("segment slice"));
+    }
+    let refs: Vec<&NdArray> = parts.iter().collect();
+    NdArray::concat(&refs, 0)
+}
+
+/// Randomly zeroes each value with probability `p`.
+pub fn masking(x: &NdArray, p: f32, rng: &mut Prng) -> NdArray {
+    x.map(|v| v) // copy
+        .zip_map(
+            &NdArray::from_fn(x.shape(), |_| if rng.bernoulli(p) { 0.0 } else { 1.0 }),
+            |v, m| v * m,
+        )
+        .expect("mask shapes")
+}
+
+/// Zeroes `frac/2` of the window on each side (crop-and-pad to the same
+/// length, as described in Section V.D.2).
+pub fn cropping(x: &NdArray, frac: f32, rng: &mut Prng) -> NdArray {
+    let (t, c) = (x.shape()[0], x.shape()[1]);
+    let crop_total = ((t as f32) * frac) as usize;
+    let left = if crop_total > 0 { rng.below(crop_total + 1) } else { 0 };
+    let right = crop_total - left;
+    NdArray::from_fn(&[t, c], |flat| {
+        let ti = flat / c;
+        if ti < left || ti >= t - right {
+            0.0
+        } else {
+            x.data()[flat]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NdArray {
+        NdArray::from_fn(&[20, 3], |i| (i as f32 * 0.37).sin() + 1.0)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let x = sample();
+        assert_eq!(Augmentation::None.apply(&x, &mut Prng::new(0)), x);
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_scale() {
+        let x = sample();
+        let y = jitter(&x, 0.1, &mut Prng::new(1));
+        assert_ne!(x, y);
+        assert!(x.max_abs_diff(&y) < 1.0);
+        assert!((x.mean() - y.mean()).abs() < 0.1);
+    }
+
+    #[test]
+    fn scaling_is_per_channel_multiplicative() {
+        let x = NdArray::ones(&[10, 2]);
+        let y = scaling(&x, 0.2, &mut Prng::new(2));
+        // Every row identical per channel (a single factor per channel).
+        for t in 1..10 {
+            assert_eq!(y.at(&[t, 0]), y.at(&[0, 0]));
+            assert_eq!(y.at(&[t, 1]), y.at(&[0, 1]));
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_value_multiset() {
+        let x = sample();
+        let y = rotation(&x, &mut Prng::new(3));
+        let mut a: Vec<f32> = x.data().iter().map(|v| v.abs()).collect();
+        let mut b: Vec<f32> = y.data().iter().map(|v| v.abs()).collect();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        for (va, vb) in a.iter().zip(b.iter()) {
+            assert!((va - vb).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_rows() {
+        let x = sample();
+        let y = permutation(&x, 4, &mut Prng::new(4));
+        assert_eq!(y.shape(), x.shape());
+        let sum_x: f32 = x.data().iter().sum();
+        let sum_y: f32 = y.data().iter().sum();
+        assert!((sum_x - sum_y).abs() < 1e-3);
+    }
+
+    #[test]
+    fn permutation_single_segment_is_identity() {
+        let x = sample();
+        assert_eq!(permutation(&x, 1, &mut Prng::new(5)), x);
+    }
+
+    #[test]
+    fn masking_zeroes_roughly_p_fraction() {
+        let x = NdArray::ones(&[100, 10]);
+        let y = masking(&x, 0.15, &mut Prng::new(6));
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 1000.0;
+        assert!((frac - 0.15).abs() < 0.05, "masked fraction {frac}");
+    }
+
+    #[test]
+    fn cropping_zeroes_margins_only() {
+        let x = NdArray::ones(&[50, 2]);
+        let y = cropping(&x, 0.2, &mut Prng::new(7));
+        let zero_rows = (0..50)
+            .filter(|&t| y.at(&[t, 0]) == 0.0 && y.at(&[t, 1]) == 0.0)
+            .count();
+        assert_eq!(zero_rows, 10);
+        // Zeros must form a prefix and a suffix.
+        let first_keep = (0..50).find(|&t| y.at(&[t, 0]) != 0.0).unwrap();
+        let last_keep = (0..50).rev().find(|&t| y.at(&[t, 0]) != 0.0).unwrap();
+        for t in first_keep..=last_keep {
+            assert_ne!(y.at(&[t, 0]), 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_application_is_per_sample() {
+        let x = sample();
+        let batch = NdArray::stack(&[&x, &x]);
+        let y = Augmentation::Jitter.apply_batch(&batch, &mut Prng::new(8));
+        // Two samples get different noise.
+        assert!(y.index_axis0(0).max_abs_diff(&y.index_axis0(1)) > 1e-4);
+    }
+
+    #[test]
+    fn all_table_rows_present() {
+        assert_eq!(Augmentation::ALL.len(), 7);
+        assert_eq!(Augmentation::ALL[0].name(), "None (Ours)");
+    }
+}

@@ -1,0 +1,231 @@
+//! Dataset containers shared by the forecasting and classification
+//! pipelines.
+
+use timedrl_tensor::{NdArray, Prng};
+
+/// A single long multivariate time-series, `[T, C]`, as used by the
+/// forecasting benchmarks (Table I).
+#[derive(Debug, Clone)]
+pub struct ForecastDataset {
+    /// Dataset name (e.g. `"ETTh1"`).
+    pub name: &'static str,
+    /// The series, shape `[timesteps, features]`.
+    pub series: NdArray,
+    /// Sampling cadence label, as reported in Table I.
+    pub frequency: &'static str,
+    /// Index of the univariate-forecasting target channel (e.g. oil
+    /// temperature for ETT, Singapore for Exchange, wet bulb for Weather).
+    pub target_channel: usize,
+}
+
+impl ForecastDataset {
+    /// Number of timesteps.
+    pub fn timesteps(&self) -> usize {
+        self.series.shape()[0]
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.series.shape()[1]
+    }
+
+    /// Extracts the univariate view `[T, 1]` of the target channel.
+    pub fn univariate(&self) -> ForecastDataset {
+        let t = self.timesteps();
+        let col = self
+            .series
+            .slice(1, self.target_channel, 1)
+            .expect("target channel in range");
+        ForecastDataset {
+            name: self.name,
+            series: col.reshape(&[t, 1]).expect("reshape univariate"),
+            frequency: self.frequency,
+            target_channel: 0,
+        }
+    }
+}
+
+/// A labelled collection of fixed-length samples, as used by the
+/// classification benchmarks (Table II).
+#[derive(Debug, Clone)]
+pub struct ClassifyDataset {
+    /// Dataset name (e.g. `"HAR"`).
+    pub name: &'static str,
+    /// Samples, each `[length, features]`.
+    pub samples: Vec<NdArray>,
+    /// Integer class labels, parallel to `samples`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl ClassifyDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Per-sample series length.
+    pub fn sample_len(&self) -> usize {
+        self.samples[0].shape()[0]
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.samples[0].shape()[1]
+    }
+
+    /// Splits into train/test by a shuffled index partition, preserving the
+    /// label distribution approximately (shuffle + proportional cut).
+    pub fn train_test_split(&self, train_frac: f32, rng: &mut Prng) -> (ClassifyDataset, ClassifyDataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let cut = ((self.len() as f32) * train_frac).round() as usize;
+        let make = |ids: &[usize]| ClassifyDataset {
+            name: self.name,
+            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+            labels: ids.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        };
+        (make(&idx[..cut]), make(&idx[cut..]))
+    }
+
+    /// Keeps a random `frac` of samples (for the Fig. 5 label-fraction
+    /// sweep); always keeps at least one sample per class present in the
+    /// original set.
+    pub fn subsample_labels(&self, frac: f32, rng: &mut Prng) -> ClassifyDataset {
+        assert!((0.0..=1.0).contains(&frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let keep = (((self.len() as f32) * frac).round() as usize).max(1);
+        let mut chosen: Vec<usize> = idx[..keep].to_vec();
+        // Ensure class coverage.
+        for class in 0..self.n_classes {
+            if !chosen.iter().any(|&i| self.labels[i] == class) {
+                if let Some(&i) = idx.iter().find(|&&i| self.labels[i] == class) {
+                    chosen.push(i);
+                }
+            }
+        }
+        ClassifyDataset {
+            name: self.name,
+            samples: chosen.iter().map(|&i| self.samples[i].clone()).collect(),
+            labels: chosen.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Stacks all samples into a `[N, T, C]` batch tensor.
+    pub fn to_batch(&self) -> NdArray {
+        let refs: Vec<&NdArray> = self.samples.iter().collect();
+        NdArray::stack(&refs)
+    }
+}
+
+/// Deterministic mini-batch index iterator with optional shuffling.
+pub struct BatchIndices {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl BatchIndices {
+    /// Creates a batch plan over `n` samples.
+    pub fn new(n: usize, batch_size: usize, shuffle: Option<&mut Prng>) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        if let Some(rng) = shuffle {
+            rng.shuffle(&mut order);
+        }
+        Self { order, batch_size, cursor: 0 }
+    }
+}
+
+impl Iterator for BatchIndices {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+/// Gathers rows of a sample list into a `[B, T, C]` batch.
+pub fn gather_batch(samples: &[NdArray], indices: &[usize]) -> NdArray {
+    let parts: Vec<&NdArray> = indices.iter().map(|&i| &samples[i]).collect();
+    NdArray::stack(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_classify(n: usize) -> ClassifyDataset {
+        let samples = (0..n).map(|i| NdArray::full(&[4, 2], i as f32)).collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        ClassifyDataset { name: "toy", samples, labels, n_classes: 3 }
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = toy_classify(30);
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0));
+        assert_eq!(train.len(), 18);
+        assert_eq!(test.len(), 12);
+    }
+
+    #[test]
+    fn subsample_keeps_class_coverage() {
+        let ds = toy_classify(30);
+        let sub = ds.subsample_labels(0.1, &mut Prng::new(1));
+        for class in 0..3 {
+            assert!(sub.labels.contains(&class), "class {class} lost");
+        }
+    }
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let batches: Vec<Vec<usize>> = BatchIndices::new(10, 3, None).collect();
+        let flat: Vec<usize> = batches.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert_eq!(batches.last().unwrap().len(), 1); // remainder batch
+    }
+
+    #[test]
+    fn shuffled_batches_are_permutation() {
+        let mut rng = Prng::new(2);
+        let batches: Vec<Vec<usize>> = BatchIndices::new(10, 4, Some(&mut rng)).collect();
+        let mut flat: Vec<usize> = batches.into_iter().flatten().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_batch_shape() {
+        let ds = toy_classify(5);
+        let b = gather_batch(&ds.samples, &[0, 2, 4]);
+        assert_eq!(b.shape(), &[3, 4, 2]);
+        assert_eq!(b.at(&[1, 0, 0]), 2.0);
+    }
+
+    #[test]
+    fn univariate_extracts_target() {
+        let series = NdArray::from_fn(&[10, 3], |i| i as f32);
+        let ds = ForecastDataset { name: "t", series, frequency: "1h", target_channel: 2 };
+        let uni = ds.univariate();
+        assert_eq!(uni.series.shape(), &[10, 1]);
+        assert_eq!(uni.series.at(&[0, 0]), 2.0);
+        assert_eq!(uni.series.at(&[1, 0]), 5.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Patching (PatchTST-style): aggregating adjacent timesteps into tokens.
+//!
+//! Eq. 1 of the paper: a `[T, C]` sample becomes `[T_p, C·P]` where `P` is
+//! the patch length and `T_p = ⌊(T − P)/S⌋ + 1` for stride `S`. The encoder
+//! input then grows by one `[CLS]` slot to `1 + T_p` tokens (Fig. 4's
+//! `⌊(L−P)/S⌋ + 2` accounting).
+
+use timedrl_tensor::NdArray;
+
+/// Patching configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchConfig {
+    /// Patch length `P` (timesteps per token).
+    pub patch_len: usize,
+    /// Stride `S` between patch starts.
+    pub stride: usize,
+}
+
+impl PatchConfig {
+    /// Non-overlapping patches of length `p`.
+    pub fn non_overlapping(p: usize) -> Self {
+        Self { patch_len: p, stride: p }
+    }
+
+    /// Number of patches produced from a length-`t` series.
+    pub fn num_patches(&self, t: usize) -> usize {
+        assert!(t >= self.patch_len, "series shorter than one patch ({t} < {})", self.patch_len);
+        (t - self.patch_len) / self.stride + 1
+    }
+
+    /// Encoder sequence length including the `[CLS]` token.
+    pub fn encoder_len(&self, t: usize) -> usize {
+         1 + self.num_patches(t)
+    }
+}
+
+/// Patches a single `[T, C]` sample into `[T_p, C·P]`.
+///
+/// Within a patch token the layout is timestep-major: token `i` holds
+/// `x[i·S .. i·S+P]` flattened as `[t0c0, t0c1, ..., t1c0, ...]`.
+pub fn patch_sample(x: &NdArray, cfg: &PatchConfig) -> NdArray {
+    assert_eq!(x.rank(), 2, "patch_sample expects [T, C]");
+    let (t, c) = (x.shape()[0], x.shape()[1]);
+    let n = cfg.num_patches(t);
+    let mut data = Vec::with_capacity(n * cfg.patch_len * c);
+    for p in 0..n {
+        let start = p * cfg.stride;
+        data.extend_from_slice(&x.data()[start * c..(start + cfg.patch_len) * c]);
+    }
+    NdArray::from_vec(&[n, c * cfg.patch_len], data).expect("patch shape")
+}
+
+/// Patches a `[B, T, C]` batch into `[B, T_p, C·P]`.
+pub fn patch_batch(x: &NdArray, cfg: &PatchConfig) -> NdArray {
+    assert_eq!(x.rank(), 3, "patch_batch expects [B, T, C]");
+    let b = x.shape()[0];
+    let parts: Vec<NdArray> = (0..b).map(|i| patch_sample(&x.index_axis0(i), cfg)).collect();
+    let refs: Vec<&NdArray> = parts.iter().collect();
+    NdArray::stack(&refs)
+}
+
+/// Reconstructs a `[T, C]` sample from non-overlapping patches (the inverse
+/// of [`patch_sample`] when `stride == patch_len` and `P | T`).
+pub fn unpatch_sample(patched: &NdArray, cfg: &PatchConfig, c: usize) -> NdArray {
+    assert_eq!(cfg.stride, cfg.patch_len, "unpatch requires non-overlapping patches");
+    let n = patched.shape()[0];
+    let t = n * cfg.patch_len;
+    NdArray::from_vec(&[t, c], patched.data().to_vec()).expect("unpatch shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::Prng;
+
+    #[test]
+    fn patch_count_matches_paper_formula() {
+        let cfg = PatchConfig { patch_len: 16, stride: 8 };
+        // Fig. 4 text: L=512, P=16, S=8 -> floor((512-16)/8)+2 = 64 tokens
+        // including [CLS].
+        assert_eq!(cfg.encoder_len(512), (512 - 16) / 8 + 2);
+    }
+
+    #[test]
+    fn non_overlapping_roundtrip() {
+        let mut rng = Prng::new(0);
+        let x = rng.randn(&[24, 3]);
+        let cfg = PatchConfig::non_overlapping(4);
+        let p = patch_sample(&x, &cfg);
+        assert_eq!(p.shape(), &[6, 12]);
+        let back = unpatch_sample(&p, &cfg, 3);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn overlapping_patches_share_content() {
+        let x = NdArray::from_fn(&[8, 1], |i| i as f32);
+        let cfg = PatchConfig { patch_len: 4, stride: 2 };
+        let p = patch_sample(&x, &cfg);
+        assert_eq!(p.shape(), &[3, 4]);
+        // Patch 0 = [0,1,2,3], patch 1 = [2,3,4,5]: overlap of 2.
+        assert_eq!(p.at(&[0, 2]), p.at(&[1, 0]));
+        assert_eq!(p.at(&[0, 3]), p.at(&[1, 1]));
+    }
+
+    #[test]
+    fn patch_batch_shapes() {
+        let mut rng = Prng::new(1);
+        let x = rng.randn(&[5, 16, 2]);
+        let cfg = PatchConfig::non_overlapping(8);
+        let p = patch_batch(&x, &cfg);
+        assert_eq!(p.shape(), &[5, 2, 16]);
+    }
+
+    #[test]
+    fn patch_token_layout_is_timestep_major() {
+        // x[t, c] = 10 t + c; the first token must read t=0's channels then
+        // t=1's channels.
+        let x = NdArray::from_fn(&[4, 2], |flat| {
+            let (t, c) = (flat / 2, flat % 2);
+            (10 * t + c) as f32
+        });
+        let p = patch_sample(&x, &PatchConfig::non_overlapping(2));
+        assert_eq!(p.data()[..4], [0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one patch")]
+    fn too_short_series_panics() {
+        let x = NdArray::zeros(&[3, 1]);
+        patch_sample(&x, &PatchConfig::non_overlapping(4));
+    }
+}

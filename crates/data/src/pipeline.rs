@@ -1,0 +1,111 @@
+//! Normalization: per-sample instance normalization (Eq. 1's `IN(x)`) and
+//! train-statistics standardization.
+
+use timedrl_tensor::NdArray;
+
+/// Per-sample, per-channel z-scoring over the time axis: the instance
+/// normalization TimeDRL applies before patching (Eq. 1, following RevIN).
+///
+/// Input `[T, C]` (a single sample) or `[B, T, C]` (a batch); each
+/// (sample, channel) pair is normalized by its own temporal mean/std.
+pub fn instance_normalize(x: &NdArray) -> NdArray {
+    match x.rank() {
+        2 => instance_normalize_sample(x),
+        3 => {
+            let b = x.shape()[0];
+            let parts: Vec<NdArray> =
+                (0..b).map(|i| instance_normalize_sample(&x.index_axis0(i))).collect();
+            let refs: Vec<&NdArray> = parts.iter().collect();
+            NdArray::stack(&refs)
+        }
+        r => panic!("instance_normalize expects rank 2 or 3, got {r}"),
+    }
+}
+
+fn instance_normalize_sample(x: &NdArray) -> NdArray {
+    let mean = x.mean_axis(0, true);
+    let std = x.var_axis(0, true).add_scalar(1e-5).sqrt();
+    x.sub(&mean).div(&std)
+}
+
+/// Per-channel statistics fitted on training data, applied everywhere —
+/// the global scaler used before windowing long forecasting series.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: NdArray,
+    std: NdArray,
+}
+
+impl Standardizer {
+    /// Fits per-channel mean/std on a `[T, C]` training series.
+    pub fn fit(train: &NdArray) -> Self {
+        assert_eq!(train.rank(), 2, "Standardizer fits [T, C] series");
+        let mean = train.mean_axis(0, true);
+        let std = train.var_axis(0, true).add_scalar(1e-8).sqrt();
+        Self { mean, std }
+    }
+
+    /// Applies the fitted transform to `[T, C]` data.
+    pub fn transform(&self, x: &NdArray) -> NdArray {
+        x.sub(&self.mean).div(&self.std)
+    }
+
+    /// Inverts the transform (for reporting in original units).
+    pub fn inverse(&self, x: &NdArray) -> NdArray {
+        x.mul(&self.std).add(&self.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::Prng;
+
+    #[test]
+    fn instance_norm_zero_mean_unit_var() {
+        let mut rng = Prng::new(0);
+        let x = rng.randn(&[50, 3]).scale(4.0).add_scalar(7.0);
+        let y = instance_normalize(&x);
+        let m = y.mean_axis(0, false);
+        let v = y.var_axis(0, false);
+        for c in 0..3 {
+            assert!(m.data()[c].abs() < 1e-4);
+            assert!((v.data()[c] - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn instance_norm_batch_is_per_sample() {
+        let mut rng = Prng::new(1);
+        // Two samples with very different offsets both normalize to ~0 mean.
+        let a = rng.randn(&[20, 2]).add_scalar(100.0);
+        let b = rng.randn(&[20, 2]).add_scalar(-100.0);
+        let batch = NdArray::stack(&[&a, &b]);
+        let y = instance_normalize(&batch);
+        for i in 0..2 {
+            let m = y.index_axis0(i).mean();
+            assert!(m.abs() < 1e-3, "sample {i} mean {m}");
+        }
+    }
+
+    #[test]
+    fn standardizer_roundtrip() {
+        let mut rng = Prng::new(2);
+        let train = rng.randn(&[100, 4]).scale(3.0).add_scalar(-2.0);
+        let sc = Standardizer::fit(&train);
+        let x = rng.randn(&[10, 4]);
+        let back = sc.inverse(&sc.transform(&x));
+        assert!(back.max_abs_diff(&x) < 1e-4);
+    }
+
+    #[test]
+    fn standardizer_train_stats_not_test_stats() {
+        let mut rng = Prng::new(3);
+        let train = rng.randn(&[200, 1]);
+        let sc = Standardizer::fit(&train);
+        // Test data with a different offset keeps its shift after scaling.
+        let test = rng.randn(&[200, 1]).add_scalar(5.0);
+        let z = sc.transform(&test);
+        assert!(z.mean() > 3.0, "test shift must survive train-fitted scaling");
+    }
+}

@@ -1,0 +1,5 @@
+//! Synthetic dataset generators standing in for the paper's 11 public
+//! benchmarks (see DESIGN.md §2 for the substitution rationale).
+
+pub mod classify;
+pub mod forecast;

@@ -1,0 +1,242 @@
+//! Loader for the UEA/UCR `.ts` classification-archive format — the
+//! distribution format of the paper's classification benchmarks
+//! (FingerMovements, PenDigits, HAR, Epilepsy, WISDM are all published as
+//! sktime `.ts` files).
+//!
+//! Supported subset of the format:
+//!
+//! ```text
+//! @problemName PenDigits        # metadata lines, case-insensitive keys
+//! @univariate false
+//! @classLabel true 0 1 ... 9
+//! @data
+//! v,v,...,v : v,v,...,v : label # one line per case; ':' separates dims
+//! ```
+//!
+//! All series must be equal length (the benchmarks here are); dimensions
+//! become feature channels.
+
+use crate::dataset::ClassifyDataset;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use timedrl_tensor::NdArray;
+
+/// Errors raised while loading a `.ts` file.
+#[derive(Debug)]
+pub enum TsFormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Missing `@data` section.
+    MissingData,
+    /// A data line is malformed.
+    BadCase {
+        /// 1-based case index.
+        case: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Series lengths or dimension counts disagree across cases.
+    Inconsistent {
+        /// 1-based case index.
+        case: usize,
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// No cases in the data section.
+    Empty,
+}
+
+impl fmt::Display for TsFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsFormatError::Io(e) => write!(f, "io error: {e}"),
+            TsFormatError::MissingData => write!(f, "no @data section"),
+            TsFormatError::BadCase { case, reason } => write!(f, "case {case}: {reason}"),
+            TsFormatError::Inconsistent { case, reason } => write!(f, "case {case}: {reason}"),
+            TsFormatError::Empty => write!(f, "no cases in @data section"),
+        }
+    }
+}
+
+impl std::error::Error for TsFormatError {}
+
+impl From<std::io::Error> for TsFormatError {
+    fn from(e: std::io::Error) -> Self {
+        TsFormatError::Io(e)
+    }
+}
+
+/// Parses `.ts` text into a [`ClassifyDataset`]. Class labels may be
+/// arbitrary strings; they are mapped to dense `0..K` indices in sorted
+/// order (so numeric labels keep their natural order).
+pub fn parse_ts(text: &str, name: &'static str) -> Result<ClassifyDataset, TsFormatError> {
+    let mut in_data = false;
+    let mut samples: Vec<NdArray> = Vec::new();
+    let mut raw_labels: Vec<String> = Vec::new();
+    let mut expected: Option<(usize, usize)> = None; // (dims, len)
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !in_data {
+            if line.to_ascii_lowercase().starts_with("@data") {
+                in_data = true;
+            }
+            continue;
+        }
+        let case_idx = samples.len() + 1;
+        // Split "dim : dim : ... : label".
+        let mut parts: Vec<&str> = line.split(':').map(str::trim).collect();
+        if parts.len() < 2 {
+            return Err(TsFormatError::BadCase {
+                case: case_idx,
+                reason: "expected 'values : label'".into(),
+            });
+        }
+        let label = parts.pop().unwrap().to_string();
+        let dims: Vec<Vec<f32>> = parts
+            .iter()
+            .map(|dim| {
+                dim.split(',')
+                    .map(|v| {
+                        v.trim().parse::<f32>().map_err(|_| TsFormatError::BadCase {
+                            case: case_idx,
+                            reason: format!("cannot parse value {v:?}"),
+                        })
+                    })
+                    .collect()
+            })
+            .collect::<Result<_, _>>()?;
+        let c = dims.len();
+        let t = dims[0].len();
+        if dims.iter().any(|d| d.len() != t) {
+            return Err(TsFormatError::Inconsistent {
+                case: case_idx,
+                reason: "dimensions have different lengths".into(),
+            });
+        }
+        match expected {
+            None => expected = Some((c, t)),
+            Some((ec, et)) if ec != c || et != t => {
+                return Err(TsFormatError::Inconsistent {
+                    case: case_idx,
+                    reason: format!("expected {ec} dims x {et} steps, found {c} x {t}"),
+                });
+            }
+            _ => {}
+        }
+        // Transpose dims-major -> time-major [T, C].
+        let sample = NdArray::from_fn(&[t, c], |flat| dims[flat % c][flat / c]);
+        samples.push(sample);
+        raw_labels.push(label);
+    }
+
+    if !in_data {
+        return Err(TsFormatError::MissingData);
+    }
+    if samples.is_empty() {
+        return Err(TsFormatError::Empty);
+    }
+
+    // Dense label mapping in sorted order.
+    let mut class_map: BTreeMap<String, usize> = BTreeMap::new();
+    for l in &raw_labels {
+        let next = class_map.len();
+        class_map.entry(l.clone()).or_insert(next);
+    }
+    // Re-sort keys so indices follow sorted label order.
+    let mut keys: Vec<&String> = class_map.keys().collect();
+    keys.sort();
+    let sorted_map: BTreeMap<String, usize> =
+        keys.into_iter().cloned().zip(0..).collect();
+    let labels = raw_labels.iter().map(|l| sorted_map[l]).collect();
+
+    Ok(ClassifyDataset { name, samples, labels, n_classes: sorted_map.len() })
+}
+
+/// Loads a `.ts` file from disk.
+pub fn load_ts(path: impl AsRef<Path>, name: &'static str) -> Result<ClassifyDataset, TsFormatError> {
+    let text = fs::read_to_string(path)?;
+    parse_ts(&text, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+@problemName Toy
+@univariate false
+@classLabel true a b
+@data
+1.0,2.0,3.0 : 10.0,20.0,30.0 : a
+4.0,5.0,6.0 : 40.0,50.0,60.0 : b
+7.0,8.0,9.0 : 70.0,80.0,90.0 : a
+";
+
+    #[test]
+    fn parses_multivariate_cases() {
+        let ds = parse_ts(SAMPLE, "Toy").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.sample_len(), 3);
+        assert_eq!(ds.features(), 2);
+        assert_eq!(ds.n_classes, 2);
+        // Time-major layout: sample 0, t=1 -> (2.0, 20.0).
+        assert_eq!(ds.samples[0].at(&[1, 0]), 2.0);
+        assert_eq!(ds.samples[0].at(&[1, 1]), 20.0);
+        assert_eq!(ds.labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn numeric_labels_keep_order() {
+        let text = "@data\n1.0 : 1\n2.0 : 0\n3.0 : 2\n";
+        let ds = parse_ts(text, "N").unwrap();
+        assert_eq!(ds.labels, vec![1, 0, 2]);
+        assert_eq!(ds.n_classes, 3);
+    }
+
+    #[test]
+    fn rejects_missing_data_section() {
+        assert!(matches!(parse_ts("@problemName X\n", "X"), Err(TsFormatError::MissingData)));
+    }
+
+    #[test]
+    fn rejects_ragged_dimensions() {
+        let text = "@data\n1.0,2.0 : 3.0 : a\n";
+        assert!(matches!(parse_ts(text, "X"), Err(TsFormatError::Inconsistent { case: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_inconsistent_cases() {
+        let text = "@data\n1.0,2.0 : a\n1.0,2.0,3.0 : a\n";
+        assert!(matches!(parse_ts(text, "X"), Err(TsFormatError::Inconsistent { case: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let text = "@data\n1.0,huh : a\n";
+        assert!(matches!(parse_ts(text, "X"), Err(TsFormatError::BadCase { case: 1, .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\n@data\n\n1.0,2.0 : a\n";
+        let ds = parse_ts(text, "C").unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn load_from_disk() {
+        let dir = std::env::temp_dir().join("timedrl_ts_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.ts");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let ds = load_ts(&path, "Toy").unwrap();
+        assert_eq!(ds.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

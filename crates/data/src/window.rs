@@ -1,0 +1,133 @@
+//! Sliding-window extraction and chronological splits for forecasting.
+
+use crate::dataset::ForecastDataset;
+use timedrl_tensor::NdArray;
+
+/// A windowed forecasting set: inputs `[N, L, C]` and targets `[N, H, C]`.
+#[derive(Debug, Clone)]
+pub struct WindowedForecast {
+    /// Input windows `[N, L, C]`.
+    pub inputs: NdArray,
+    /// Target horizons `[N, H, C]`.
+    pub targets: NdArray,
+}
+
+impl WindowedForecast {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.inputs.shape()[0]
+    }
+
+    /// True when no windows fit.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Extracts all sliding windows of length `lookback` with a `horizon`-step
+/// target from a `[T, C]` series. Windows step by `stride`.
+pub fn sliding_windows(series: &NdArray, lookback: usize, horizon: usize, stride: usize) -> WindowedForecast {
+    assert!(stride > 0, "stride must be positive");
+    let t = series.shape()[0];
+    let c = series.shape()[1];
+    if t < lookback + horizon {
+        return WindowedForecast {
+            inputs: NdArray::zeros(&[0, lookback, c]),
+            targets: NdArray::zeros(&[0, horizon, c]),
+        };
+    }
+    let n = (t - lookback - horizon) / stride + 1;
+    let mut inputs = Vec::with_capacity(n * lookback * c);
+    let mut targets = Vec::with_capacity(n * horizon * c);
+    for w in 0..n {
+        let start = w * stride;
+        inputs.extend_from_slice(&series.data()[start * c..(start + lookback) * c]);
+        let tstart = start + lookback;
+        targets.extend_from_slice(&series.data()[tstart * c..(tstart + horizon) * c]);
+    }
+    WindowedForecast {
+        inputs: NdArray::from_vec(&[n, lookback, c], inputs).expect("window shape"),
+        targets: NdArray::from_vec(&[n, horizon, c], targets).expect("target shape"),
+    }
+}
+
+/// The paper's chronological 60/20/20 train/validation/test partition of a
+/// long series (Section V.4).
+#[derive(Debug, Clone)]
+pub struct ChronoSplit {
+    /// First 60% of the series.
+    pub train: NdArray,
+    /// Next 20%.
+    pub val: NdArray,
+    /// Final 20%.
+    pub test: NdArray,
+}
+
+/// Splits a `[T, C]` series chronologically at 60% / 80%.
+pub fn chrono_split(dataset: &ForecastDataset) -> ChronoSplit {
+    let t = dataset.timesteps();
+    let train_end = (t as f32 * 0.6) as usize;
+    let val_end = (t as f32 * 0.8) as usize;
+    ChronoSplit {
+        train: dataset.series.slice(0, 0, train_end).expect("train slice"),
+        val: dataset.series.slice(0, train_end, val_end - train_end).expect("val slice"),
+        test: dataset.series.slice(0, val_end, t - val_end).expect("test slice"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_count_formula() {
+        let s = NdArray::from_fn(&[20, 2], |i| i as f32);
+        let w = sliding_windows(&s, 5, 3, 1);
+        assert_eq!(w.len(), 20 - 5 - 3 + 1);
+        assert_eq!(w.inputs.shape(), &[13, 5, 2]);
+        assert_eq!(w.targets.shape(), &[13, 3, 2]);
+    }
+
+    #[test]
+    fn window_contents_are_contiguous() {
+        let s = NdArray::from_fn(&[10, 1], |i| i as f32);
+        let w = sliding_windows(&s, 4, 2, 1);
+        // Window 3: input = [3,4,5,6], target = [7,8].
+        assert_eq!(w.inputs.at(&[3, 0, 0]), 3.0);
+        assert_eq!(w.inputs.at(&[3, 3, 0]), 6.0);
+        assert_eq!(w.targets.at(&[3, 0, 0]), 7.0);
+        assert_eq!(w.targets.at(&[3, 1, 0]), 8.0);
+    }
+
+    #[test]
+    fn strided_windows_skip() {
+        let s = NdArray::from_fn(&[20, 1], |i| i as f32);
+        let w = sliding_windows(&s, 4, 1, 5);
+        assert_eq!(w.inputs.at(&[1, 0, 0]), 5.0);
+    }
+
+    #[test]
+    fn too_short_series_yields_empty() {
+        let s = NdArray::from_fn(&[5, 2], |i| i as f32);
+        let w = sliding_windows(&s, 5, 3, 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn chrono_split_is_ordered_and_complete() {
+        let ds = ForecastDataset {
+            name: "t",
+            series: NdArray::from_fn(&[100, 1], |i| i as f32),
+            frequency: "1h",
+            target_channel: 0,
+        };
+        let split = chrono_split(&ds);
+        assert_eq!(split.train.shape()[0], 60);
+        assert_eq!(split.val.shape()[0], 20);
+        assert_eq!(split.test.shape()[0], 20);
+        // Boundary values confirm chronology.
+        assert_eq!(split.train.at(&[59, 0]), 59.0);
+        assert_eq!(split.val.at(&[0, 0]), 60.0);
+        assert_eq!(split.test.at(&[0, 0]), 80.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Anisotropy diagnostics for embedding spaces.
+//!
+//! The paper's central motivation (Section I, Fig. 1): deriving
+//! instance-level embeddings from timestamp-level ones by pooling confines
+//! them to "a narrow cone region in the embedding space". The standard
+//! quantitative proxy for this — used by the representation-degeneration
+//! literature the paper cites (refs. 18–20) — is the expected pairwise
+//! cosine similarity: isotropic embeddings score near 0, collapsed cones
+//! near 1.
+
+use timedrl_tensor::NdArray;
+
+/// Mean pairwise cosine similarity over all distinct row pairs of an
+/// `[N, D]` embedding matrix. Returns 0 for fewer than two rows.
+pub fn mean_pairwise_cosine(z: &NdArray) -> f32 {
+    assert_eq!(z.rank(), 2, "expects [N, D] embeddings");
+    let n = z.shape()[0];
+    let d = z.shape()[1];
+    if n < 2 {
+        return 0.0;
+    }
+    // Normalize rows once, then the pair sum is ||Σ ẑ_i||² − n over n(n−1).
+    let mut sum_vec = vec![0.0f64; d];
+    for i in 0..n {
+        let row = &z.data()[i * d..(i + 1) * d];
+        let norm = row.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt().max(1e-12);
+        for (s, &v) in sum_vec.iter_mut().zip(row) {
+            *s += v as f64 / norm;
+        }
+    }
+    let total_sq: f64 = sum_vec.iter().map(|&v| v * v).sum();
+    ((total_sq - n as f64) / (n as f64 * (n - 1) as f64)) as f32
+}
+
+/// Effective dimensionality via the participation ratio of per-dimension
+/// variances: `(Σλ)² / Σλ²`, in `[1, D]`. Low values mean variance is
+/// concentrated in few directions — another face of anisotropy.
+pub fn participation_ratio(z: &NdArray) -> f32 {
+    assert_eq!(z.rank(), 2, "expects [N, D] embeddings");
+    let variances = z.var_axis(0, false);
+    let sum: f64 = variances.data().iter().map(|&v| v as f64).sum();
+    let sum_sq: f64 = variances.data().iter().map(|&v| (v as f64).powi(2)).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    ((sum * sum) / sum_sq) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::{NdArray, Prng};
+
+    #[test]
+    fn isotropic_gaussian_is_near_zero() {
+        let z = Prng::new(0).randn(&[200, 16]);
+        let c = mean_pairwise_cosine(&z);
+        assert!(c.abs() < 0.05, "isotropic cosine {c}");
+    }
+
+    #[test]
+    fn collapsed_cone_is_near_one() {
+        // All rows = shared direction + tiny noise.
+        let mut rng = Prng::new(1);
+        let base = rng.randn(&[1, 16]);
+        let z = base.broadcast_to(&[100, 16]).unwrap().add(&rng.randn(&[100, 16]).scale(0.01));
+        let c = mean_pairwise_cosine(&z);
+        assert!(c > 0.95, "cone cosine {c}");
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let mut rng = Prng::new(2);
+        let z = rng.randn(&[10, 4]);
+        let fast = mean_pairwise_cosine(&z);
+        let mut naive = 0.0f64;
+        let mut pairs = 0usize;
+        for i in 0..10 {
+            for j in 0..10 {
+                if i == j {
+                    continue;
+                }
+                let a = &z.data()[i * 4..(i + 1) * 4];
+                let b = &z.data()[j * 4..(j + 1) * 4];
+                let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                let na: f32 = a.iter().map(|&v| v * v).sum::<f32>().sqrt();
+                let nb: f32 = b.iter().map(|&v| v * v).sum::<f32>().sqrt();
+                naive += (dot / (na * nb)) as f64;
+                pairs += 1;
+            }
+        }
+        let naive = (naive / pairs as f64) as f32;
+        assert!((fast - naive).abs() < 1e-4, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn participation_ratio_bounds() {
+        let mut rng = Prng::new(3);
+        // Full-rank isotropic: PR near D.
+        let iso = rng.randn(&[500, 8]);
+        let pr = participation_ratio(&iso);
+        assert!(pr > 6.0, "isotropic PR {pr}");
+        // Variance concentrated in one coordinate: PR near 1. (The metric
+        // is axis-aligned — it reads per-dimension variances, not
+        // principal components — so the degenerate direction must be a
+        // coordinate axis for the bound to be tight.)
+        let coeffs = rng.randn(&[100, 1]);
+        let mut axis = NdArray::zeros(&[1, 8]);
+        axis.set(&[0, 0], 1.0);
+        let rank1 = coeffs.mul(&axis);
+        let pr1 = participation_ratio(&rank1);
+        assert!(pr1 < 1.5, "rank-1 PR {pr1}");
+    }
+
+    #[test]
+    fn single_row_is_zero() {
+        let z = Prng::new(4).randn(&[1, 8]);
+        assert_eq!(mean_pairwise_cosine(&z), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! k-nearest-neighbour classification on frozen embeddings — the second
+//! standard SSL evaluation protocol besides the linear probe (used across
+//! the contrastive-learning literature as a hyperparameter-free check
+//! that embedding *geometry*, not just linear separability, is good).
+
+use timedrl_tensor::NdArray;
+
+/// A fitted (memorized) kNN classifier over `[N, D]` embeddings.
+pub struct KnnProbe {
+    train: NdArray,
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl KnnProbe {
+    /// Memorizes the training embeddings. `k` is clamped to the training
+    /// size.
+    pub fn fit(train: &NdArray, labels: &[usize], k: usize) -> Self {
+        assert_eq!(train.rank(), 2, "expects [N, D] embeddings");
+        assert_eq!(train.shape()[0], labels.len(), "label count mismatch");
+        assert!(!labels.is_empty(), "empty training set");
+        Self { train: train.clone(), labels: labels.to_vec(), k: k.clamp(1, labels.len()) }
+    }
+
+    /// Predicts by inverse-distance-weighted vote over the `k` nearest
+    /// Euclidean neighbours.
+    pub fn predict(&self, test: &NdArray) -> Vec<usize> {
+        assert_eq!(test.rank(), 2, "expects [N, D] embeddings");
+        let d = self.train.shape()[1];
+        assert_eq!(test.shape()[1], d, "embedding width mismatch");
+        let n_train = self.train.shape()[0];
+
+        (0..test.shape()[0])
+            .map(|ti| {
+                let mut dists: Vec<(f32, usize)> = (0..n_train)
+                    .map(|i| {
+                        let sq: f32 = (0..d)
+                            .map(|j| {
+                                let diff =
+                                    self.train.data()[i * d + j] - test.data()[ti * d + j];
+                                diff * diff
+                            })
+                            .sum();
+                        (sq, self.labels[i])
+                    })
+                    .collect();
+                dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut votes: std::collections::HashMap<usize, f32> =
+                    std::collections::HashMap::new();
+                for &(sq, label) in dists.iter().take(self.k) {
+                    *votes.entry(label).or_default() += 1.0 / (sq.sqrt() + 1e-6);
+                }
+                votes
+                    .into_iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(label, _)| label)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// The configured neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::classification_report;
+    use timedrl_tensor::Prng;
+
+    fn blobs(per: usize, seed: u64) -> (NdArray, Vec<usize>) {
+        let mut rng = Prng::new(seed);
+        let centers = [(0.0f32, 0.0f32), (6.0, 0.0), (0.0, 6.0)];
+        let n = per * 3;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..per {
+                data.push(cx + rng.normal_with(0.0, 0.4));
+                data.push(cy + rng.normal_with(0.0, 0.4));
+                labels.push(c);
+            }
+        }
+        (NdArray::from_vec(&[n, 2], data).unwrap(), labels)
+    }
+
+    #[test]
+    fn classifies_clean_blobs() {
+        let (train, labels) = blobs(30, 0);
+        let (test, truth) = blobs(10, 1);
+        let probe = KnnProbe::fit(&train, &labels, 5);
+        let pred = probe.predict(&test);
+        let r = classification_report(&pred, &truth, 3);
+        assert!(r.accuracy > 0.95, "accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_set() {
+        let (train, labels) = blobs(15, 2);
+        let probe = KnnProbe::fit(&train, &labels, 1);
+        let pred = probe.predict(&train);
+        assert_eq!(pred, labels, "1-NN on the training set is exact");
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let (train, labels) = blobs(2, 3);
+        let probe = KnnProbe::fit(&train, &labels, 999);
+        assert_eq!(probe.k(), 6);
+    }
+
+    #[test]
+    fn inverse_distance_weighting_prefers_closer_class() {
+        // 1 very close neighbour of class 0 vs 2 far neighbours of class 1.
+        let train = NdArray::from_vec(&[3, 1], vec![0.1, 5.0, 5.1]).unwrap();
+        let probe = KnnProbe::fit(&train, &[0, 1, 1], 3);
+        let test = NdArray::from_vec(&[1, 1], vec![0.0]).unwrap();
+        assert_eq!(probe.predict(&test), vec![0]);
+    }
+}

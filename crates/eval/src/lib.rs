@@ -1,0 +1,23 @@
+//! # timedrl-eval
+//!
+//! Evaluation infrastructure for the TimeDRL reproduction: the metrics of
+//! Eqs. 20–27 (MSE, MAE, accuracy, macro-F1, Cohen's κ) and the linear
+//! probes implementing the paper's linear-evaluation protocol — a
+//! closed-form ridge readout for forecasting and a logistic readout for
+//! classification, both over frozen encoder embeddings.
+
+#![warn(missing_docs)]
+
+pub mod anisotropy;
+pub mod knn;
+pub mod linalg;
+pub mod metrics;
+pub mod pca;
+pub mod probe;
+
+pub use anisotropy::{mean_pairwise_cosine, participation_ratio};
+pub use knn::KnnProbe;
+pub use linalg::cholesky_solve;
+pub use metrics::{classification_report, mae, mse, ClassificationReport};
+pub use pca::Pca;
+pub use probe::{LogisticConfig, LogisticProbe, RidgeProbe};

@@ -1,0 +1,102 @@
+//! Dense linear-algebra support for the closed-form ridge probe: a
+//! Cholesky solver for symmetric positive-definite systems.
+
+use timedrl_tensor::NdArray;
+
+/// Solves `A X = B` for symmetric positive-definite `A` (`[n, n]`) and
+/// right-hand side `B` (`[n, m]`) via Cholesky decomposition.
+///
+/// # Panics
+/// Panics if `A` is not SPD (within f64 working precision) or shapes
+/// disagree.
+pub fn cholesky_solve(a: &NdArray, b: &NdArray) -> NdArray {
+    let n = a.shape()[0];
+    assert_eq!(a.shape(), &[n, n], "A must be square");
+    assert_eq!(b.shape()[0], n, "B row count mismatch");
+    let m = b.shape()[1];
+
+    // Factor A = L L^T in f64 for stability.
+    let ad: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = ad[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                assert!(sum > 0.0, "matrix not positive definite at pivot {i} (sum {sum})");
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+
+    // Solve L Y = B (forward), then L^T X = Y (backward), per column.
+    let bd: Vec<f64> = b.data().iter().map(|&v| v as f64).collect();
+    let mut x = vec![0.0f64; n * m];
+    for col in 0..m {
+        // Forward substitution.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = bd[i * m + col];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Backward substitution with L^T.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * x[k * m + col];
+            }
+            x[i * m + col] = sum / l[i * n + i];
+        }
+    }
+    NdArray::from_vec(&[n, m], x.into_iter().map(|v| v as f32).collect()).expect("solution shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::{matmul, Prng};
+
+    #[test]
+    fn solves_identity() {
+        let b = NdArray::from_fn(&[3, 2], |i| i as f32);
+        let x = cholesky_solve(&NdArray::eye(3), &b);
+        assert!(x.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn solves_random_spd_system() {
+        let mut rng = Prng::new(0);
+        let g = rng.randn(&[5, 5]);
+        // A = G G^T + I is SPD.
+        let a = matmul(&g, &g.transpose()).unwrap().add(&NdArray::eye(5));
+        let x_true = rng.randn(&[5, 3]);
+        let b = matmul(&a, &x_true).unwrap();
+        let x = cholesky_solve(&a, &b);
+        assert!(x.max_abs_diff(&x_true) < 1e-3, "err {}", x.max_abs_diff(&x_true));
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let mut rng = Prng::new(1);
+        let g = rng.randn(&[8, 8]);
+        let a = matmul(&g, &g.transpose()).unwrap().add(&NdArray::eye(8).scale(0.5));
+        let b = rng.randn(&[8, 4]);
+        let x = cholesky_solve(&a, &b);
+        let residual = matmul(&a, &x).unwrap().max_abs_diff(&b);
+        assert!(residual < 1e-3, "residual {residual}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn rejects_indefinite_matrix() {
+        let a = NdArray::from_vec(&[2, 2], vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        cholesky_solve(&a, &NdArray::ones(&[2, 1]));
+    }
+}

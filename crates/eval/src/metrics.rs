@@ -1,0 +1,188 @@
+//! Evaluation metrics, implementing Eqs. 20–27 of the paper.
+
+use timedrl_tensor::NdArray;
+
+/// Mean squared error (Eq. 20) between arrays of identical shape.
+pub fn mse(pred: &NdArray, truth: &NdArray) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "mse shape mismatch");
+    pred.zip_map(truth, |a, b| (a - b) * (a - b)).expect("mse shapes").mean()
+}
+
+/// Mean absolute error (Eq. 21).
+pub fn mae(pred: &NdArray, truth: &NdArray) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "mae shape mismatch");
+    pred.zip_map(truth, |a, b| (a - b).abs()).expect("mae shapes").mean()
+}
+
+/// Classification metrics bundle: accuracy, macro-F1, and Cohen's κ, as
+/// reported in Table V (all in percent except κ which Table V also scales
+/// to percent — see [`ClassificationReport::as_percentages`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassificationReport {
+    /// Accuracy in `[0, 1]` (Eq. 22).
+    pub accuracy: f32,
+    /// Macro-averaged F1 in `[0, 1]` (Eqs. 23–25).
+    pub macro_f1: f32,
+    /// Cohen's kappa in `[-1, 1]` (Eqs. 26–27).
+    pub kappa: f32,
+}
+
+impl ClassificationReport {
+    /// Scales all three metrics by 100, matching the paper's table format.
+    pub fn as_percentages(&self) -> (f32, f32, f32) {
+        (self.accuracy * 100.0, self.macro_f1 * 100.0, self.kappa * 100.0)
+    }
+}
+
+/// Computes accuracy, macro-F1, and Cohen's κ from predicted and true
+/// integer labels.
+///
+/// # Panics
+/// Panics on empty input, mismatched lengths, or labels `>= n_classes`.
+#[allow(clippy::needless_range_loop)] // confusion-matrix loops read clearest indexed
+pub fn classification_report(pred: &[usize], truth: &[usize], n_classes: usize) -> ClassificationReport {
+    assert!(!pred.is_empty(), "empty prediction set");
+    assert_eq!(pred.len(), truth.len(), "label count mismatch");
+    let n = pred.len() as f64;
+
+    // Confusion matrix: rows = truth, cols = prediction.
+    let mut confusion = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth.iter()) {
+        assert!(p < n_classes && t < n_classes, "label out of range");
+        confusion[t][p] += 1;
+    }
+
+    let correct: usize = (0..n_classes).map(|c| confusion[c][c]).sum();
+    let accuracy = correct as f64 / n;
+
+    // Macro-F1: unweighted mean of per-class F1 (classes absent from both
+    // pred and truth are skipped, matching scikit-learn's behaviour on
+    // macro averaging over observed labels).
+    let mut f1_sum = 0.0f64;
+    let mut f1_classes = 0usize;
+    for c in 0..n_classes {
+        let tp = confusion[c][c] as f64;
+        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| confusion[t][c] as f64).sum();
+        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| confusion[c][p] as f64).sum();
+        if tp + fp + fn_ == 0.0 {
+            continue;
+        }
+        let f1 = if tp == 0.0 { 0.0 } else { 2.0 * tp / (2.0 * tp + fp + fn_) };
+        f1_sum += f1;
+        f1_classes += 1;
+    }
+    let macro_f1 = if f1_classes > 0 { f1_sum / f1_classes as f64 } else { 0.0 };
+
+    // Cohen's kappa via marginals (multi-class generalization of Eq. 27).
+    let pe: f64 = (0..n_classes)
+        .map(|c| {
+            let row: usize = confusion[c].iter().sum();
+            let col: usize = (0..n_classes).map(|t| confusion[t][c]).sum();
+            (row as f64 / n) * (col as f64 / n)
+        })
+        .sum();
+    let kappa = if (1.0 - pe).abs() < 1e-12 { 0.0 } else { (accuracy - pe) / (1.0 - pe) };
+
+    ClassificationReport {
+        accuracy: accuracy as f32,
+        macro_f1: macro_f1 as f32,
+        kappa: kappa as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_known_values() {
+        let p = NdArray::from_slice(&[1.0, 2.0, 3.0]);
+        let t = NdArray::from_slice(&[1.0, 0.0, 0.0]);
+        assert!((mse(&p, &t) - (0.0 + 4.0 + 9.0) / 3.0).abs() < 1e-6);
+        assert!((mae(&p, &t) - (0.0 + 2.0 + 3.0) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let r = classification_report(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        assert_eq!(r.kappa, 1.0);
+    }
+
+    #[test]
+    fn chance_level_kappa_near_zero() {
+        // Predicting a constant on a balanced binary problem: accuracy 0.5,
+        // kappa exactly 0.
+        let pred = vec![0; 100];
+        let truth: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let r = classification_report(&pred, &truth, 2);
+        assert!((r.accuracy - 0.5).abs() < 1e-6);
+        assert!(r.kappa.abs() < 1e-6);
+    }
+
+    #[test]
+    fn worse_than_chance_negative_kappa() {
+        // Systematically inverted predictions.
+        let truth: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let pred: Vec<usize> = truth.iter().map(|&t| 1 - t).collect();
+        let r = classification_report(&pred, &truth, 2);
+        assert_eq!(r.accuracy, 0.0);
+        assert!((r.kappa + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn macro_f1_punishes_minority_failure() {
+        // 90 of class 0 all correct; 10 of class 1 all wrong.
+        let truth: Vec<usize> = (0..100).map(|i| usize::from(i >= 90)).collect();
+        let pred = vec![0usize; 100];
+        let r = classification_report(&pred, &truth, 2);
+        assert!((r.accuracy - 0.9).abs() < 1e-6);
+        // Class 0 F1 = 2*90/(180+10) ≈ 0.947; class 1 F1 = 0.
+        assert!((r.macro_f1 - 0.947 / 2.0).abs() < 0.01);
+        assert!(r.kappa.abs() < 1e-6, "constant predictor gets zero kappa");
+    }
+
+    #[test]
+    fn kappa_matches_binary_formula() {
+        // Hand-computed binary example (TP=40, FN=10, FP=20, TN=30).
+        let mut pred = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..40 {
+            pred.push(1);
+            truth.push(1);
+        }
+        for _ in 0..10 {
+            pred.push(0);
+            truth.push(1);
+        }
+        for _ in 0..20 {
+            pred.push(1);
+            truth.push(0);
+        }
+        for _ in 0..30 {
+            pred.push(0);
+            truth.push(0);
+        }
+        let r = classification_report(&pred, &truth, 2);
+        let acc = 0.7f64;
+        let pe = (50.0 / 100.0) * (60.0 / 100.0) + (50.0 / 100.0) * (40.0 / 100.0);
+        let expected = ((acc - pe) / (1.0 - pe)) as f32;
+        assert!((r.kappa - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn percentages_scale() {
+        let r = ClassificationReport { accuracy: 0.64, macro_f1: 0.6377, kappa: 0.2826 };
+        let (a, f, k) = r.as_percentages();
+        assert!((a - 64.0).abs() < 1e-4);
+        assert!((f - 63.77).abs() < 1e-2);
+        assert!((k - 28.26).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn mismatched_lengths_panic() {
+        classification_report(&[0], &[0, 1], 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Principal-component projection of embeddings, via power iteration with
+//! deflation — for inspecting representation spaces (e.g. projecting
+//! `[CLS]` embeddings to 2-D and plotting with the bench crate's terminal
+//! charts).
+
+use timedrl_tensor::{matmul, NdArray, Prng};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: NdArray,
+    /// Components `[k, D]`, rows orthonormal, ordered by explained
+    /// variance.
+    components: NdArray,
+    /// Variance captured by each component.
+    explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits the top-`k` principal components of `[N, D]` data by power
+    /// iteration on the covariance (via the Gram trick on centered data).
+    pub fn fit(x: &NdArray, k: usize, rng: &mut Prng) -> Self {
+        assert_eq!(x.rank(), 2, "PCA expects [N, D]");
+        let n = x.shape()[0];
+        let d = x.shape()[1];
+        let k = k.min(d).max(1);
+        assert!(n >= 2, "PCA needs at least 2 samples");
+        let mean = x.mean_axis(0, true);
+        let centered = x.sub(&mean);
+
+        let mut components = NdArray::zeros(&[k, d]);
+        let mut explained = Vec::with_capacity(k);
+        // Deflated power iteration: repeatedly find the dominant direction
+        // of the residual covariance.
+        let mut residual = centered.clone();
+        for comp in 0..k {
+            let mut v = rng.randn(&[d, 1]);
+            normalize(&mut v);
+            for _ in 0..60 {
+                // w = Xᵀ (X v) / n  ∝ covariance times v
+                let xv = matmul(&residual, &v).expect("xv");
+                let mut w = matmul(&residual.transpose(), &xv).expect("xtxv");
+                normalize(&mut w);
+                v = w;
+            }
+            // Explained variance along v.
+            let proj = matmul(&residual, &v).expect("proj");
+            let var = proj.data().iter().map(|&p| p * p).sum::<f32>() / n as f32;
+            explained.push(var);
+            for j in 0..d {
+                components.set(&[comp, j], v.data()[j]);
+            }
+            // Deflate: remove the component from the residual.
+            let coef = matmul(&residual, &v).expect("coef"); // [N, 1]
+            residual = residual.sub(&matmul(&coef, &v.transpose()).expect("outer"));
+        }
+        Self { mean: mean.clone(), components, explained }
+    }
+
+    /// Projects `[N, D]` data to `[N, k]` component scores.
+    pub fn transform(&self, x: &NdArray) -> NdArray {
+        matmul(&x.sub(&self.mean), &self.components.transpose()).expect("pca transform")
+    }
+
+    /// Variance explained per component.
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained
+    }
+
+    /// The fitted components `[k, D]`.
+    pub fn components(&self) -> &NdArray {
+        &self.components
+    }
+}
+
+fn normalize(v: &mut NdArray) {
+    let norm = v.l2_norm().max(1e-12);
+    v.map_inplace(|x| x / norm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along a known direction.
+    fn anisotropic_data(n: usize, seed: u64) -> NdArray {
+        let mut rng = Prng::new(seed);
+        NdArray::from_fn(&[n, 3], |flat| {
+            let i = flat / 3;
+            let j = flat % 3;
+            let t = (i as f32 * 0.7).sin() * 10.0; // dominant factor
+            match j {
+                0 => t + rng.normal_with(0.0, 0.1),
+                1 => -t + rng.normal_with(0.0, 0.1),
+                _ => rng.normal_with(0.0, 0.1),
+            }
+        })
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let x = anisotropic_data(200, 0);
+        let pca = Pca::fit(&x, 2, &mut Prng::new(1));
+        // The dominant direction is (1, -1, 0)/sqrt(2).
+        let c0 = pca.components();
+        let a = c0.at(&[0, 0]);
+        let b = c0.at(&[0, 1]);
+        let c = c0.at(&[0, 2]);
+        assert!((a + b).abs() < 0.05, "components {a} {b} should be opposite");
+        assert!(c.abs() < 0.1, "third axis near zero, got {c}");
+        assert!(pca.explained_variance()[0] > 10.0 * pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let x = Prng::new(2).randn(&[100, 5]);
+        let pca = Pca::fit(&x, 3, &mut Prng::new(3));
+        let c = pca.components();
+        let gram = matmul(c, &c.transpose()).unwrap();
+        assert!(gram.max_abs_diff(&NdArray::eye(3)) < 0.05, "gram {:?}", gram.data());
+    }
+
+    #[test]
+    fn transform_shape_and_centering() {
+        let x = Prng::new(4).randn(&[50, 4]).add_scalar(100.0);
+        let pca = Pca::fit(&x, 2, &mut Prng::new(5));
+        let z = pca.transform(&x);
+        assert_eq!(z.shape(), &[50, 2]);
+        // Centered projection: near-zero mean per component.
+        let m = z.mean_axis(0, false);
+        assert!(m.data().iter().all(|v| v.abs() < 0.5), "means {:?}", m.data());
+    }
+
+    #[test]
+    fn k_clamped_to_dimensionality() {
+        let x = Prng::new(6).randn(&[20, 2]);
+        let pca = Pca::fit(&x, 10, &mut Prng::new(7));
+        assert_eq!(pca.components().shape()[0], 2);
+    }
+
+    #[test]
+    fn explained_variance_is_monotone() {
+        let x = anisotropic_data(150, 8);
+        let pca = Pca::fit(&x, 3, &mut Prng::new(9));
+        let ev = pca.explained_variance();
+        assert!(ev[0] >= ev[1] && ev[1] >= ev[2], "not sorted: {ev:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Linear probes implementing the paper's linear-evaluation protocol:
+//! a frozen encoder's embeddings feed a single trainable linear layer.
+//!
+//! * Forecasting probes use **closed-form ridge regression** — the exact
+//!   minimizer of the linear layer's MSE objective, removing SGD noise
+//!   from the method comparison.
+//! * Classification probes use **multinomial logistic regression** trained
+//!   with AdamW on our own autograd (a softmax linear layer, exactly the
+//!   "attach a linear layer" protocol of Section V-B).
+
+use crate::linalg::cholesky_solve;
+use timedrl_nn::{AdamW, Linear, Module, Optimizer};
+use timedrl_tensor::{matmul, NdArray, Prng, Var};
+
+/// A fitted ridge-regression readout `y ≈ x W + b`.
+#[derive(Debug, Clone)]
+pub struct RidgeProbe {
+    weight: NdArray,
+    bias: NdArray,
+}
+
+impl RidgeProbe {
+    /// Fits ridge regression on features `x` (`[N, D]`) and targets `y`
+    /// (`[N, K]`) with L2 strength `lambda`. A bias column is handled by
+    /// centering.
+    pub fn fit(x: &NdArray, y: &NdArray, lambda: f32) -> Self {
+        assert_eq!(x.rank(), 2, "features must be [N, D]");
+        assert_eq!(y.rank(), 2, "targets must be [N, K]");
+        assert_eq!(x.shape()[0], y.shape()[0], "sample count mismatch");
+        let d = x.shape()[1];
+        let x_mean = x.mean_axis(0, true);
+        let y_mean = y.mean_axis(0, true);
+        let xc = x.sub(&x_mean);
+        let yc = y.sub(&y_mean);
+        // W = (Xc^T Xc + λ I)^{-1} Xc^T Yc
+        let gram = matmul(&xc.transpose(), &xc).expect("gram");
+        let reg = NdArray::eye(d).scale(lambda.max(1e-6));
+        let rhs = matmul(&xc.transpose(), &yc).expect("xty");
+        let weight = cholesky_solve(&gram.add(&reg), &rhs);
+        // b = y_mean - x_mean W
+        let bias = y_mean.sub(&matmul(&x_mean, &weight).expect("bias"));
+        Self { weight, bias: bias.squeeze(0) }
+    }
+
+    /// Predicts targets for features `x` (`[N, D]`).
+    pub fn predict(&self, x: &NdArray) -> NdArray {
+        matmul(x, &self.weight).expect("predict").add(&self.bias)
+    }
+
+    /// Readout weight `[D, K]`.
+    pub fn weight(&self) -> &NdArray {
+        &self.weight
+    }
+
+    /// Readout bias `[K]`.
+    pub fn bias(&self) -> &NdArray {
+        &self.bias
+    }
+}
+
+/// A multinomial logistic-regression readout trained with AdamW.
+pub struct LogisticProbe {
+    layer: Linear,
+    n_classes: usize,
+}
+
+/// Training hyperparameters for [`LogisticProbe`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// Optimizer learning rate.
+    pub lr: f32,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self { lr: 0.05, epochs: 200, weight_decay: 1e-4 }
+    }
+}
+
+impl LogisticProbe {
+    /// Fits a softmax linear classifier on features `x` (`[N, D]`) and
+    /// integer labels.
+    pub fn fit(x: &NdArray, labels: &[usize], n_classes: usize, cfg: &LogisticConfig, seed: u64) -> Self {
+        assert_eq!(x.shape()[0], labels.len(), "sample count mismatch");
+        let mut rng = Prng::new(seed);
+        let layer = Linear::new(x.shape()[1], n_classes, &mut rng);
+        let mut opt = AdamW::new(layer.parameters(), cfg.lr, cfg.weight_decay);
+        let xv = Var::constant(x.clone());
+        for _ in 0..cfg.epochs {
+            opt.zero_grad();
+            let logits = layer.forward(&xv);
+            logits.cross_entropy(labels).backward();
+            opt.step();
+        }
+        Self { layer, n_classes }
+    }
+
+    /// Predicts class labels for features `x` (`[N, D]`).
+    pub fn predict(&self, x: &NdArray) -> Vec<usize> {
+        self.layer.forward(&Var::constant(x.clone())).to_array().argmax_lastdim()
+    }
+
+    /// Class-probability matrix `[N, K]`.
+    pub fn predict_proba(&self, x: &NdArray) -> NdArray {
+        self.layer.forward(&Var::constant(x.clone())).to_array().softmax_lastdim()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Consumes the probe, returning its trained linear layer (so a
+    /// fine-tuning head can start from the linear-probe solution — the
+    /// "LP" in LP-FT).
+    pub fn into_linear(self) -> Linear {
+        self.layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{classification_report, mse};
+
+    #[test]
+    fn ridge_recovers_linear_map() {
+        let mut rng = Prng::new(0);
+        let x = rng.randn(&[200, 5]);
+        let w_true = rng.randn(&[5, 3]);
+        let y = matmul(&x, &w_true).unwrap().add_scalar(0.7);
+        let probe = RidgeProbe::fit(&x, &y, 1e-4);
+        let pred = probe.predict(&x);
+        assert!(mse(&pred, &y) < 1e-4);
+    }
+
+    #[test]
+    fn ridge_bias_handles_offsets() {
+        let mut rng = Prng::new(1);
+        let x = rng.randn(&[100, 2]);
+        let y = NdArray::full(&[100, 1], 42.0); // constant target
+        let probe = RidgeProbe::fit(&x, &y, 1.0);
+        let pred = probe.predict(&rng.randn(&[10, 2]));
+        for &v in pred.data() {
+            assert!((v - 42.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn heavier_regularization_shrinks_weights() {
+        let mut rng = Prng::new(2);
+        let x = rng.randn(&[50, 4]);
+        let y = rng.randn(&[50, 2]);
+        let light = RidgeProbe::fit(&x, &y, 1e-3);
+        let heavy = RidgeProbe::fit(&x, &y, 1e3);
+        assert!(heavy.weight().l2_norm() < light.weight().l2_norm() * 0.5);
+    }
+
+    #[test]
+    fn ridge_generalizes_under_noise() {
+        let mut rng = Prng::new(3);
+        let w_true = rng.randn(&[6, 1]);
+        let x_train = rng.randn(&[300, 6]);
+        let noise = rng.randn(&[300, 1]).scale(0.1);
+        let y_train = matmul(&x_train, &w_true).unwrap().add(&noise);
+        let probe = RidgeProbe::fit(&x_train, &y_train, 0.1);
+        let x_test = rng.randn(&[100, 6]);
+        let y_test = matmul(&x_test, &w_true).unwrap();
+        assert!(mse(&probe.predict(&x_test), &y_test) < 0.05);
+    }
+
+    #[test]
+    fn logistic_separates_gaussian_blobs() {
+        let mut rng = Prng::new(4);
+        let n = 120;
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 3;
+            let center = [(0.0f32, 0.0f32), (4.0, 0.0), (0.0, 4.0)][class];
+            feats.push(center.0 + rng.normal_with(0.0, 0.5));
+            feats.push(center.1 + rng.normal_with(0.0, 0.5));
+            labels.push(class);
+        }
+        let x = NdArray::from_vec(&[n, 2], feats).unwrap();
+        let probe = LogisticProbe::fit(&x, &labels, 3, &LogisticConfig::default(), 7);
+        let pred = probe.predict(&x);
+        let report = classification_report(&pred, &labels, 3);
+        assert!(report.accuracy > 0.95, "accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn logistic_proba_rows_sum_to_one() {
+        let mut rng = Prng::new(5);
+        let x = rng.randn(&[20, 3]);
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let probe = LogisticProbe::fit(&x, &labels, 2, &LogisticConfig { epochs: 10, ..Default::default() }, 8);
+        let proba = probe.predict_proba(&x);
+        for row in proba.data().chunks(2) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for metric bounds and probe behaviour.
+
+use proptest::prelude::*;
+use timedrl_eval::{classification_report, cholesky_solve, mae, mse, RidgeProbe};
+use timedrl_tensor::{matmul, NdArray, Prng};
+
+fn labels_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..k, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metric_bounds(pred in labels_strategy(40, 3), truth in labels_strategy(40, 3)) {
+        let r = classification_report(&pred, &truth, 3);
+        prop_assert!((0.0..=1.0).contains(&r.accuracy));
+        prop_assert!((0.0..=1.0).contains(&r.macro_f1));
+        prop_assert!((-1.0..=1.0).contains(&r.kappa));
+    }
+
+    #[test]
+    fn perfect_agreement_maximizes_all(truth in labels_strategy(30, 4)) {
+        let r = classification_report(&truth, &truth, 4);
+        prop_assert_eq!(r.accuracy, 1.0);
+        prop_assert_eq!(r.macro_f1, 1.0);
+        // Kappa is 1 unless the label distribution is degenerate (single
+        // observed class makes chance agreement 1).
+        let distinct = {
+            let mut v = truth.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        if distinct > 1 {
+            prop_assert!((r.kappa - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kappa_never_exceeds_accuracy_rescaled(pred in labels_strategy(50, 2), truth in labels_strategy(50, 2)) {
+        // kappa = (acc - pe) / (1 - pe) <= acc when acc <= 1.
+        let r = classification_report(&pred, &truth, 2);
+        prop_assert!(r.kappa <= r.accuracy + 1e-6);
+    }
+
+    #[test]
+    fn mse_mae_zero_iff_equal(seed in 0u64..1000) {
+        let x = Prng::new(seed).randn(&[4, 5]);
+        prop_assert_eq!(mse(&x, &x), 0.0);
+        prop_assert_eq!(mae(&x, &x), 0.0);
+        let y = x.add_scalar(0.5);
+        prop_assert!(mse(&x, &y) > 0.0);
+        prop_assert!((mae(&x, &y) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mse_dominates_squared_mae(seed in 0u64..1000) {
+        // Jensen: MSE >= MAE^2.
+        let mut rng = Prng::new(seed);
+        let a = rng.randn(&[6, 3]);
+        let b = rng.randn(&[6, 3]);
+        prop_assert!(mse(&a, &b) + 1e-6 >= mae(&a, &b).powi(2));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(seed in 0u64..1000, n in 2usize..7) {
+        let mut rng = Prng::new(seed);
+        let g = rng.randn(&[n, n]);
+        let a = matmul(&g, &g.transpose()).unwrap().add(&NdArray::eye(n));
+        let x_true = rng.randn(&[n, 2]);
+        let b = matmul(&a, &x_true).unwrap();
+        let x = cholesky_solve(&a, &b);
+        prop_assert!(x.max_abs_diff(&x_true) < 1e-2);
+    }
+
+    #[test]
+    fn ridge_interpolates_exact_linear_data(seed in 0u64..500) {
+        let mut rng = Prng::new(seed);
+        let x = rng.randn(&[60, 4]);
+        let w = rng.randn(&[4, 2]);
+        let y = matmul(&x, &w).unwrap();
+        let probe = RidgeProbe::fit(&x, &y, 1e-5);
+        prop_assert!(mse(&probe.predict(&x), &y) < 1e-3);
+    }
+}

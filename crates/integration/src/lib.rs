@@ -1,0 +1,2 @@
+//! This crate holds only workspace-level integration tests (see `tests/`);
+//! it intentionally exports nothing.

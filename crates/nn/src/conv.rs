@@ -1,0 +1,279 @@
+//! 1-D convolution as a fused autograd operation.
+//!
+//! Inputs are `[B, C_in, T]`, kernels `[C_out, C_in, K]`. Supports stride,
+//! symmetric zero padding, and dilation — enough for the TCN and 1-D ResNet
+//! encoders of the Table VIII ablation and for the convolutional baseline
+//! encoders (TS2Vec/SimTS-style).
+
+use crate::module::Module;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// Computes the output length of a 1-D convolution.
+pub fn conv1d_out_len(t: usize, k: usize, stride: usize, padding: usize, dilation: usize) -> usize {
+    let eff_k = dilation * (k - 1) + 1;
+    if t + 2 * padding < eff_k {
+        return 0;
+    }
+    (t + 2 * padding - eff_k) / stride + 1
+}
+
+/// Forward kernel: `out[b, co, to] = Σ_ci Σ_k w[co, ci, k] · x[b, ci, to·s + k·d − p]`.
+fn conv1d_forward(
+    x: &NdArray,
+    w: &NdArray,
+    stride: usize,
+    padding: usize,
+    dilation: usize,
+) -> NdArray {
+    let (b, c_in, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (c_out, c_in_w, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(c_in, c_in_w, "conv1d channel mismatch");
+    let t_out = conv1d_out_len(t, k, stride, padding, dilation);
+    let mut out = NdArray::zeros(&[b, c_out, t_out]);
+    let xd = x.data();
+    let wd = w.data();
+    let od = out.data_mut();
+    for bi in 0..b {
+        for co in 0..c_out {
+            for to in 0..t_out {
+                let mut acc = 0.0f32;
+                let base = to * stride;
+                for ci in 0..c_in {
+                    let xoff = (bi * c_in + ci) * t;
+                    let woff = (co * c_in + ci) * k;
+                    for kk in 0..k {
+                        let ti = base + kk * dilation;
+                        if ti < padding || ti - padding >= t {
+                            continue;
+                        }
+                        acc += wd[woff + kk] * xd[xoff + ti - padding];
+                    }
+                }
+                od[(bi * c_out + co) * t_out + to] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Backward kernels: gradient w.r.t. input and weight.
+fn conv1d_backward(
+    g: &NdArray,
+    x: &NdArray,
+    w: &NdArray,
+    stride: usize,
+    padding: usize,
+    dilation: usize,
+) -> (NdArray, NdArray) {
+    let (b, c_in, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (c_out, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    let t_out = g.shape()[2];
+    let mut gx = NdArray::zeros(&[b, c_in, t]);
+    let mut gw = NdArray::zeros(&[c_out, c_in, k]);
+    let gd = g.data();
+    let xd = x.data();
+    let wd = w.data();
+    {
+        let gxd = gx.data_mut();
+        for bi in 0..b {
+            for co in 0..c_out {
+                let goff = (bi * c_out + co) * t_out;
+                for to in 0..t_out {
+                    let gv = gd[goff + to];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    let base = to * stride;
+                    for ci in 0..c_in {
+                        let xoff = (bi * c_in + ci) * t;
+                        let woff = (co * c_in + ci) * k;
+                        for kk in 0..k {
+                            let ti = base + kk * dilation;
+                            if ti < padding || ti - padding >= t {
+                                continue;
+                            }
+                            gxd[xoff + ti - padding] += gv * wd[woff + kk];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    {
+        let gwd = gw.data_mut();
+        for bi in 0..b {
+            for co in 0..c_out {
+                let goff = (bi * c_out + co) * t_out;
+                for to in 0..t_out {
+                    let gv = gd[goff + to];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    let base = to * stride;
+                    for ci in 0..c_in {
+                        let xoff = (bi * c_in + ci) * t;
+                        let woff = (co * c_in + ci) * k;
+                        for kk in 0..k {
+                            let ti = base + kk * dilation;
+                            if ti < padding || ti - padding >= t {
+                                continue;
+                            }
+                            gwd[woff + kk] += gv * xd[xoff + ti - padding];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gw)
+}
+
+/// A 1-D convolution layer over `[B, C_in, T]` input.
+pub struct Conv1d {
+    weight: Var,
+    bias: Option<Var>,
+    stride: usize,
+    padding: usize,
+    dilation: usize,
+}
+
+impl Conv1d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        dilation: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        Self {
+            weight: Var::parameter(rng.kaiming_normal(&[c_out, c_in, kernel])),
+            bias: Some(Var::parameter(NdArray::zeros(&[c_out]))),
+            stride,
+            padding,
+            dilation,
+        }
+    }
+
+    /// "Same-length" convolution (stride 1, symmetric padding `k/2`), for
+    /// odd kernels.
+    pub fn same(c_in: usize, c_out: usize, kernel: usize, rng: &mut Prng) -> Self {
+        assert!(kernel % 2 == 1, "same-padding requires an odd kernel");
+        Self::new(c_in, c_out, kernel, 1, kernel / 2, 1, rng)
+    }
+
+    /// Applies the convolution.
+    pub fn forward(&self, x: &Var) -> Var {
+        let xv = x.to_array();
+        let wv = self.weight.to_array();
+        let (stride, padding, dilation) = (self.stride, self.padding, self.dilation);
+        let out = conv1d_forward(&xv, &wv, stride, padding, dilation);
+        let y = Var::custom(
+            out,
+            vec![x.clone(), self.weight.clone()],
+            move |g| {
+                let (gx, gw) = conv1d_backward(g, &xv, &wv, stride, padding, dilation);
+                vec![gx, gw]
+            },
+        );
+        match &self.bias {
+            // Bias broadcasts over [B, C_out, T]: reshape to [C_out, 1].
+            Some(b) => {
+                let c_out = b.shape()[0];
+                y.add(&b.reshape(&[c_out, 1]))
+            }
+            None => y,
+        }
+    }
+}
+
+impl Module for Conv1d {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            ps.push(b.clone());
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::gradcheck::assert_gradients_close;
+
+    #[test]
+    fn out_len_formula() {
+        assert_eq!(conv1d_out_len(10, 3, 1, 1, 1), 10); // same
+        assert_eq!(conv1d_out_len(10, 3, 2, 1, 1), 5);
+        assert_eq!(conv1d_out_len(10, 3, 1, 0, 2), 6); // dilated
+        assert_eq!(conv1d_out_len(2, 5, 1, 0, 1), 0); // too short
+    }
+
+    #[test]
+    fn identity_kernel_preserves_signal() {
+        // Kernel [[ [0,1,0] ]] with same padding is the identity.
+        let x = NdArray::from_fn(&[1, 1, 6], |i| i as f32);
+        let w = NdArray::from_vec(&[1, 1, 3], vec![0.0, 1.0, 0.0]).unwrap();
+        let y = conv1d_forward(&x, &w, 1, 1, 1);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn moving_average_kernel() {
+        let x = NdArray::from_vec(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = NdArray::from_vec(&[1, 1, 2], vec![0.5, 0.5]).unwrap();
+        let y = conv1d_forward(&x, &w, 1, 0, 1);
+        assert_eq!(y.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn multichannel_shapes() {
+        let mut rng = Prng::new(0);
+        let conv = Conv1d::new(3, 5, 3, 2, 1, 1, &mut rng);
+        let x = Var::constant(rng.randn(&[2, 3, 11]));
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), vec![2, 5, conv1d_out_len(11, 3, 2, 1, 1)]);
+    }
+
+    #[test]
+    fn conv_gradcheck_input() {
+        let mut rng = Prng::new(1);
+        let x = rng.randn(&[2, 2, 7]);
+        let conv = Conv1d::new(2, 3, 3, 1, 1, 1, &mut rng);
+        assert_gradients_close(&x, 1e-2, 2e-2, |v| conv.forward(v).powf(2.0).sum());
+    }
+
+    #[test]
+    fn conv_gradcheck_dilated_strided() {
+        let mut rng = Prng::new(2);
+        let x = rng.randn(&[1, 2, 12]);
+        let conv = Conv1d::new(2, 2, 3, 2, 2, 2, &mut rng);
+        assert_gradients_close(&x, 1e-2, 2e-2, |v| conv.forward(v).powf(2.0).sum());
+    }
+
+    #[test]
+    fn conv_weight_receives_gradient() {
+        let mut rng = Prng::new(3);
+        let conv = Conv1d::new(2, 2, 3, 1, 1, 1, &mut rng);
+        let x = Var::constant(rng.randn(&[1, 2, 8]));
+        conv.forward(&x).powf(2.0).sum().backward();
+        for p in conv.parameters() {
+            assert!(p.grad().expect("grad").l2_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn bias_shifts_every_position() {
+        let mut rng = Prng::new(4);
+        let conv = Conv1d::new(1, 1, 1, 1, 0, 1, &mut rng);
+        // Force weight = 1, bias = 2.5 -> y = x + 2.5.
+        conv.weight.set_value(NdArray::ones(&[1, 1, 1]));
+        conv.bias.as_ref().unwrap().set_value(NdArray::from_slice(&[2.5]));
+        let x = Var::constant(NdArray::from_vec(&[1, 1, 3], vec![0.0, 1.0, -1.0]).unwrap());
+        let y = conv.forward(&x).to_array();
+        assert_eq!(y.data(), &[2.5, 3.5, 1.5]);
+    }
+}

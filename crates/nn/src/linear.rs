@@ -1,0 +1,164 @@
+//! Fully connected layers and dropout wrappers.
+
+use crate::module::{Ctx, Module};
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// A dense affine layer `y = x W + b`.
+///
+/// The weight is stored `[in, out]` so both `[N, in]` and `[B, T, in]`
+/// inputs multiply without a transpose.
+pub struct Linear {
+    weight: Var,
+    bias: Option<Var>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Prng) -> Self {
+        // Xavier fans are derived from [out, in]; generate then transpose
+        // into the [in, out] storage layout.
+        let w = rng.xavier_uniform(&[out_features, in_features]).transpose();
+        Self {
+            weight: Var::parameter(w),
+            bias: Some(Var::parameter(NdArray::zeros(&[out_features]))),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Creates a layer without a bias term.
+    pub fn new_no_bias(in_features: usize, out_features: usize, rng: &mut Prng) -> Self {
+        let mut l = Self::new(in_features, out_features, rng);
+        l.bias = None;
+        l
+    }
+
+    /// Applies the layer to `[..., in]`-shaped input.
+    pub fn forward(&self, x: &Var) -> Var {
+        let y = x.matmul(&self.weight);
+        match &self.bias {
+            Some(b) => y.add(b),
+            None => y,
+        }
+    }
+
+    /// Overwrites the layer's weights (`[in, out]`) and, when present,
+    /// bias (`[out]`). Used to initialize fine-tuning heads from a
+    /// closed-form probe solution (LP-FT).
+    pub fn load(&self, weight: NdArray, bias: Option<NdArray>) {
+        self.weight.set_value(weight);
+        if let (Some(slot), Some(b)) = (&self.bias, bias) {
+            slot.set_value(b);
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            ps.push(b.clone());
+        }
+        ps
+    }
+}
+
+/// Inverted-dropout layer: a thin named wrapper over [`Var::dropout`].
+///
+/// TimeDRL relies on encoder-internal dropout as its *only* source of view
+/// randomness (Section IV-C), so the probability is surfaced prominently in
+/// every encoder configuration rather than hidden inside blocks.
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Self { p }
+    }
+
+    /// Applies dropout under the context's training flag.
+    pub fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        x.dropout(self.p, ctx.training, &mut ctx.rng)
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = Prng::new(0);
+        let l = Linear::new(8, 3, &mut rng);
+        let x = Var::constant(rng.randn(&[5, 8]));
+        assert_eq!(l.forward(&x).shape(), vec![5, 3]);
+        let x3 = Var::constant(rng.randn(&[2, 7, 8]));
+        assert_eq!(l.forward(&x3).shape(), vec![2, 7, 3]);
+    }
+
+    #[test]
+    fn linear_zero_input_gives_bias() {
+        let mut rng = Prng::new(1);
+        let l = Linear::new(4, 2, &mut rng);
+        let y = l.forward(&Var::constant(NdArray::zeros(&[1, 4])));
+        // Bias initializes to zero.
+        assert_eq!(y.to_array().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_param_count() {
+        let mut rng = Prng::new(2);
+        assert_eq!(Linear::new(8, 3, &mut rng).num_parameters(), 8 * 3 + 3);
+        assert_eq!(Linear::new_no_bias(8, 3, &mut rng).num_parameters(), 24);
+    }
+
+    #[test]
+    fn linear_is_trainable() {
+        let mut rng = Prng::new(3);
+        let l = Linear::new(3, 1, &mut rng);
+        let x = Var::constant(rng.randn(&[10, 3]));
+        let target = rng.randn(&[10, 1]);
+        let loss = l.forward(&x).mse_loss(&target);
+        loss.backward();
+        for p in l.parameters() {
+            assert!(p.grad().is_some(), "every parameter receives gradient");
+        }
+    }
+
+    #[test]
+    fn dropout_respects_ctx() {
+        let d = Dropout::new(0.5);
+        let x = Var::constant(NdArray::ones(&[16, 16]));
+        let mut eval = Ctx::eval();
+        assert_eq!(d.forward(&x, &mut eval).to_array(), x.to_array());
+        let mut train = Ctx::train(7);
+        let y = d.forward(&x, &mut train).to_array();
+        assert!(y.data().contains(&0.0), "training dropout zeroes entries");
+    }
+}

@@ -1,0 +1,179 @@
+//! LSTM and bidirectional LSTM sequence encoders (Table VIII ablation rows).
+
+use crate::linear::Linear;
+use crate::module::Module;
+use timedrl_tensor::{NdArray, Prng, Var};
+
+/// A single-layer LSTM unrolled over `[B, T, C]` input, returning the full
+/// hidden sequence `[B, T, H]`.
+///
+/// Gate layout follows the classic formulation: one fused affine map
+/// produces `[i | f | g | o]`, then
+/// `c = σ(f)·c + σ(i)·tanh(g)` and `h = σ(o)·tanh(c)`.
+pub struct Lstm {
+    wx: Linear,
+    wh: Linear,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM mapping `input` features to `hidden` units.
+    pub fn new(input: usize, hidden: usize, rng: &mut Prng) -> Self {
+        Self {
+            wx: Linear::new(input, 4 * hidden, rng),
+            wh: Linear::new_no_bias(hidden, 4 * hidden, rng),
+            hidden,
+        }
+    }
+
+    /// Unrolls over time; input `[B, T, C]`, output `[B, T, H]`.
+    pub fn forward(&self, x: &Var) -> Var {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "LSTM expects [B, T, C]");
+        let (b, t) = (shape[0], shape[1]);
+        let h_dim = self.hidden;
+        let mut h = Var::constant(NdArray::zeros(&[b, h_dim]));
+        let mut c = Var::constant(NdArray::zeros(&[b, h_dim]));
+        let mut outputs = Vec::with_capacity(t);
+        for step in 0..t {
+            let xt = x.slice(1, step, 1).reshape(&[b, shape[2]]);
+            let gates = self.wx.forward(&xt).add(&self.wh.forward(&h));
+            let i = gates.slice(1, 0, h_dim).sigmoid();
+            let f = gates.slice(1, h_dim, h_dim).sigmoid();
+            let g = gates.slice(1, 2 * h_dim, h_dim).tanh_act();
+            let o = gates.slice(1, 3 * h_dim, h_dim).sigmoid();
+            c = f.mul(&c).add(&i.mul(&g));
+            h = o.mul(&c.tanh_act());
+            outputs.push(h.reshape(&[b, 1, h_dim]));
+        }
+        Var::concat(&outputs, 1)
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Module for Lstm {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.wx.parameters();
+        ps.extend(self.wh.parameters());
+        ps
+    }
+}
+
+/// A bidirectional LSTM: a forward and a time-reversed pass, concatenated
+/// along the feature axis to `[B, T, 2H]`.
+pub struct BiLstm {
+    forward_cell: Lstm,
+    backward_cell: Lstm,
+}
+
+impl BiLstm {
+    /// Creates a BiLSTM; output width is `2 * hidden`.
+    pub fn new(input: usize, hidden: usize, rng: &mut Prng) -> Self {
+        Self {
+            forward_cell: Lstm::new(input, hidden, rng),
+            backward_cell: Lstm::new(input, hidden, rng),
+        }
+    }
+
+    /// Runs both directions; input `[B, T, C]`, output `[B, T, 2H]`.
+    pub fn forward(&self, x: &Var) -> Var {
+        let fwd = self.forward_cell.forward(x);
+        let rev_in = reverse_time(x);
+        let bwd = reverse_time(&self.backward_cell.forward(&rev_in));
+        Var::concat(&[fwd, bwd], 2)
+    }
+}
+
+impl Module for BiLstm {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.forward_cell.parameters();
+        ps.extend(self.backward_cell.parameters());
+        ps
+    }
+}
+
+/// Reverses a `[B, T, C]` sequence along the time axis (differentiable).
+pub fn reverse_time(x: &Var) -> Var {
+    let t = x.shape()[1];
+    let slices: Vec<Var> = (0..t).rev().map(|i| x.slice(1, i, 1)).collect();
+    Var::concat(&slices, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstm_output_shape() {
+        let mut rng = Prng::new(0);
+        let lstm = Lstm::new(5, 7, &mut rng);
+        let x = Var::constant(rng.randn(&[3, 6, 5]));
+        assert_eq!(lstm.forward(&x).shape(), vec![3, 6, 7]);
+    }
+
+    #[test]
+    fn lstm_hidden_state_bounded() {
+        // h = o * tanh(c) keeps |h| < 1.
+        let mut rng = Prng::new(1);
+        let lstm = Lstm::new(2, 4, &mut rng);
+        let x = Var::constant(rng.randn(&[2, 10, 2]).scale(100.0));
+        let y = lstm.forward(&x).to_array();
+        assert!(y.max() <= 1.0 && y.min() >= -1.0);
+    }
+
+    #[test]
+    fn lstm_is_causal() {
+        let mut rng = Prng::new(2);
+        let lstm = Lstm::new(1, 3, &mut rng);
+        let x1 = rng.randn(&[1, 5, 1]);
+        let mut x2 = x1.clone();
+        x2.data_mut()[4] += 50.0;
+        let y1 = lstm.forward(&Var::constant(x1)).to_array();
+        let y2 = lstm.forward(&Var::constant(x2)).to_array();
+        // First four timesteps unaffected by a change at t=4.
+        for i in 0..4 * 3 {
+            assert!((y1.data()[i] - y2.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bilstm_sees_both_directions() {
+        let mut rng = Prng::new(3);
+        let bi = BiLstm::new(1, 3, &mut rng);
+        let x1 = rng.randn(&[1, 5, 1]);
+        let mut x2 = x1.clone();
+        x2.data_mut()[4] += 50.0;
+        let y1 = bi.forward(&Var::constant(x1)).to_array();
+        let y2 = bi.forward(&Var::constant(x2)).to_array();
+        // Output width doubles and t=0 *is* affected via the backward pass.
+        assert_eq!(y1.shape(), &[1, 5, 6]);
+        let diff0: f32 = (0..6).map(|i| (y1.data()[i] - y2.data()[i]).abs()).sum();
+        assert!(diff0 > 1e-5);
+    }
+
+    #[test]
+    fn reverse_time_involution() {
+        let mut rng = Prng::new(4);
+        let x = Var::constant(rng.randn(&[2, 4, 3]));
+        let twice = reverse_time(&reverse_time(&x));
+        assert_eq!(twice.to_array(), x.to_array());
+    }
+
+    #[test]
+    fn lstm_gradients_flow_through_time() {
+        let mut rng = Prng::new(5);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let x = Var::constant(rng.randn(&[2, 6, 2]));
+        // Loss depends only on the *last* step, but gradients must reach
+        // weights via the recurrence.
+        let y = lstm.forward(&x);
+        y.slice(1, 5, 1).powf(2.0).sum().backward();
+        for p in lstm.parameters() {
+            assert!(p.grad().expect("grad").l2_norm() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Module abstractions: parameter collection and the forward context.
+
+use timedrl_tensor::{Prng, Var};
+
+/// A trainable component that exposes its parameter leaves.
+///
+/// Forward signatures vary by layer (sequence layers take `[B, T, D]`,
+/// heads take `[N, D]`, convolutions take `[B, C, T]`), so `forward` is an
+/// inherent method on each layer rather than part of this trait. The trait
+/// covers what optimizers and checkpoints need: a flat view of parameters.
+pub trait Module {
+    /// All trainable parameter leaves, in a stable order.
+    fn parameters(&self) -> Vec<Var>;
+
+    /// Total scalar parameter count.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.value().numel()).sum()
+    }
+}
+
+/// Per-forward-pass context: the train/eval switch and the RNG that feeds
+/// dropout masks.
+///
+/// TimeDRL's instance-contrastive task depends on dropout randomness being
+/// *live* during pre-training — two forward passes through the same encoder
+/// with the same `Ctx` must produce different views. Evaluation contexts
+/// disable all stochasticity.
+pub struct Ctx {
+    /// Whether stochastic layers (dropout) are active.
+    pub training: bool,
+    /// RNG used by stochastic layers.
+    pub rng: Prng,
+}
+
+impl Ctx {
+    /// A training context with dropout enabled, seeded for reproducibility.
+    pub fn train(seed: u64) -> Self {
+        Self { training: true, rng: Prng::new(seed) }
+    }
+
+    /// An evaluation context: dropout becomes the identity.
+    pub fn eval() -> Self {
+        Self { training: false, rng: Prng::new(0) }
+    }
+}
+
+/// Gradient-norm clipping over a parameter set; returns the pre-clip global
+/// norm. A no-op when the norm is already below `max_norm`.
+pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total += g.data().iter().map(|v| v * v).sum::<f32>();
+        }
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.zero_grad();
+                // Leaves accumulate backward_with seeds directly into their
+                // own gradient slot, so this writes the clipped gradient.
+                p.backward_with(g.scale(scale));
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::NdArray;
+
+    #[test]
+    fn ctx_modes() {
+        assert!(Ctx::train(0).training);
+        assert!(!Ctx::eval().training);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let p = Var::parameter(NdArray::zeros(&[4]));
+        p.backward_with(NdArray::from_slice(&[3.0, 0.0, 4.0, 0.0])); // norm 5
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let g = p.grad().unwrap();
+        assert!((g.l2_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_under_limit() {
+        let p = Var::parameter(NdArray::zeros(&[2]));
+        p.backward_with(NdArray::from_slice(&[0.3, 0.4])); // norm 0.5
+        clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert_eq!(p.grad().unwrap().data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,157 @@
+//! 1-D ResNet encoder (ResNet-18 style with one-dimensional convolutions),
+//! the "ResNet" row of the Table VIII encoder ablation.
+
+use crate::conv::Conv1d;
+use crate::module::{Ctx, Module};
+use crate::norm::LayerNorm;
+use timedrl_tensor::{Prng, Var};
+
+/// A basic 1-D residual block: conv-norm-relu-conv-norm plus shortcut.
+///
+/// Normalization is LayerNorm over the channel axis (applied per timestep),
+/// which avoids BatchNorm's train/eval statistics plumbing inside deep
+/// encoder stacks while providing the same conditioning role.
+pub struct BasicBlock1d {
+    conv1: Conv1d,
+    conv2: Conv1d,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    downsample: Option<Conv1d>,
+    stride: usize,
+}
+
+impl BasicBlock1d {
+    /// Creates a block; `stride > 1` halves the temporal resolution.
+    pub fn new(c_in: usize, c_out: usize, stride: usize, rng: &mut Prng) -> Self {
+        Self {
+            conv1: Conv1d::new(c_in, c_out, 3, stride, 1, 1, rng),
+            conv2: Conv1d::new(c_out, c_out, 3, 1, 1, 1, rng),
+            norm1: LayerNorm::new(c_out),
+            norm2: LayerNorm::new(c_out),
+            downsample: if stride != 1 || c_in != c_out {
+                Some(Conv1d::new(c_in, c_out, 1, stride, 0, 1, rng))
+            } else {
+                None
+            },
+            stride,
+        }
+    }
+
+    /// Normalizes over channels: `[B, C, T]` -> permute -> LN -> permute.
+    fn norm(ln: &LayerNorm, x: &Var) -> Var {
+        ln.forward(&x.permute(&[0, 2, 1])).permute(&[0, 2, 1])
+    }
+
+    /// Applies the block to `[B, C, T]` input.
+    pub fn forward(&self, x: &Var) -> Var {
+        let h = Self::norm(&self.norm1, &self.conv1.forward(x)).relu();
+        let h = Self::norm(&self.norm2, &self.conv2.forward(&h));
+        let shortcut = match &self.downsample {
+            Some(d) => d.forward(x),
+            None => x.clone(),
+        };
+        h.add(&shortcut).relu()
+    }
+
+    /// Temporal stride of the block.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Module for BasicBlock1d {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.conv1.parameters();
+        ps.extend(self.conv2.parameters());
+        ps.extend(self.norm1.parameters());
+        ps.extend(self.norm2.parameters());
+        if let Some(d) = &self.downsample {
+            ps.extend(d.parameters());
+        }
+        ps
+    }
+}
+
+/// A compact ResNet-18-shaped 1-D encoder: a stem convolution followed by
+/// four stages of two basic blocks each. Widths are configurable so the
+/// ablation can run at the reproduction's scaled-down sizes.
+pub struct ResNet1d {
+    stem: Conv1d,
+    stages: Vec<BasicBlock1d>,
+    out_channels: usize,
+}
+
+impl ResNet1d {
+    /// `widths` gives the channel count of each of the four stages.
+    pub fn new(c_in: usize, widths: [usize; 4], rng: &mut Prng) -> Self {
+        let stem = Conv1d::new(c_in, widths[0], 7, 1, 3, 1, rng);
+        let mut stages = Vec::with_capacity(8);
+        let mut prev = widths[0];
+        for (i, &w) in widths.iter().enumerate() {
+            let stride = if i == 0 { 1 } else { 2 };
+            stages.push(BasicBlock1d::new(prev, w, stride, rng));
+            stages.push(BasicBlock1d::new(w, w, 1, rng));
+            prev = w;
+        }
+        Self { stem, stages, out_channels: widths[3] }
+    }
+
+    /// Applies the encoder; `[B, C_in, T] -> [B, widths[3], T']` where the
+    /// temporal axis shrinks by the stage strides.
+    pub fn forward(&self, x: &Var, _ctx: &mut Ctx) -> Var {
+        let mut h = self.stem.forward(x).relu();
+        for s in &self.stages {
+            h = s.forward(&h);
+        }
+        h
+    }
+
+    /// Output channel width.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Module for ResNet1d {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.stem.parameters();
+        ps.extend(self.stages.iter().flat_map(|s| s.parameters()));
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_preserves_shape_at_stride_one() {
+        let mut rng = Prng::new(0);
+        let b = BasicBlock1d::new(4, 4, 1, &mut rng);
+        let x = Var::constant(rng.randn(&[2, 4, 12]));
+        assert_eq!(b.forward(&x).shape(), vec![2, 4, 12]);
+    }
+
+    #[test]
+    fn strided_block_halves_time() {
+        let mut rng = Prng::new(1);
+        let b = BasicBlock1d::new(4, 8, 2, &mut rng);
+        let x = Var::constant(rng.randn(&[2, 4, 12]));
+        assert_eq!(b.forward(&x).shape(), vec![2, 8, 6]);
+    }
+
+    #[test]
+    fn resnet_end_to_end() {
+        let mut rng = Prng::new(2);
+        let net = ResNet1d::new(3, [4, 4, 8, 8], &mut rng);
+        let x = Var::constant(rng.randn(&[2, 3, 16]));
+        let y = net.forward(&x, &mut Ctx::eval());
+        assert_eq!(y.shape()[0], 2);
+        assert_eq!(y.shape()[1], 8);
+        assert_eq!(y.shape()[2], 2); // 16 / 2^3 stage strides
+        y.powf(2.0).mean().backward();
+        for p in net.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+}

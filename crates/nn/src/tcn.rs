@@ -1,0 +1,201 @@
+//! Temporal Convolutional Network (Bai et al., 2018).
+//!
+//! Dilated causal convolutions with residual connections. Serves two roles
+//! in the reproduction: the end-to-end TCN forecasting baseline of
+//! Table III/IV and the "TCN" encoder row of the Table VIII ablation.
+
+use crate::conv::Conv1d;
+use crate::module::{Ctx, Module};
+use timedrl_tensor::{Prng, Var};
+
+/// A causal dilated convolution: left-pads by `(k-1)·dilation` and trims the
+/// tail so output positions never see the future.
+pub struct CausalConv1d {
+    conv: Conv1d,
+    trim: usize,
+}
+
+impl CausalConv1d {
+    /// Creates a causal convolution with the given dilation (stride 1).
+    pub fn new(c_in: usize, c_out: usize, kernel: usize, dilation: usize, rng: &mut Prng) -> Self {
+        let pad = (kernel - 1) * dilation;
+        Self { conv: Conv1d::new(c_in, c_out, kernel, 1, pad, dilation, rng), trim: pad }
+    }
+
+    /// Applies the convolution; output length equals input length.
+    pub fn forward(&self, x: &Var) -> Var {
+        let y = self.conv.forward(x);
+        if self.trim == 0 {
+            return y;
+        }
+        let t = y.shape()[2];
+        y.slice(2, 0, t - self.trim)
+    }
+}
+
+impl Module for CausalConv1d {
+    fn parameters(&self) -> Vec<Var> {
+        self.conv.parameters()
+    }
+}
+
+/// One TCN residual block: two causal dilated convs with ReLU + dropout, and
+/// a 1×1 shortcut when channel counts differ.
+pub struct TemporalBlock {
+    conv1: CausalConv1d,
+    conv2: CausalConv1d,
+    downsample: Option<Conv1d>,
+    dropout: f32,
+}
+
+impl TemporalBlock {
+    /// Creates a block at the given dilation level.
+    pub fn new(c_in: usize, c_out: usize, kernel: usize, dilation: usize, dropout: f32, rng: &mut Prng) -> Self {
+        Self {
+            conv1: CausalConv1d::new(c_in, c_out, kernel, dilation, rng),
+            conv2: CausalConv1d::new(c_out, c_out, kernel, dilation, rng),
+            downsample: if c_in != c_out {
+                Some(Conv1d::new(c_in, c_out, 1, 1, 0, 1, rng))
+            } else {
+                None
+            },
+            dropout,
+        }
+    }
+
+    /// Applies the block to `[B, C, T]` input.
+    pub fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let h = self
+            .conv1
+            .forward(x)
+            .relu()
+            .dropout(self.dropout, ctx.training, &mut ctx.rng);
+        let h = self
+            .conv2
+            .forward(&h)
+            .relu()
+            .dropout(self.dropout, ctx.training, &mut ctx.rng);
+        let shortcut = match &self.downsample {
+            Some(d) => d.forward(x),
+            None => x.clone(),
+        };
+        h.add(&shortcut).relu()
+    }
+}
+
+impl Module for TemporalBlock {
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.conv1.parameters();
+        ps.extend(self.conv2.parameters());
+        if let Some(d) = &self.downsample {
+            ps.extend(d.parameters());
+        }
+        ps
+    }
+}
+
+/// A full TCN: stacked temporal blocks with dilation doubling per level
+/// (1, 2, 4, ...), giving an exponentially growing receptive field.
+pub struct Tcn {
+    blocks: Vec<TemporalBlock>,
+}
+
+impl Tcn {
+    /// `channels` lists the output width of each level.
+    pub fn new(c_in: usize, channels: &[usize], kernel: usize, dropout: f32, rng: &mut Prng) -> Self {
+        assert!(!channels.is_empty(), "TCN needs at least one level");
+        let mut blocks = Vec::with_capacity(channels.len());
+        let mut prev = c_in;
+        for (level, &c) in channels.iter().enumerate() {
+            blocks.push(TemporalBlock::new(prev, c, kernel, 1 << level, dropout, rng));
+            prev = c;
+        }
+        Self { blocks }
+    }
+
+    /// Applies all blocks; `[B, C_in, T] -> [B, channels.last(), T]`.
+    pub fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let mut h = x.clone();
+        for b in &self.blocks {
+            h = b.forward(&h, ctx);
+        }
+        h
+    }
+
+    /// Receptive field in timesteps: `1 + 2(k-1)(2^L - 1)`.
+    pub fn receptive_field(&self, kernel: usize) -> usize {
+        let l = self.blocks.len() as u32;
+        1 + 2 * (kernel - 1) * ((1usize << l) - 1)
+    }
+}
+
+impl Module for Tcn {
+    fn parameters(&self) -> Vec<Var> {
+        self.blocks.iter().flat_map(|b| b.parameters()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::NdArray;
+
+    #[test]
+    fn causal_conv_preserves_length() {
+        let mut rng = Prng::new(0);
+        let c = CausalConv1d::new(2, 3, 3, 2, &mut rng);
+        let x = Var::constant(rng.randn(&[1, 2, 10]));
+        assert_eq!(c.forward(&x).shape(), vec![1, 3, 10]);
+    }
+
+    #[test]
+    fn causal_conv_never_sees_future() {
+        let mut rng = Prng::new(1);
+        let c = CausalConv1d::new(1, 1, 3, 1, &mut rng);
+        let x1 = rng.randn(&[1, 1, 8]);
+        let mut x2 = x1.clone();
+        x2.data_mut()[7] += 100.0; // perturb only the last step
+        let y1 = c.forward(&Var::constant(x1)).to_array();
+        let y2 = c.forward(&Var::constant(x2)).to_array();
+        for t in 0..7 {
+            assert!((y1.data()[t] - y2.data()[t]).abs() < 1e-5, "leak at t={t}");
+        }
+        assert!((y1.data()[7] - y2.data()[7]).abs() > 1.0);
+    }
+
+    #[test]
+    fn tcn_shapes_and_grads() {
+        let mut rng = Prng::new(2);
+        let tcn = Tcn::new(3, &[4, 4], 3, 0.1, &mut rng);
+        let x = Var::constant(rng.randn(&[2, 3, 16]));
+        let y = tcn.forward(&x, &mut Ctx::train(3));
+        assert_eq!(y.shape(), vec![2, 4, 16]);
+        y.powf(2.0).mean().backward();
+        for p in tcn.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn residual_identity_path_works() {
+        // With matching channels the shortcut is the identity; zero conv
+        // weights should reproduce relu(x).
+        let mut rng = Prng::new(3);
+        let block = TemporalBlock::new(2, 2, 3, 1, 0.0, &mut rng);
+        for p in block.conv1.parameters().iter().chain(block.conv2.parameters().iter()) {
+            p.set_value(NdArray::zeros(&p.shape()));
+        }
+        let x = Var::constant(rng.randn(&[1, 2, 6]));
+        let y = block.forward(&x, &mut Ctx::eval());
+        assert_eq!(y.to_array(), x.to_array().map(|v| v.max(0.0)));
+    }
+
+    #[test]
+    fn receptive_field_grows_exponentially() {
+        let mut rng = Prng::new(4);
+        let t2 = Tcn::new(1, &[4, 4], 3, 0.0, &mut rng);
+        let t4 = Tcn::new(1, &[4, 4, 4, 4], 3, 0.0, &mut rng);
+        assert_eq!(t2.receptive_field(3), 1 + 2 * 2 * 3);
+        assert!(t4.receptive_field(3) > 4 * t2.receptive_field(3) / 2);
+    }
+}

@@ -1,0 +1,781 @@
+//! [`NdArray`]: a contiguous, row-major, f32 n-dimensional array.
+//!
+//! This is the numeric workhorse underneath the autograd layer. It favours
+//! simplicity and predictability over generality: storage is always
+//! contiguous C-order `Vec<f32>`, so every view-producing operation
+//! (`transpose`, `slice`, `broadcast_to`, ...) materializes a fresh array.
+//! At the model sizes used by the TimeDRL reproduction this is never the
+//! bottleneck, and it eliminates the entire class of stride-aliasing bugs.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{
+    broadcast_shape, broadcast_strides, broadcastable_to, check_axis, numel, ravel,
+    row_major_strides,
+};
+
+/// A dense, row-major, f32 n-dimensional array.
+///
+/// The empty shape `[]` denotes a scalar holding exactly one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl NdArray {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates an array from a shape and backing data.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self> {
+        if numel(shape) != data.len() {
+            return Err(TensorError::ShapeDataMismatch { shape: shape.to_vec(), data_len: data.len() });
+        }
+        Ok(Self { shape: shape.to_vec(), data })
+    }
+
+    /// Creates an array filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+    }
+
+    /// Creates a zero-filled array.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates a one-filled array.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![], data: vec![value] }
+    }
+
+    /// Creates a 1-D array from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        Self { shape: vec![values.len()], data: values.to_vec() }
+    }
+
+    /// Creates an array by evaluating `f` at every flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = numel(shape);
+        let data = (0..n).map(&mut f).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut out = Self::zeros(&[n, n]);
+        for i in 0..n {
+            out.data[i * n + i] = 1.0;
+        }
+        out
+    }
+
+    /// 1-D array of `n` evenly spaced values from `start` to `end` inclusive.
+    pub fn linspace(start: f32, end: f32, n: usize) -> Self {
+        assert!(n >= 2, "linspace needs at least two points");
+        let step = (end - start) / (n as f32 - 1.0);
+        Self::from_fn(&[n], |i| start + step * i as f32)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The array's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the backing data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning its backing data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at multi-dimensional coordinates `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx.len() != self.rank()` or any coordinate is out of range.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        for (i, (&c, &d)) in idx.iter().zip(self.shape.iter()).enumerate() {
+            assert!(c < d, "index {c} out of bounds for axis {i} of size {d}");
+        }
+        self.data[ravel(idx, &row_major_strides(&self.shape))]
+    }
+
+    /// Writes the element at multi-dimensional coordinates `idx`.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let flat = ravel(idx, &row_major_strides(&self.shape));
+        self.data[flat] = value;
+    }
+
+    /// Returns the single element of a rank-0 or single-element array.
+    ///
+    /// # Panics
+    /// Panics if the array holds more than one element.
+    pub fn to_scalar(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "to_scalar on array with {} elements", self.numel());
+        self.data[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a copy with a new shape holding the same elements.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
+        if numel(shape) != self.numel() {
+            return Err(TensorError::ReshapeMismatch { from: self.shape.clone(), to: shape.to_vec() });
+        }
+        Ok(Self { shape: shape.to_vec(), data: self.data.clone() })
+    }
+
+    /// Flattens to 1-D.
+    pub fn flatten(&self) -> Self {
+        Self { shape: vec![self.numel()], data: self.data.clone() }
+    }
+
+    /// Generalized axis permutation; `axes` must be a permutation of
+    /// `0..rank`.
+    pub fn permute(&self, axes: &[usize]) -> Self {
+        assert_eq!(axes.len(), self.rank(), "permutation rank mismatch");
+        let mut seen = vec![false; self.rank()];
+        for &a in axes {
+            assert!(a < self.rank() && !seen[a], "axes must be a permutation");
+            seen[a] = true;
+        }
+        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let src_strides = row_major_strides(&self.shape);
+        let perm_strides: Vec<usize> = axes.iter().map(|&a| src_strides[a]).collect();
+        let mut data = Vec::with_capacity(self.numel());
+        let mut coords = vec![0usize; self.rank()];
+        for _ in 0..self.numel() {
+            data.push(self.data[ravel(&coords, &perm_strides)]);
+            // increment coords in row-major order of the *new* shape
+            for ax in (0..new_shape.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < new_shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        Self { shape: new_shape, data }
+    }
+
+    /// Swaps the last two axes (matrix transpose for rank >= 2).
+    ///
+    /// # Panics
+    /// Panics on rank < 2.
+    pub fn transpose(&self) -> Self {
+        assert!(self.rank() >= 2, "transpose requires rank >= 2");
+        let mut axes: Vec<usize> = (0..self.rank()).collect();
+        let r = self.rank();
+        axes.swap(r - 1, r - 2);
+        self.permute(&axes)
+    }
+
+    /// Inserts a size-1 axis at `axis`.
+    pub fn unsqueeze(&self, axis: usize) -> Self {
+        assert!(axis <= self.rank(), "unsqueeze axis out of range");
+        let mut shape = self.shape.clone();
+        shape.insert(axis, 1);
+        Self { shape, data: self.data.clone() }
+    }
+
+    /// Removes a size-1 axis at `axis`.
+    ///
+    /// # Panics
+    /// Panics if the axis does not have size 1.
+    pub fn squeeze(&self, axis: usize) -> Self {
+        assert!(axis < self.rank() && self.shape[axis] == 1, "squeeze needs a size-1 axis");
+        let mut shape = self.shape.clone();
+        shape.remove(axis);
+        Self { shape, data: self.data.clone() }
+    }
+
+    /// Materializes a broadcast of `self` to `target` shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BroadcastMismatch`] if not broadcastable.
+    pub fn broadcast_to(&self, target: &[usize]) -> Result<Self> {
+        if !broadcastable_to(&self.shape, target) {
+            return Err(TensorError::BroadcastMismatch { lhs: self.shape.clone(), rhs: target.to_vec() });
+        }
+        if self.shape == target {
+            return Ok(self.clone());
+        }
+        let strides = broadcast_strides(&self.shape, target);
+        let n = numel(target);
+        let mut data = Vec::with_capacity(n);
+        let mut coords = vec![0usize; target.len()];
+        for _ in 0..n {
+            data.push(self.data[ravel(&coords, &strides)]);
+            for ax in (0..target.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < target[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        Ok(Self { shape: target.to_vec(), data })
+    }
+
+    /// Sums `self` down to `target` shape (the adjoint of `broadcast_to`).
+    ///
+    /// Used to push gradients of broadcast operands back to their original
+    /// shapes.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Self {
+        if self.shape == target {
+            return self.clone();
+        }
+        assert!(
+            broadcastable_to(target, &self.shape),
+            "reduce_to_shape: {target:?} is not broadcastable to {:?}",
+            self.shape
+        );
+        let mut out = NdArray::zeros(target);
+        let strides = broadcast_strides(target, &self.shape);
+        let mut coords = vec![0usize; self.rank()];
+        for &v in &self.data {
+            out.data[ravel(&coords, &strides)] += v;
+            for ax in (0..self.shape.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < self.shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise operations
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, producing a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Broadcasting binary map: `f(self, other)` elementwise over the
+    /// broadcast shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BroadcastMismatch`] if shapes are incompatible.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape == other.shape {
+            // fast path: identical shapes
+            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            return Ok(Self { shape: self.shape.clone(), data });
+        }
+        let out_shape = broadcast_shape(&self.shape, &other.shape)?;
+        let ls = broadcast_strides(&self.shape, &out_shape);
+        let rs = broadcast_strides(&other.shape, &out_shape);
+        let n = numel(&out_shape);
+        let mut data = Vec::with_capacity(n);
+        let mut coords = vec![0usize; out_shape.len()];
+        for _ in 0..n {
+            let a = self.data[ravel(&coords, &ls)];
+            let b = other.data[ravel(&coords, &rs)];
+            data.push(f(a, b));
+            for ax in (0..out_shape.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < out_shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        Ok(Self { shape: out_shape, data })
+    }
+
+    /// Broadcasting addition. Panics on incompatible shapes.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a + b).expect("add: incompatible shapes")
+    }
+
+    /// Broadcasting subtraction. Panics on incompatible shapes.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a - b).expect("sub: incompatible shapes")
+    }
+
+    /// Broadcasting multiplication. Panics on incompatible shapes.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b).expect("mul: incompatible shapes")
+    }
+
+    /// Broadcasting division. Panics on incompatible shapes.
+    pub fn div(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a / b).expect("div: incompatible shapes")
+    }
+
+    /// Adds `other` into `self` in place (shapes must match exactly).
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Self {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Self {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Self {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise power.
+    pub fn powf(&self, p: f32) -> Self {
+        self.map(|v| v.powf(p))
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty arrays).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    /// Panics on an empty array.
+    pub fn max(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max of empty array");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        assert!(!self.data.is_empty(), "min of empty array");
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums along `axis`. When `keepdim` the reduced axis stays with size 1,
+    /// otherwise it is removed.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Self {
+        check_axis(axis, self.rank()).expect("sum_axis: axis out of range");
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = 1;
+        let outer: usize = self.shape[..axis].iter().product();
+        let dim = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut data = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for d in 0..dim {
+                let base = (o * dim + d) * inner;
+                let out_base = o * inner;
+                for i in 0..inner {
+                    data[out_base + i] += self.data[base + i];
+                }
+            }
+        }
+        let mut out = Self { shape: out_shape, data };
+        if !keepdim {
+            out = out.squeeze(axis);
+        }
+        out
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Self {
+        let dim = self.shape[axis] as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / dim)
+    }
+
+    /// Maximum along `axis`.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Self {
+        self.fold_axis(axis, keepdim, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum along `axis`.
+    pub fn min_axis(&self, axis: usize, keepdim: bool) -> Self {
+        self.fold_axis(axis, keepdim, f32::INFINITY, f32::min)
+    }
+
+    fn fold_axis(&self, axis: usize, keepdim: bool, init: f32, f: impl Fn(f32, f32) -> f32) -> Self {
+        check_axis(axis, self.rank()).expect("fold_axis: axis out of range");
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = 1;
+        let outer: usize = self.shape[..axis].iter().product();
+        let dim = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut data = vec![init; outer * inner];
+        for o in 0..outer {
+            for d in 0..dim {
+                let base = (o * dim + d) * inner;
+                let out_base = o * inner;
+                for i in 0..inner {
+                    data[out_base + i] = f(data[out_base + i], self.data[base + i]);
+                }
+            }
+        }
+        let mut out = Self { shape: out_shape, data };
+        if !keepdim {
+            out = out.squeeze(axis);
+        }
+        out
+    }
+
+    /// Index of the maximum along the last axis; result drops that axis.
+    pub fn argmax_lastdim(&self) -> Vec<usize> {
+        assert!(self.rank() >= 1, "argmax on scalar");
+        let dim = *self.shape.last().unwrap();
+        assert!(dim > 0, "argmax along empty axis");
+        self.data
+            .chunks(dim)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Population variance along `axis`.
+    pub fn var_axis(&self, axis: usize, keepdim: bool) -> Self {
+        let mean = self.mean_axis(axis, true);
+        let centered = self.sub(&mean);
+        let sq = centered.mul(&centered);
+        sq.mean_axis(axis, keepdim)
+    }
+
+    // ------------------------------------------------------------------
+    // Slicing / joining
+    // ------------------------------------------------------------------
+
+    /// Extracts the half-open range `[start, start+len)` along `axis`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::SliceOutOfBounds`] on out-of-range slices.
+    pub fn slice(&self, axis: usize, start: usize, len: usize) -> Result<Self> {
+        check_axis(axis, self.rank())?;
+        let dim = self.shape[axis];
+        if start + len > dim {
+            return Err(TensorError::SliceOutOfBounds { axis, start, len, dim });
+        }
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = len;
+        let mut data = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = (o * dim + start) * inner;
+            data.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Ok(Self { shape: out_shape, data })
+    }
+
+    /// Concatenates arrays along `axis`. All other dimensions must agree.
+    ///
+    /// # Panics
+    /// Panics on empty input or mismatched shapes.
+    pub fn concat(parts: &[&Self], axis: usize) -> Self {
+        assert!(!parts.is_empty(), "concat of zero arrays");
+        let rank = parts[0].rank();
+        assert!(axis < rank, "concat axis out of range");
+        for p in parts {
+            assert_eq!(p.rank(), rank, "concat rank mismatch");
+            for a in 0..rank {
+                if a != axis {
+                    assert_eq!(p.shape[a], parts[0].shape[a], "concat shape mismatch on axis {a}");
+                }
+            }
+        }
+        let mut out_shape = parts[0].shape.clone();
+        out_shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
+        let outer: usize = out_shape[..axis].iter().product();
+        let inner: usize = out_shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            for p in parts {
+                let d = p.shape[axis];
+                let base = o * d * inner;
+                data.extend_from_slice(&p.data[base..base + d * inner]);
+            }
+        }
+        Self { shape: out_shape, data }
+    }
+
+    /// Stacks arrays of identical shape along a new leading axis.
+    pub fn stack(parts: &[&Self]) -> Self {
+        assert!(!parts.is_empty(), "stack of zero arrays");
+        let unsqueezed: Vec<Self> = parts.iter().map(|p| p.unsqueeze(0)).collect();
+        let refs: Vec<&Self> = unsqueezed.iter().collect();
+        Self::concat(&refs, 0)
+    }
+
+    /// Row `i` of a rank >= 1 array (drops the leading axis).
+    pub fn index_axis0(&self, i: usize) -> Self {
+        self.slice(0, i, 1).expect("index_axis0 out of bounds").squeeze(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Fused numeric kernels (used by autograd ops with bespoke gradients)
+    // ------------------------------------------------------------------
+
+    /// Numerically stable softmax over the last axis.
+    pub fn softmax_lastdim(&self) -> Self {
+        assert!(self.rank() >= 1, "softmax on scalar");
+        let dim = *self.shape.last().unwrap();
+        let mut data = Vec::with_capacity(self.numel());
+        for row in self.data.chunks(dim) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+            let s: f32 = exps.iter().sum();
+            data.extend(exps.iter().map(|&e| e / s));
+        }
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// Numerically stable log-softmax over the last axis.
+    pub fn log_softmax_lastdim(&self) -> Self {
+        assert!(self.rank() >= 1, "log_softmax on scalar");
+        let dim = *self.shape.last().unwrap();
+        let mut data = Vec::with_capacity(self.numel());
+        for row in self.data.chunks(dim) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            data.extend(row.iter().map(|&v| v - lse));
+        }
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// Frobenius / L2 norm of all elements.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Maximum absolute difference against `other` (shapes must match).
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr2(rows: &[&[f32]]) -> NdArray {
+        let r = rows.len();
+        let c = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        NdArray::from_vec(&[r, c], data).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(NdArray::zeros(&[2, 3]).numel(), 6);
+        assert_eq!(NdArray::scalar(5.0).to_scalar(), 5.0);
+        assert!(NdArray::from_vec(&[2, 2], vec![1.0; 3]).is_err());
+        let e = NdArray::eye(3);
+        assert_eq!(e.at(&[1, 1]), 1.0);
+        assert_eq!(e.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let l = NdArray::linspace(0.0, 1.0, 5);
+        assert_eq!(l.data(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn broadcasting_add() {
+        let a = arr2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = NdArray::from_slice(&[10.0, 20.0]);
+        let c = a.add(&b);
+        assert_eq!(c.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn broadcast_to_and_reduce_roundtrip() {
+        let a = NdArray::from_slice(&[1.0, 2.0]);
+        let b = a.broadcast_to(&[3, 2]).unwrap();
+        assert_eq!(b.shape(), &[3, 2]);
+        let r = b.reduce_to_shape(&[2]);
+        assert_eq!(r.data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = arr2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(&[0, 1]), 4.0);
+        assert_eq!(t.at(&[2, 0]), 3.0);
+    }
+
+    #[test]
+    fn permute_3d() {
+        let a = NdArray::from_fn(&[2, 3, 4], |i| i as f32);
+        let p = a.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), a.at(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let a = NdArray::from_fn(&[2, 3, 2], |i| i as f32);
+        let s = a.sum_axis(1, false);
+        assert_eq!(s.shape(), &[2, 2]);
+        // a[0,:,0] = 0,2,4 -> 6 ; a[0,:,1] = 1,3,5 -> 9
+        assert_eq!(s.data()[0], 6.0);
+        assert_eq!(s.data()[1], 9.0);
+    }
+
+    #[test]
+    fn mean_and_var() {
+        let a = arr2(&[&[1.0, 3.0], &[2.0, 4.0]]);
+        let m = a.mean_axis(0, false);
+        assert_eq!(m.data(), &[1.5, 3.5]);
+        let v = a.var_axis(0, false);
+        assert_eq!(v.data(), &[0.25, 0.25]);
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let a = NdArray::from_fn(&[4, 2], |i| i as f32);
+        let s = a.slice(0, 1, 2).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[2.0, 3.0, 4.0, 5.0]);
+        let c = NdArray::concat(&[&s, &s], 1);
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.data(), &[2.0, 3.0, 2.0, 3.0, 4.0, 5.0, 4.0, 5.0]);
+        assert!(a.slice(0, 3, 2).is_err());
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = NdArray::from_slice(&[1.0, 2.0]);
+        let s = NdArray::stack(&[&a, &a, &a]);
+        assert_eq!(s.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = arr2(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let s = a.softmax_lastdim();
+        for row in s.data().chunks(3) {
+            let total: f32 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let a = arr2(&[&[0.5, -1.0, 2.0]]);
+        let ls = a.log_softmax_lastdim();
+        let s = a.softmax_lastdim();
+        assert!(ls.exp().max_abs_diff(&s) < 1e-6);
+    }
+
+    #[test]
+    fn argmax_lastdim_picks_largest() {
+        let a = arr2(&[&[0.1, 0.9, 0.2], &[5.0, 1.0, 2.0]]);
+        assert_eq!(a.argmax_lastdim(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_extreme_values_stable() {
+        let a = NdArray::from_slice(&[1000.0, 1000.0, -1000.0]).reshape(&[1, 3]).unwrap();
+        let s = a.softmax_lastdim();
+        assert!(!s.has_non_finite());
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+    }
+}

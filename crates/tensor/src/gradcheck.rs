@@ -1,0 +1,191 @@
+//! Finite-difference gradient checking.
+//!
+//! The single most important invariant in this repository: for every
+//! differentiable operation, the analytic gradient produced by the tape must
+//! match a central-difference estimate. Layer and op tests throughout the
+//! workspace call [`check_gradients`].
+
+use crate::array::NdArray;
+use crate::var::Var;
+
+/// Result of a gradient check: the worst relative error over all checked
+/// parameter elements.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// max |analytic - numeric| / max(1, |analytic|, |numeric|)
+    pub max_rel_err: f32,
+    /// Number of elements compared.
+    pub checked: usize,
+}
+
+/// Verifies the autograd gradient of a scalar-valued function `f` with
+/// respect to `input` by central finite differences.
+///
+/// `f` must be a pure function of the parameter values (re-invoked many
+/// times). `eps` is the probe step; `1e-2` works well in f32 for smooth
+/// functions, use larger for functions with higher curvature.
+pub fn check_gradients(
+    input: &NdArray,
+    eps: f32,
+    f: impl Fn(&Var) -> Var,
+) -> GradCheckReport {
+    // Analytic gradient.
+    let x = Var::parameter(input.clone());
+    let loss = f(&x);
+    assert_eq!(loss.value().numel(), 1, "gradient check requires a scalar loss");
+    loss.backward();
+    let analytic = x.grad().unwrap_or_else(|| NdArray::zeros(input.shape()));
+
+    // Numeric gradient, element by element.
+    let mut max_rel_err = 0.0f32;
+    let n = input.numel();
+    for i in 0..n {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+        let fp = f(&Var::parameter(plus)).item() as f64;
+        let fm = f(&Var::parameter(minus)).item() as f64;
+        let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+        let a = analytic.data()[i];
+        let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+        let rel = (a - numeric).abs() / denom;
+        if rel > max_rel_err {
+            max_rel_err = rel;
+        }
+    }
+    GradCheckReport { max_rel_err, checked: n }
+}
+
+/// Asserts that the autograd gradient matches finite differences within
+/// `tol` relative error.
+pub fn assert_gradients_close(input: &NdArray, eps: f32, tol: f32, f: impl Fn(&Var) -> Var) {
+    let report = check_gradients(input, eps, f);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradient check failed: max relative error {} > tol {tol} over {} elements",
+        report.max_rel_err,
+        report.checked
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Prng;
+
+    #[test]
+    fn checks_simple_ops() {
+        let mut rng = Prng::new(0);
+        let x = rng.randn(&[3, 4]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.mul(v).sum());
+        // ReLU is non-smooth at 0: keep probe points clear of the kink.
+        let x_off = x.map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        assert_gradients_close(&x_off, 1e-2, 1e-2, |v| v.relu().sum());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.sigmoid().mean());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.tanh_act().mean());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.gelu().sum());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.exp().mean());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.softmax_lastdim().powf(2.0).sum());
+    }
+
+    #[test]
+    fn checks_matmul_chain() {
+        let mut rng = Prng::new(1);
+        let x = rng.randn(&[4, 3]);
+        let w = rng.randn(&[3, 5]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| {
+            v.matmul(&Var::constant(w.clone())).relu().sum()
+        });
+    }
+
+    #[test]
+    fn checks_batched_matmul() {
+        let mut rng = Prng::new(2);
+        let x = rng.randn(&[2, 3, 4]);
+        let w = rng.randn(&[4, 3]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| {
+            v.matmul(&Var::constant(w.clone())).gelu().mean()
+        });
+        // Also check gradient w.r.t. the shared rhs of a [b,m,k] x [k,n].
+        let xc = rng.randn(&[2, 3, 4]);
+        assert_gradients_close(&w, 1e-2, 1e-2, |v| {
+            Var::constant(xc.clone()).matmul(v).mul(&Var::constant(xc.clone()).matmul(v)).sum()
+        });
+    }
+
+    #[test]
+    fn checks_reductions_and_shapes() {
+        let mut rng = Prng::new(3);
+        let x = rng.randn(&[2, 3, 4]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.sum_axis(1, false).powf(2.0).sum());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.mean_axis(2, true).mul(v).sum());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.slice(1, 1, 2).sum());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.reshape(&[6, 4]).transpose().powf(2.0).sum());
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.permute(&[1, 2, 0]).mul(&v.permute(&[1, 2, 0])).sum());
+    }
+
+    #[test]
+    fn checks_cosine_and_losses() {
+        let mut rng = Prng::new(4);
+        let x = rng.randn(&[3, 5]);
+        let other = rng.randn(&[3, 5]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| {
+            v.cosine_similarity_mean(&Var::constant(other.clone())).neg()
+        });
+        let target = rng.randn(&[3, 5]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| v.mse_loss(&target));
+    }
+
+    #[test]
+    fn checks_cross_entropy() {
+        let mut rng = Prng::new(5);
+        let logits = rng.randn(&[4, 3]);
+        assert_gradients_close(&logits, 1e-2, 1e-2, |v| v.cross_entropy(&[0, 2, 1, 1]));
+    }
+
+    #[test]
+    fn checks_division() {
+        let mut rng = Prng::new(6);
+        // Keep denominators away from zero.
+        let x = rng.randn(&[3, 3]).map(|v| v + if v >= 0.0 { 2.0 } else { -2.0 });
+        let num = rng.randn(&[3, 3]);
+        assert_gradients_close(&x, 1e-2, 1e-2, |v| Var::constant(num.clone()).div(v).sum());
+        assert_gradients_close(&num, 1e-2, 1e-2, |v| v.div(&Var::constant(x.clone())).sum());
+    }
+}
+
+#[cfg(test)]
+mod max_axis_tests {
+    use super::*;
+    use crate::init::Prng;
+
+    #[test]
+    fn max_axis_gradcheck() {
+        // All values distinct with spacing >> probe step, so the argmax is
+        // stable under the finite-difference perturbation.
+        let mut order: Vec<usize> = (0..24).collect();
+        Prng::new(7).shuffle(&mut order);
+        let x = NdArray::from_fn(&[2, 4, 3], |i| order[i] as f32 * 0.5);
+        for axis in 0..3 {
+            assert_gradients_close(&x, 1e-3, 2e-2, |v| v.max_axis(axis, false).sum());
+        }
+    }
+
+    #[test]
+    fn max_axis_values_match_kernel() {
+        let mut rng = Prng::new(8);
+        let x = rng.randn(&[3, 5]);
+        let v = crate::var::Var::constant(x.clone());
+        assert_eq!(v.max_axis(1, false).to_array(), x.max_axis(1, false));
+        assert_eq!(v.max_axis(0, true).to_array(), x.max_axis(0, true));
+    }
+
+    #[test]
+    fn max_axis_gradient_goes_to_argmax_only() {
+        let x = crate::NdArray::from_vec(&[1, 3], vec![1.0, 5.0, 2.0]).unwrap();
+        let v = crate::var::Var::parameter(x);
+        v.max_axis(1, false).sum().backward();
+        assert_eq!(v.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Seeded random number generation and weight initializers.
+//!
+//! Everything random in the workspace flows through [`Prng`], a thin wrapper
+//! over a seeded [`rand::rngs::StdRng`]. Gaussian sampling is implemented
+//! via Box–Muller so the crate needs no distribution dependency; every
+//! experiment in the repo is bit-reproducible given its seed.
+
+use crate::array::NdArray;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Seeded pseudo-random number generator used by initializers, dropout,
+/// data generators, and samplers.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    rng: StdRng,
+}
+
+impl Prng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.rng.gen::<f32>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        // Draw u1 in (0,1] to keep ln finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * (u1 as f64).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2 as f64;
+        (r * theta.cos()) as f32
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A fresh generator seeded from this one (for forking independent
+    /// random streams, e.g. per-epoch shuffles).
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.rng.gen::<u64>())
+    }
+
+    /// Array of iid standard-normal samples.
+    pub fn randn(&mut self, shape: &[usize]) -> NdArray {
+        NdArray::from_fn(shape, |_| self.normal())
+    }
+
+    /// Array of iid uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> NdArray {
+        NdArray::from_fn(shape, |_| self.uniform_in(lo, hi))
+    }
+
+    /// Xavier/Glorot uniform initialization for a `[fan_out, fan_in]`-shaped
+    /// weight (or any shape whose first two axes are the fans).
+    pub fn xavier_uniform(&mut self, shape: &[usize]) -> NdArray {
+        let (fan_in, fan_out) = fans(shape);
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.rand_uniform(shape, -limit, limit)
+    }
+
+    /// Kaiming/He normal initialization (for ReLU networks).
+    pub fn kaiming_normal(&mut self, shape: &[usize]) -> NdArray {
+        let (fan_in, _) = fans(shape);
+        let std = (2.0 / fan_in as f32).sqrt();
+        NdArray::from_fn(shape, |_| self.normal_with(0.0, std))
+    }
+}
+
+/// Derives `(fan_in, fan_out)` from a weight shape. For rank-2 `[out, in]`
+/// weights these are `(in, out)`; higher ranks multiply in the receptive
+/// field (e.g. conv kernels `[out, in, k]`).
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        _ => {
+            let receptive: usize = shape[2..].iter().product();
+            (shape[1] * receptive, shape[0] * receptive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Prng::new(42);
+        let xs = rng.randn(&[20_000]);
+        assert!(xs.mean().abs() < 0.03, "mean {}", xs.mean());
+        let var = xs.var_axis(0, false).to_scalar();
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut rng = Prng::new(3);
+        for _ in 0..1000 {
+            let v = rng.uniform_in(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = Prng::new(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Prng::new(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = Prng::new(11);
+        let w = rng.xavier_uniform(&[16, 64]);
+        let limit = (6.0f32 / 80.0).sqrt();
+        assert!(w.max() <= limit && w.min() >= -limit);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = Prng::new(13);
+        let w = rng.kaiming_normal(&[8, 512]);
+        let std = w.var_axis(0, false).mean().sqrt();
+        let expected = (2.0f32 / 512.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.5);
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut root = Prng::new(100);
+        let mut f1 = root.fork();
+        let mut f2 = root.fork();
+        assert_ne!(f1.uniform(), f2.uniform());
+    }
+}

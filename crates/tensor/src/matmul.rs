@@ -1,0 +1,150 @@
+//! Matrix multiplication kernels.
+//!
+//! A single cache-friendly `i-k-j` loop kernel handles the 2-D case; rank-3
+//! inputs dispatch to it per batch. The kernel is deliberately simple — at
+//! the model widths used in this reproduction (d_model <= 128) it is within
+//! a small factor of a tuned BLAS and keeps the crate dependency-free.
+
+use crate::array::NdArray;
+use crate::error::{Result, TensorError};
+
+/// Raw 2-D kernel: `out[m x n] = a[m x k] * b[k x n]`, all slices row-major.
+pub(crate) fn matmul2d_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    // i-k-j order: the inner loop walks both b and out contiguously.
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Matrix product with rank dispatch:
+///
+/// * `[m,k] x [k,n] -> [m,n]`
+/// * `[b,m,k] x [b,k,n] -> [b,m,n]` (batched)
+/// * `[b,m,k] x [k,n] -> [b,m,n]` (shared right operand)
+///
+/// # Errors
+/// Returns [`TensorError::MatmulMismatch`] for any other rank combination or
+/// inner-dimension disagreement.
+pub fn matmul(a: &NdArray, b: &NdArray) -> Result<NdArray> {
+    let err = || TensorError::MatmulMismatch { lhs: a.shape().to_vec(), rhs: b.shape().to_vec() };
+    match (a.rank(), b.rank()) {
+        (2, 2) => {
+            let (m, k) = (a.shape()[0], a.shape()[1]);
+            let (k2, n) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[m, n]);
+            matmul2d_kernel(a.data(), b.data(), out.data_mut(), m, k, n);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (bs2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+            if k != k2 || bs != bs2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            for i in 0..bs {
+                let a_sl = &a.data()[i * m * k..(i + 1) * m * k];
+                let b_sl = &b.data()[i * k * n..(i + 1) * k * n];
+                let o_sl = &mut out.data_mut()[i * m * n..(i + 1) * m * n];
+                matmul2d_kernel(a_sl, b_sl, o_sl, m, k, n);
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (k2, n) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            // Fold the batch into the row dimension: one big GEMM.
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            matmul2d_kernel(a.data(), b.data(), out.data_mut(), bs * m, k, n);
+            Ok(out)
+        }
+        _ => Err(err()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2d_known_values() {
+        let a = NdArray::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = NdArray::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = NdArray::from_fn(&[4, 4], |i| i as f32);
+        let c = matmul(&a, &NdArray::eye(4)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let a = NdArray::from_fn(&[2, 2, 3], |i| i as f32);
+        let b = NdArray::from_fn(&[2, 3, 2], |i| (i % 5) as f32);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // Verify batch 1, element [0,0] by hand.
+        // a[1,0,:] = [6,7,8]; b[1,:,0] = b flat idx 6,8,10 -> values 1,3,0
+        let expected = 6.0 * 1.0 + 7.0 * 3.0 + 8.0 * 0.0;
+        assert_eq!(c.at(&[1, 0, 0]), expected);
+    }
+
+    #[test]
+    fn matmul_broadcast_rhs() {
+        let a = NdArray::from_fn(&[2, 3, 4], |i| i as f32);
+        let b = NdArray::eye(4);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 3, 4]);
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = NdArray::zeros(&[2, 3]);
+        let b = NdArray::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        let v = NdArray::zeros(&[3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let a = NdArray::from_fn(&[5, 7], |i| (i as f32 * 0.37).sin());
+        let b = NdArray::from_fn(&[7, 4], |i| (i as f32 * 0.21).cos());
+        let c = matmul(&a, &b).unwrap();
+        for i in 0..5 {
+            for j in 0..4 {
+                let mut acc = 0.0f32;
+                for k in 0..7 {
+                    acc += a.at(&[i, k]) * b.at(&[k, j]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-5);
+            }
+        }
+    }
+}

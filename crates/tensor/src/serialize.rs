@@ -1,0 +1,189 @@
+//! Minimal, dependency-free binary serialization for arrays and parameter
+//! sets (model checkpoints).
+//!
+//! Format (`TDRL` magic, version 1, little-endian):
+//!
+//! ```text
+//! "TDRL" u32-version u32-count
+//!   per array: u32-rank, rank × u64-dim, numel × f32-le
+//! ```
+
+use crate::array::NdArray;
+use crate::var::Var;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"TDRL";
+const VERSION: u32 = 1;
+
+/// Writes a sequence of arrays to `w`.
+pub fn write_arrays(w: &mut impl Write, arrays: &[&NdArray]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(arrays.len() as u32).to_le_bytes())?;
+    for a in arrays {
+        w.write_all(&(a.rank() as u32).to_le_bytes())?;
+        for &dim in a.shape() {
+            w.write_all(&(dim as u64).to_le_bytes())?;
+        }
+        for &v in a.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a sequence of arrays from `r`.
+///
+/// # Errors
+/// Returns `InvalidData` on a bad magic number, unsupported version, or
+/// truncated payload.
+pub fn read_arrays(r: &mut impl Read) -> io::Result<Vec<NdArray>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TDRL checkpoint"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(r)? as usize;
+    let mut arrays = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(r)? as usize;
+        if rank > 16 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            shape.push(u64::from_le_bytes(b) as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        let mut buf = [0u8; 4];
+        for _ in 0..numel {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        arrays.push(
+            NdArray::from_vec(&shape, data)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        );
+    }
+    Ok(arrays)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Saves a parameter set (in its stable `parameters()` order) to `path`.
+pub fn save_parameters(path: impl AsRef<Path>, params: &[Var]) -> io::Result<()> {
+    let arrays: Vec<NdArray> = params.iter().map(|p| p.to_array()).collect();
+    let refs: Vec<&NdArray> = arrays.iter().collect();
+    let mut w = BufWriter::new(File::create(path)?);
+    write_arrays(&mut w, &refs)?;
+    w.flush()
+}
+
+/// Loads a checkpoint from `path` into an existing parameter set. Count
+/// and shapes must match exactly — a mismatch means the checkpoint belongs
+/// to a different configuration.
+pub fn load_parameters(path: impl AsRef<Path>, params: &[Var]) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let arrays = read_arrays(&mut r)?;
+    if arrays.len() != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {} arrays, model has {} parameters", arrays.len(), params.len()),
+        ));
+    }
+    for (p, a) in params.iter().zip(&arrays) {
+        if p.shape() != a.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter shape {:?} vs checkpoint {:?}", p.shape(), a.shape()),
+            ));
+        }
+    }
+    for (p, a) in params.iter().zip(arrays) {
+        p.set_value(a);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Prng;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut rng = Prng::new(0);
+        let a = rng.randn(&[3, 4]);
+        let b = NdArray::scalar(7.5);
+        let c = rng.randn(&[2, 2, 2]);
+        let mut buf = Vec::new();
+        write_arrays(&mut buf, &[&a, &b, &c]).unwrap();
+        let back = read_arrays(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, vec![a, b, c]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(read_arrays(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut rng = Prng::new(1);
+        let a = rng.randn(&[4, 4]);
+        let mut buf = Vec::new();
+        write_arrays(&mut buf, &[&a]).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(read_arrays(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn save_load_parameters_roundtrip() {
+        let mut rng = Prng::new(2);
+        let p1 = Var::parameter(rng.randn(&[5]));
+        let p2 = Var::parameter(rng.randn(&[2, 3]));
+        let dir = std::env::temp_dir().join("timedrl_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tdrl");
+        save_parameters(&path, &[p1.clone(), p2.clone()]).unwrap();
+        let orig1 = p1.to_array();
+        let orig2 = p2.to_array();
+        // Perturb, then restore.
+        p1.set_value(NdArray::zeros(&[5]));
+        p2.set_value(NdArray::zeros(&[2, 3]));
+        load_parameters(&path, &[p1.clone(), p2.clone()]).unwrap();
+        assert_eq!(p1.to_array(), orig1);
+        assert_eq!(p2.to_array(), orig2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut rng = Prng::new(3);
+        let p = Var::parameter(rng.randn(&[4]));
+        let dir = std::env::temp_dir().join("timedrl_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tdrl");
+        save_parameters(&path, &[p]).unwrap();
+        let wrong = Var::parameter(rng.randn(&[5]));
+        assert!(load_parameters(&path, &[wrong]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

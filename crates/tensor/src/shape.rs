@@ -1,0 +1,135 @@
+//! Shape arithmetic: row-major strides, broadcasting rules, and index math.
+
+use crate::error::{Result, TensorError};
+
+/// Computes row-major (C-order) strides for `shape`.
+///
+/// The stride of the last axis is 1; each earlier axis strides over the
+/// product of all later dimensions. An empty shape (scalar) yields an empty
+/// stride vector.
+pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0usize; shape.len()];
+    let mut acc = 1usize;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Total number of elements implied by `shape`.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes the broadcast result shape of `lhs` and `rhs` following NumPy
+/// rules: align trailing axes; each pair of dims must be equal or one of them
+/// must be 1.
+pub fn broadcast_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
+        let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::BroadcastMismatch { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+        };
+    }
+    Ok(out)
+}
+
+/// Returns `true` if `from` can be broadcast to `to`.
+pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
+    if from.len() > to.len() {
+        return false;
+    }
+    let offset = to.len() - from.len();
+    from.iter().enumerate().all(|(i, &d)| d == 1 || d == to[i + offset])
+}
+
+/// Strides for reading an array of shape `from` as if it had shape `to`
+/// (broadcasting): broadcast axes get stride 0.
+///
+/// Precondition: `broadcastable_to(from, to)`.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    debug_assert!(broadcastable_to(from, to));
+    let base = row_major_strides(from);
+    let offset = to.len() - from.len();
+    let mut out = vec![0usize; to.len()];
+    for i in 0..from.len() {
+        out[i + offset] = if from[i] == 1 && to[i + offset] != 1 { 0 } else { base[i] };
+    }
+    out
+}
+
+/// Converts a flat row-major index into multi-dimensional coordinates.
+pub fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0usize; shape.len()];
+    for i in (0..shape.len()).rev() {
+        coords[i] = flat % shape[i];
+        flat /= shape[i];
+    }
+    coords
+}
+
+/// Converts multi-dimensional coordinates to a flat offset given `strides`.
+pub fn ravel(coords: &[usize], strides: &[usize]) -> usize {
+    coords.iter().zip(strides.iter()).map(|(&c, &s)| c * s).sum()
+}
+
+/// Validates an axis against a rank, returning it unchanged if in range.
+pub fn check_axis(axis: usize, rank: usize) -> Result<usize> {
+    if axis < rank {
+        Ok(axis)
+    } else {
+        Err(TensorError::AxisOutOfRange { axis, rank })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(row_major_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(row_major_strides(&[5]), vec![1]);
+        assert_eq!(row_major_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shape(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[2, 1, 4], &[3, 1]).unwrap(), vec![2, 3, 4]);
+        assert_eq!(broadcast_shape(&[], &[2, 2]).unwrap(), vec![2, 2]);
+        assert!(broadcast_shape(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_axes() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 5]), vec![1, 0]);
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [2, 3, 4];
+        let strides = row_major_strides(&shape);
+        for flat in 0..numel(&shape) {
+            let coords = unravel(flat, &shape);
+            assert_eq!(ravel(&coords, &strides), flat);
+        }
+    }
+
+    #[test]
+    fn axis_check() {
+        assert!(check_axis(1, 2).is_ok());
+        assert!(check_axis(2, 2).is_err());
+    }
+}

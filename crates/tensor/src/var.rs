@@ -1,0 +1,930 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! [`Var`] is a differentiable tensor: a reference-counted node in a
+//! define-by-run computation graph. Each operation eagerly computes its
+//! value and records a backward closure that maps the node's output gradient
+//! to gradients for each parent. [`Var::backward`] topologically sorts the
+//! reachable graph and accumulates gradients leaf-ward.
+//!
+//! Design notes:
+//! * Nodes whose inputs all have `requires_grad == false` record neither
+//!   parents nor a closure, so inference-mode graphs cost nothing extra.
+//! * `stop_gradient` (Eq. 16–17 of the TimeDRL paper) is [`Var::detach`],
+//!   which re-roots a value as a constant leaf.
+//! * Graphs are freed when the last `Var` referencing them drops; training
+//!   loops simply rebuild the graph every step.
+
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::array::NdArray;
+use crate::init::Prng;
+use crate::matmul::matmul;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+type BackwardFn = Box<dyn Fn(&NdArray) -> Vec<NdArray>>;
+
+struct VarNode {
+    id: u64,
+    value: RefCell<NdArray>,
+    grad: RefCell<Option<NdArray>>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+/// A differentiable tensor node. Cheap to clone (reference-counted).
+#[derive(Clone)]
+pub struct Var(Rc<VarNode>);
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.0.id)
+            .field("shape", &self.shape())
+            .field("requires_grad", &self.0.requires_grad)
+            .finish()
+    }
+}
+
+impl Var {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn leaf(value: NdArray, requires_grad: bool) -> Self {
+        Var(Rc::new(VarNode {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// A trainable parameter leaf.
+    pub fn parameter(value: NdArray) -> Self {
+        Self::leaf(value, true)
+    }
+
+    /// A constant (non-differentiable) leaf.
+    pub fn constant(value: NdArray) -> Self {
+        Self::leaf(value, false)
+    }
+
+    /// A rank-0 constant.
+    pub fn scalar(v: f32) -> Self {
+        Self::constant(NdArray::scalar(v))
+    }
+
+    fn op(value: NdArray, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+        if !requires_grad {
+            return Self::leaf(value, false);
+        }
+        Var(Rc::new(VarNode {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents,
+            backward: Some(backward),
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Borrows the node's value.
+    pub fn value(&self) -> Ref<'_, NdArray> {
+        self.0.value.borrow()
+    }
+
+    /// Clones the node's value out.
+    pub fn to_array(&self) -> NdArray {
+        self.0.value.borrow().clone()
+    }
+
+    /// The node's shape (cloned; values are behind a `RefCell`).
+    pub fn shape(&self) -> Vec<usize> {
+        self.0.value.borrow().shape().to_vec()
+    }
+
+    /// Scalar value of a single-element node.
+    pub fn item(&self) -> f32 {
+        self.0.value.borrow().to_scalar()
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// The accumulated gradient, if any.
+    pub fn grad(&self) -> Option<NdArray> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Replaces the node's value (optimizer updates on parameter leaves).
+    pub fn set_value(&self, value: NdArray) {
+        assert_eq!(
+            self.0.value.borrow().shape(),
+            value.shape(),
+            "set_value must preserve shape"
+        );
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// Mutates the node's value in place.
+    pub fn update_value(&self, f: impl FnOnce(&mut NdArray)) {
+        f(&mut self.0.value.borrow_mut());
+    }
+
+    /// Re-roots this value as a constant leaf: the stop-gradient operation.
+    pub fn detach(&self) -> Var {
+        Self::constant(self.to_array())
+    }
+
+    /// Builds a custom differentiable operation from a precomputed `value`,
+    /// its `parents`, and a closure mapping the output gradient to one
+    /// gradient per parent (in order).
+    ///
+    /// Downstream crates use this for fused kernels (e.g. 1-D convolution)
+    /// whose gradients are cheaper hand-written than composed from
+    /// primitives. The closure must return exactly `parents.len()` arrays,
+    /// each shaped like the corresponding parent.
+    pub fn custom(
+        value: NdArray,
+        parents: Vec<Var>,
+        backward: impl Fn(&NdArray) -> Vec<NdArray> + 'static,
+    ) -> Var {
+        Self::op(value, parents, Box::new(backward))
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic (broadcasting)
+    // ------------------------------------------------------------------
+
+    /// Broadcasting addition.
+    pub fn add(&self, other: &Var) -> Var {
+        let out = self.value().add(&other.value());
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| vec![g.reduce_to_shape(&ls), g.reduce_to_shape(&rs)]),
+        )
+    }
+
+    /// Broadcasting subtraction.
+    pub fn sub(&self, other: &Var) -> Var {
+        let out = self.value().sub(&other.value());
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| vec![g.reduce_to_shape(&ls), g.neg().reduce_to_shape(&rs)]),
+        )
+    }
+
+    /// Broadcasting multiplication.
+    pub fn mul(&self, other: &Var) -> Var {
+        let a = self.to_array();
+        let b = other.to_array();
+        let out = a.mul(&b);
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                vec![g.mul(&b).reduce_to_shape(&ls), g.mul(&a).reduce_to_shape(&rs)]
+            }),
+        )
+    }
+
+    /// Broadcasting division.
+    pub fn div(&self, other: &Var) -> Var {
+        let a = self.to_array();
+        let b = other.to_array();
+        let out = a.div(&b);
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let ga = g.div(&b).reduce_to_shape(&ls);
+                // d/db (a/b) = -a / b^2
+                let gb = g.mul(&a.neg().div(&b.mul(&b))).reduce_to_shape(&rs);
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Var {
+        Var::op(
+            self.value().neg(),
+            vec![self.clone()],
+            Box::new(|g| vec![g.neg()]),
+        )
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Var {
+        Var::op(
+            self.value().scale(s),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.scale(s)]),
+        )
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        Var::op(
+            self.value().add_scalar(s),
+            vec![self.clone()],
+            Box::new(|g| vec![g.clone()]),
+        )
+    }
+
+    /// Elementwise power `x^p` (for `x > 0` when `p` is fractional).
+    pub fn powf(&self, p: f32) -> Var {
+        let x = self.to_array();
+        Var::op(
+            x.powf(p),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&x.powf(p - 1.0).scale(p))]),
+        )
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var {
+        let out = self.value().sqrt();
+        let saved = out.clone();
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.div(&saved.scale(2.0))]),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        let out = self.value().exp();
+        let saved = out.clone();
+        Var::op(out, vec![self.clone()], Box::new(move |g| vec![g.mul(&saved)]))
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Var {
+        let x = self.to_array();
+        Var::op(
+            x.ln(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.div(&x)]),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let x = self.to_array();
+        Var::op(
+            x.map(|v| v.max(0.0)),
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![g.zip_map(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }).expect("relu grad")]
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let out = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let s = out.clone();
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&s.zip_map(&s, |a, _| a * (1.0 - a)).expect("sigmoid grad"))]),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_act(&self) -> Var {
+        let out = self.value().map(f32::tanh);
+        let t = out.clone();
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&t.map(|v| 1.0 - v * v))]),
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as in BERT/PatchTST).
+    pub fn gelu(&self) -> Var {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        const A: f32 = 0.044_715;
+        let x = self.to_array();
+        let out = x.map(|v| {
+            let u = C * (v + A * v * v * v);
+            0.5 * v * (1.0 + u.tanh())
+        });
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let dx = x.map(|v| {
+                    let u = C * (v + A * v * v * v);
+                    let t = u.tanh();
+                    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * C * (1.0 + 3.0 * A * v * v)
+                });
+                vec![g.mul(&dx)]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra / shape ops
+    // ------------------------------------------------------------------
+
+    /// Matrix product (rank dispatch follows [`matmul`]).
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a = self.to_array();
+        let b = other.to_array();
+        let out = matmul(&a, &b).expect("matmul: incompatible shapes");
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // dL/dA = G @ B^T ; dL/dB = A^T @ G, reduced over any
+                // batch-broadcast axes.
+                let ga = matmul(g, &b.transpose()).expect("matmul grad A").reduce_to_shape(&ls);
+                let gb = if a.rank() == 3 && b.rank() == 2 {
+                    // [b,m,k]^T fold: sum over batch — flatten batch into rows.
+                    let m = a.shape()[1];
+                    let k = a.shape()[2];
+                    let bsz = a.shape()[0];
+                    let a2 = a.reshape(&[bsz * m, k]).expect("fold a");
+                    let g2 = g.reshape(&[bsz * m, g.shape()[2]]).expect("fold g");
+                    matmul(&a2.transpose(), &g2).expect("matmul grad B")
+                } else {
+                    matmul(&a.transpose(), g).expect("matmul grad B").reduce_to_shape(&rs)
+                };
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Swaps the last two axes.
+    pub fn transpose(&self) -> Var {
+        Var::op(
+            self.value().transpose(),
+            vec![self.clone()],
+            Box::new(|g| vec![g.transpose()]),
+        )
+    }
+
+    /// General axis permutation.
+    pub fn permute(&self, axes: &[usize]) -> Var {
+        let axes_v = axes.to_vec();
+        let mut inverse = vec![0usize; axes.len()];
+        for (i, &a) in axes.iter().enumerate() {
+            inverse[a] = i;
+        }
+        Var::op(
+            self.value().permute(&axes_v),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.permute(&inverse)]),
+        )
+    }
+
+    /// Reshape preserving element count.
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let from = self.shape();
+        Var::op(
+            self.value().reshape(shape).expect("reshape: element count mismatch"),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.reshape(&from).expect("reshape grad")]),
+        )
+    }
+
+    /// Materialized broadcast to `target`.
+    pub fn broadcast_to(&self, target: &[usize]) -> Var {
+        let from = self.shape();
+        Var::op(
+            self.value().broadcast_to(target).expect("broadcast_to: incompatible"),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.reduce_to_shape(&from)]),
+        )
+    }
+
+    /// Half-open slice `[start, start+len)` along `axis`; the gradient
+    /// scatters back into a zero array of the original shape.
+    pub fn slice(&self, axis: usize, start: usize, len: usize) -> Var {
+        let full = self.shape();
+        let out = self.value().slice(axis, start, len).expect("slice out of bounds");
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut parts: Vec<NdArray> = Vec::new();
+                if start > 0 {
+                    let mut s = full.clone();
+                    s[axis] = start;
+                    parts.push(NdArray::zeros(&s));
+                }
+                parts.push(g.clone());
+                let tail = full[axis] - start - len;
+                if tail > 0 {
+                    let mut s = full.clone();
+                    s[axis] = tail;
+                    parts.push(NdArray::zeros(&s));
+                }
+                let refs: Vec<&NdArray> = parts.iter().collect();
+                vec![NdArray::concat(&refs, axis)]
+            }),
+        )
+    }
+
+    /// Concatenates along `axis`; gradients split back to each part.
+    pub fn concat(parts: &[Var], axis: usize) -> Var {
+        assert!(!parts.is_empty(), "concat of zero Vars");
+        let arrays: Vec<NdArray> = parts.iter().map(|p| p.to_array()).collect();
+        let refs: Vec<&NdArray> = arrays.iter().collect();
+        let out = NdArray::concat(&refs, axis);
+        let sizes: Vec<usize> = arrays.iter().map(|a| a.shape()[axis]).collect();
+        Var::op(
+            out,
+            parts.to_vec(),
+            Box::new(move |g| {
+                let mut grads = Vec::with_capacity(sizes.len());
+                let mut offset = 0;
+                for &sz in &sizes {
+                    grads.push(g.slice(axis, offset, sz).expect("concat grad split"));
+                    offset += sz;
+                }
+                grads
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (rank-0 result).
+    pub fn sum(&self) -> Var {
+        let from = self.shape();
+        Var::op(
+            NdArray::scalar(self.value().sum()),
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![NdArray::full(&from, g.to_scalar())]
+            }),
+        )
+    }
+
+    /// Mean of all elements (rank-0 result).
+    pub fn mean(&self) -> Var {
+        let n = self.value().numel() as f32;
+        self.sum().scale(1.0 / n)
+    }
+
+    /// Sum along one axis.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let from = self.shape();
+        Var::op(
+            self.value().sum_axis(axis, keepdim),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let g_keep = if keepdim { g.clone() } else { g.unsqueeze(axis) };
+                vec![g_keep.broadcast_to(&from).expect("sum_axis grad")]
+            }),
+        )
+    }
+
+    /// Mean along one axis.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let dim = self.shape()[axis] as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / dim)
+    }
+
+    /// Maximum along one axis; the gradient routes to the (first) argmax
+    /// position of each reduced group — the standard max-pool gradient.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let x = self.to_array();
+        let from = x.shape().to_vec();
+        let out = x.max_axis(axis, keepdim);
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let outer: usize = from[..axis].iter().product();
+                let dim = from[axis];
+                let inner: usize = from[axis + 1..].iter().product();
+                let mut grad = NdArray::zeros(&from);
+                // g is the reduced-shape gradient; iterate groups.
+                for o in 0..outer {
+                    for i in 0..inner {
+                        let mut best = (0usize, f32::NEG_INFINITY);
+                        for d in 0..dim {
+                            let v = x.data()[(o * dim + d) * inner + i];
+                            if v > best.1 {
+                                best = (d, v);
+                            }
+                        }
+                        grad.data_mut()[(o * dim + best.0) * inner + i] = g.data()[o * inner + i];
+                    }
+                }
+                vec![grad]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Fused neural-network ops
+    // ------------------------------------------------------------------
+
+    /// Softmax over the last axis, with the standard fused Jacobian-vector
+    /// product `s * (g - sum(g*s))`.
+    pub fn softmax_lastdim(&self) -> Var {
+        let out = self.value().softmax_lastdim();
+        let s = out.clone();
+        let last = self.shape().len() - 1;
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gs = g.mul(&s);
+                let dot = gs.sum_axis(last, true);
+                vec![s.mul(&g.sub(&dot.broadcast_to(g.shape()).expect("softmax grad")))]
+            }),
+        )
+    }
+
+    /// Cross-entropy of `self` (logits, shape `[N, K]`) against integer
+    /// class `targets`. Returns the mean loss as a rank-0 node.
+    pub fn cross_entropy(&self, targets: &[usize]) -> Var {
+        let logits = self.to_array();
+        assert_eq!(logits.rank(), 2, "cross_entropy expects [N, K] logits");
+        let n = logits.shape()[0];
+        let k = logits.shape()[1];
+        assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
+        let log_probs = logits.log_softmax_lastdim();
+        let mut loss = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < k, "target class {t} out of range");
+            loss -= log_probs.data()[i * k + t];
+        }
+        loss /= n as f32;
+        let probs = logits.softmax_lastdim();
+        let tg = targets.to_vec();
+        Var::op(
+            NdArray::scalar(loss),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let scale = g.to_scalar() / n as f32;
+                let mut grad = probs.clone();
+                for (i, &t) in tg.iter().enumerate() {
+                    grad.data_mut()[i * k + t] -= 1.0;
+                }
+                vec![grad.scale(scale)]
+            }),
+        )
+    }
+
+    /// Inverted dropout. During training each element is zeroed with
+    /// probability `p` and survivors are scaled by `1/(1-p)`; in eval mode
+    /// it is the identity. This randomness is the *only* source of view
+    /// variation in TimeDRL's instance-contrastive task.
+    pub fn dropout(&self, p: f32, training: bool, rng: &mut Prng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        if !training || p == 0.0 {
+            return self.clone();
+        }
+        let keep = 1.0 - p;
+        let mask = NdArray::from_fn(&self.shape(), |_| {
+            if rng.bernoulli(keep) {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let m = mask.clone();
+        Var::op(
+            self.value().mul(&mask),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&m)]),
+        )
+    }
+
+    /// Mean-squared error against a constant target (rank-0 result).
+    pub fn mse_loss(&self, target: &NdArray) -> Var {
+        let t = Var::constant(target.clone());
+        let diff = self.sub(&t);
+        diff.mul(&diff).mean()
+    }
+
+    /// Mean absolute error against a constant target (rank-0 result).
+    pub fn mae_loss(&self, target: &NdArray) -> Var {
+        let x = self.to_array();
+        let t = target.clone();
+        let n = x.numel() as f32;
+        let loss = x.zip_map(&t, |a, b| (a - b).abs()).expect("mae shapes").mean();
+        Var::op(
+            NdArray::scalar(loss),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let s = g.to_scalar() / n;
+                vec![x.zip_map(&t, |a, b| if a >= b { s } else { -s }).expect("mae grad")]
+            }),
+        )
+    }
+
+    /// Row-wise cosine similarity between `self` and `other`, both
+    /// `[N, D]`; returns the mean similarity as a rank-0 node. TimeDRL's
+    /// contrastive loss is the *negative* of this (Eq. 16–18).
+    pub fn cosine_similarity_mean(&self, other: &Var) -> Var {
+        const EPS: f32 = 1e-8;
+        let dot = self.mul(other).sum_axis(1, false);
+        let na = self.mul(self).sum_axis(1, false).add_scalar(EPS).sqrt();
+        let nb = other.mul(other).sum_axis(1, false).add_scalar(EPS).sqrt();
+        dot.div(&na.mul(&nb)).mean()
+    }
+
+    // ------------------------------------------------------------------
+    // Backward pass
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from this (scalar) node, seeding
+    /// with gradient 1.
+    ///
+    /// # Panics
+    /// Panics if the node holds more than one element.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.value().numel(),
+            1,
+            "backward() requires a scalar; use backward_with for other shapes"
+        );
+        self.backward_with(NdArray::full(&self.shape(), 1.0));
+    }
+
+    /// Runs reverse-mode differentiation seeding this node with `grad`.
+    pub fn backward_with(&self, grad: NdArray) {
+        assert_eq!(grad.shape(), self.shape().as_slice(), "seed gradient shape mismatch");
+        if !self.0.requires_grad {
+            return;
+        }
+        let order = self.topo_order();
+        {
+            let mut g = self.0.grad.borrow_mut();
+            match g.as_mut() {
+                Some(existing) => existing.add_assign(&grad),
+                None => *g = Some(grad),
+            }
+        }
+        for node in order.iter().rev() {
+            let Some(backward) = node.0.backward.as_ref() else { continue };
+            let out_grad = node.0.grad.borrow().clone();
+            let Some(out_grad) = out_grad else { continue };
+            let parent_grads = backward(&out_grad);
+            debug_assert_eq!(parent_grads.len(), node.0.parents.len());
+            for (parent, pg) in node.0.parents.iter().zip(parent_grads) {
+                if !parent.0.requires_grad {
+                    continue;
+                }
+                let mut slot = parent.0.grad.borrow_mut();
+                match slot.as_mut() {
+                    Some(existing) => existing.add_assign(&pg),
+                    None => *slot = Some(pg),
+                }
+            }
+        }
+    }
+
+    /// Post-order (parents before children) topological ordering of the
+    /// graph reachable from `self` through grad-requiring nodes.
+    fn topo_order(&self) -> Vec<Var> {
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        // Iterative post-order DFS to avoid stack overflow on deep tapes.
+        enum Frame {
+            Enter(Var),
+            Exit(Var),
+        }
+        let mut stack = vec![Frame::Enter(self.clone())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    if !v.0.requires_grad || visited.contains(&v.0.id) {
+                        continue;
+                    }
+                    visited.insert(v.0.id);
+                    stack.push(Frame::Exit(v.clone()));
+                    for p in &v.0.parents {
+                        stack.push(Frame::Enter(p.clone()));
+                    }
+                }
+                Frame::Exit(v) => order.push(v),
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_of(v: &Var) -> NdArray {
+        v.grad().expect("gradient missing")
+    }
+
+    #[test]
+    fn add_mul_grads() {
+        let x = Var::parameter(NdArray::from_slice(&[2.0, 3.0]));
+        let y = Var::parameter(NdArray::from_slice(&[5.0, 7.0]));
+        let z = x.mul(&y).add(&x).sum(); // z = sum(x*y + x)
+        z.backward();
+        assert_eq!(grad_of(&x).data(), &[6.0, 8.0]); // y + 1
+        assert_eq!(grad_of(&y).data(), &[2.0, 3.0]); // x
+    }
+
+    #[test]
+    fn reuse_accumulates() {
+        let x = Var::parameter(NdArray::from_slice(&[3.0]));
+        let z = x.mul(&x).sum(); // x^2 -> grad 2x
+        z.backward();
+        assert_eq!(grad_of(&x).data(), &[6.0]);
+    }
+
+    #[test]
+    fn broadcast_grad_reduces() {
+        let x = Var::parameter(NdArray::from_slice(&[1.0, 2.0])); // [2]
+        let y = Var::parameter(NdArray::zeros(&[3, 2]));
+        let z = x.add(&y).sum();
+        z.backward();
+        assert_eq!(grad_of(&x).data(), &[3.0, 3.0]);
+        assert_eq!(grad_of(&y).shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn matmul_grads_match_formula() {
+        let a = Var::parameter(NdArray::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap());
+        let b = Var::parameter(NdArray::from_vec(&[3, 2], vec![1., 0., 0., 1., 1., 1.]).unwrap());
+        let z = a.matmul(&b).sum();
+        z.backward();
+        // dz/dA = ones(2,2) @ B^T
+        let expected_a = matmul(&NdArray::ones(&[2, 2]), &b.to_array().transpose()).unwrap();
+        assert_eq!(grad_of(&a), expected_a);
+        let expected_b = matmul(&a.to_array().transpose(), &NdArray::ones(&[2, 2])).unwrap();
+        assert_eq!(grad_of(&b), expected_b);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let x = Var::parameter(NdArray::from_slice(&[2.0]));
+        let z = x.detach().mul(&x).sum(); // only the non-detached path flows
+        z.backward();
+        assert_eq!(grad_of(&x).data(), &[2.0]); // d/dx (c * x) = c = 2
+    }
+
+    #[test]
+    fn slice_grad_scatters() {
+        let x = Var::parameter(NdArray::from_slice(&[1.0, 2.0, 3.0, 4.0]));
+        let z = x.slice(0, 1, 2).sum();
+        z.backward();
+        assert_eq!(grad_of(&x).data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_grad_splits() {
+        let a = Var::parameter(NdArray::from_slice(&[1.0, 2.0]));
+        let b = Var::parameter(NdArray::from_slice(&[3.0]));
+        let z = Var::concat(&[a.clone(), b.clone()], 0).scale(2.0).sum();
+        z.backward();
+        assert_eq!(grad_of(&a).data(), &[2.0, 2.0]);
+        assert_eq!(grad_of(&b).data(), &[2.0]);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        let x = Var::parameter(NdArray::from_vec(&[1, 3], vec![0.2, -0.3, 0.8]).unwrap());
+        let s = x.softmax_lastdim();
+        // Pick out the first component as loss.
+        let z = s.slice(1, 0, 1).sum();
+        z.backward();
+        let g = grad_of(&x);
+        // Softmax Jacobian rows sum to zero.
+        assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_small_loss() {
+        let logits = Var::parameter(
+            NdArray::from_vec(&[2, 3], vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]).unwrap(),
+        );
+        let loss = logits.cross_entropy(&[0, 1]);
+        assert!(loss.item() < 1e-3);
+        loss.backward();
+        assert!(grad_of(&logits).l2_norm() < 1e-3);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = Prng::new(0);
+        let x = Var::parameter(NdArray::ones(&[4, 4]));
+        let y = x.dropout(0.5, false, &mut rng);
+        assert_eq!(y.to_array(), x.to_array());
+    }
+
+    #[test]
+    fn dropout_train_scales_survivors() {
+        let mut rng = Prng::new(0);
+        let x = Var::parameter(NdArray::ones(&[100, 100]));
+        let y = x.dropout(0.5, true, &mut rng);
+        let vals = y.to_array();
+        for &v in vals.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        // Expectation preserved within tolerance.
+        assert!((vals.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_dropout_passes_differ() {
+        let mut rng = Prng::new(1);
+        let x = Var::parameter(NdArray::ones(&[8, 8]));
+        let a = x.dropout(0.3, true, &mut rng).to_array();
+        let b = x.dropout(0.3, true, &mut rng).to_array();
+        assert_ne!(a, b, "dropout must give distinct views (TimeDRL's two-pass trick)");
+    }
+
+    #[test]
+    fn cosine_similarity_of_identical_rows_is_one() {
+        let a = Var::parameter(NdArray::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 2.]).unwrap());
+        let sim = a.cosine_similarity_mean(&a.detach());
+        assert!((sim.item() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let x = Var::parameter(NdArray::from_slice(&[1.0, 2.0]));
+        let t = NdArray::from_slice(&[0.0, 0.0]);
+        let loss = x.mse_loss(&t); // (1 + 4)/2
+        assert!((loss.item() - 2.5).abs() < 1e-6);
+        loss.backward();
+        assert_eq!(grad_of(&x).data(), &[1.0, 2.0]); // 2(x-t)/n
+    }
+
+    #[test]
+    fn mae_loss_grad_is_sign() {
+        let x = Var::parameter(NdArray::from_slice(&[2.0, -3.0]));
+        let t = NdArray::zeros(&[2]);
+        let loss = x.mae_loss(&t);
+        assert!((loss.item() - 2.5).abs() < 1e-6);
+        loss.backward();
+        assert_eq!(grad_of(&x).data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let x = Var::parameter(NdArray::from_slice(&[1.0]));
+        let mut y = x.clone();
+        for _ in 0..5000 {
+            y = y.add_scalar(0.0);
+        }
+        y.sum().backward();
+        assert_eq!(grad_of(&x).data(), &[1.0]);
+    }
+
+    #[test]
+    fn inference_graph_records_nothing() {
+        let c = Var::constant(NdArray::ones(&[2, 2]));
+        let out = c.mul(&c).relu();
+        assert!(!out.requires_grad());
+    }
+
+    #[test]
+    fn permute_grad_roundtrips() {
+        let x = Var::parameter(NdArray::from_fn(&[2, 3, 4], |i| i as f32));
+        let z = x.permute(&[2, 0, 1]).scale(3.0).sum();
+        z.backward();
+        assert_eq!(grad_of(&x), NdArray::full(&[2, 3, 4], 3.0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Edge-case tests for the tensor substrate: degenerate shapes, numeric
+//! extremes, and API misuse that must fail loudly rather than corrupt
+//! training.
+
+use timedrl_tensor::{matmul, NdArray, Prng, Var};
+
+#[test]
+fn scalar_arithmetic_broadcasts_everywhere() {
+    let s = NdArray::scalar(3.0);
+    let m = NdArray::from_fn(&[2, 2], |i| i as f32);
+    assert_eq!(m.add(&s).data(), &[3.0, 4.0, 5.0, 6.0]);
+    assert_eq!(s.add(&m).data(), &[3.0, 4.0, 5.0, 6.0]);
+    assert_eq!(m.mul(&s).data(), &[0.0, 3.0, 6.0, 9.0]);
+}
+
+#[test]
+fn size_one_axes_broadcast_both_ways() {
+    let col = NdArray::from_fn(&[3, 1], |i| i as f32);
+    let row = NdArray::from_fn(&[1, 4], |i| i as f32 * 10.0);
+    let outer = col.add(&row);
+    assert_eq!(outer.shape(), &[3, 4]);
+    assert_eq!(outer.at(&[2, 3]), 32.0);
+}
+
+#[test]
+fn empty_slice_len_zero() {
+    let a = NdArray::from_fn(&[4, 2], |i| i as f32);
+    let empty = a.slice(0, 2, 0).unwrap();
+    assert_eq!(empty.shape(), &[0, 2]);
+    assert_eq!(empty.numel(), 0);
+    assert_eq!(empty.sum(), 0.0);
+}
+
+#[test]
+fn single_element_reductions() {
+    let a = NdArray::scalar(5.0);
+    assert_eq!(a.sum(), 5.0);
+    assert_eq!(a.mean(), 5.0);
+    let one = NdArray::from_slice(&[7.0]);
+    assert_eq!(one.max(), 7.0);
+    assert_eq!(one.argmax_lastdim(), vec![0]);
+}
+
+#[test]
+fn softmax_on_single_column_is_one() {
+    let a = NdArray::from_fn(&[3, 1], |i| i as f32 * 100.0);
+    let s = a.softmax_lastdim();
+    assert_eq!(s.data(), &[1.0, 1.0, 1.0]);
+}
+
+#[test]
+fn large_magnitude_values_stay_finite_through_losses() {
+    let x = Var::parameter(NdArray::from_slice(&[1e4, -1e4, 0.0]));
+    let t = NdArray::zeros(&[3]);
+    let loss = x.mse_loss(&t);
+    assert!(loss.item().is_finite());
+    loss.backward();
+    assert!(!x.grad().unwrap().has_non_finite());
+}
+
+#[test]
+fn cross_entropy_handles_extreme_logits() {
+    let logits = Var::parameter(NdArray::from_vec(&[1, 2], vec![1e4, -1e4]).unwrap());
+    let loss = logits.cross_entropy(&[1]); // the wrong class, extremely confident
+    assert!(loss.item().is_finite());
+    assert!(loss.item() > 1e3, "hugely wrong prediction -> huge loss");
+    loss.backward();
+    assert!(!logits.grad().unwrap().has_non_finite());
+}
+
+#[test]
+fn cosine_similarity_of_near_zero_vectors_is_stable() {
+    let a = Var::parameter(NdArray::full(&[2, 4], 1e-20));
+    let b = Var::constant(NdArray::full(&[2, 4], 1e-20));
+    let sim = a.cosine_similarity_mean(&b);
+    assert!(sim.item().is_finite());
+    sim.backward();
+    assert!(!a.grad().unwrap().has_non_finite());
+}
+
+#[test]
+fn backward_twice_from_different_heads_accumulates() {
+    // y = x^2 and z = 3x share the leaf; both backward passes accumulate.
+    let x = Var::parameter(NdArray::from_slice(&[2.0]));
+    x.mul(&x).sum().backward(); // grad 4
+    x.scale(3.0).sum().backward(); // grad +3
+    assert_eq!(x.grad().unwrap().data(), &[7.0]);
+}
+
+#[test]
+fn zero_grad_resets_accumulation() {
+    let x = Var::parameter(NdArray::from_slice(&[1.0]));
+    x.mul(&x).sum().backward();
+    x.zero_grad();
+    assert!(x.grad().is_none());
+    x.mul(&x).sum().backward();
+    assert_eq!(x.grad().unwrap().data(), &[2.0]);
+}
+
+#[test]
+#[should_panic(expected = "requires a scalar")]
+fn backward_on_non_scalar_panics() {
+    let x = Var::parameter(NdArray::ones(&[2, 2]));
+    x.mul(&x).backward();
+}
+
+#[test]
+#[should_panic(expected = "set_value must preserve shape")]
+fn set_value_shape_mismatch_panics() {
+    let x = Var::parameter(NdArray::ones(&[2]));
+    x.set_value(NdArray::ones(&[3]));
+}
+
+#[test]
+fn matmul_with_zero_rows() {
+    let a = NdArray::zeros(&[0, 3]);
+    let b = NdArray::zeros(&[3, 2]);
+    let c = matmul(&a, &b).unwrap();
+    assert_eq!(c.shape(), &[0, 2]);
+}
+
+#[test]
+fn prng_streams_are_independent_of_call_interleaving() {
+    // Drawing uniform/normal in different orders from distinct Prngs keeps
+    // each stream deterministic.
+    let mut a1 = Prng::new(9);
+    let mut a2 = Prng::new(9);
+    let u1 = a1.uniform();
+    let n1 = a1.normal();
+    let u2 = a2.uniform();
+    let n2 = a2.normal();
+    assert_eq!(u1, u2);
+    assert_eq!(n1, n2);
+}
+
+#[test]
+fn reduce_to_shape_identity_when_equal() {
+    let a = Prng::new(1).randn(&[3, 4]);
+    assert_eq!(a.reduce_to_shape(&[3, 4]), a);
+}
+
+#[test]
+fn deep_diamond_graph_gradients_correct() {
+    // x feeds two paths that rejoin many times; gradient must equal the
+    // analytic derivative of f(x) = sum over k of (x + x)^1 applied k
+    // times = 2^k * x  -> here: y = ((x+x)+(x+x)) = 4x, grad 4.
+    let x = Var::parameter(NdArray::from_slice(&[1.5]));
+    let a = x.add(&x);
+    let y = a.add(&a);
+    y.sum().backward();
+    assert_eq!(x.grad().unwrap().data(), &[4.0]);
+}

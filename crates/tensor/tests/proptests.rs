@@ -1,0 +1,163 @@
+//! Property-based tests for the tensor substrate: algebraic laws that must
+//! hold for arbitrary shapes and values, checked with proptest.
+
+use proptest::prelude::*;
+use timedrl_tensor::{matmul, NdArray, Prng, Var};
+
+/// Strategy: a small shape (1-3 axes, each 1-5 wide).
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=5, 1..=3)
+}
+
+/// Strategy: an array of the given shape with bounded values.
+fn array_for(shape: Vec<usize>) -> impl Strategy<Value = NdArray> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| NdArray::from_vec(&shape, data).unwrap())
+}
+
+fn arb_array() -> impl Strategy<Value = NdArray> {
+    shape_strategy().prop_flat_map(array_for)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_array()) {
+        let b = a.map(|v| v * 0.5 + 1.0);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_zero_is_identity(a in arb_array()) {
+        let z = NdArray::zeros(a.shape());
+        prop_assert_eq!(a.add(&z), a.clone());
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_array()) {
+        let b = a.map(|v| v - 1.0);
+        let c = a.map(|v| -v * 0.3);
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn double_negation(a in arb_array()) {
+        prop_assert_eq!(a.neg().neg(), a.clone());
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let a = Prng::new(seed).randn(&[rows, cols]);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in arb_array()) {
+        let flat = a.flatten();
+        prop_assert!((a.sum() - flat.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_axis_totals_match(a in arb_array()) {
+        for axis in 0..a.rank() {
+            prop_assert!((a.sum_axis(axis, false).sum() - a.sum()).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn broadcast_then_reduce_scales_by_factor(n in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
+        let a = Prng::new(seed).randn(&[m]);
+        let b = a.broadcast_to(&[n, m]).unwrap();
+        let back = b.reduce_to_shape(&[m]);
+        prop_assert!(back.max_abs_diff(&a.scale(n as f32)) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
+        let a = Prng::new(seed).randn(&[rows, cols]).scale(5.0);
+        let s = a.softmax_lastdim();
+        for row in s.data().chunks(cols) {
+            let total: f32 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn matmul_identity_left(n in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
+        let a = Prng::new(seed).randn(&[n, m]);
+        let out = matmul(&NdArray::eye(n), &a).unwrap();
+        prop_assert!(out.max_abs_diff(&a) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_associative(seed in 0u64..1000) {
+        let mut rng = Prng::new(seed);
+        let a = rng.randn(&[3, 4]);
+        let b = rng.randn(&[4, 2]);
+        let c = rng.randn(&[2, 5]);
+        let lhs = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+        let rhs = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(rows in 2usize..6, cols in 1usize..5, seed in 0u64..1000) {
+        let a = Prng::new(seed).randn(&[rows, cols]);
+        let cut = rows / 2;
+        let top = a.slice(0, 0, cut).unwrap();
+        let bottom = a.slice(0, cut, rows - cut).unwrap();
+        prop_assert_eq!(NdArray::concat(&[&top, &bottom], 0), a);
+    }
+
+    #[test]
+    fn autograd_sum_gradient_is_ones(a in arb_array()) {
+        let x = Var::parameter(a.clone());
+        x.sum().backward();
+        prop_assert_eq!(x.grad().unwrap(), NdArray::ones(a.shape()));
+    }
+
+    #[test]
+    fn autograd_linear_scaling(a in arb_array(), k in -3.0f32..3.0) {
+        // d/dx sum(k*x) = k everywhere.
+        let x = Var::parameter(a.clone());
+        x.scale(k).sum().backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.max_abs_diff(&NdArray::full(a.shape(), k)) < 1e-4);
+    }
+
+    #[test]
+    fn detach_never_receives_gradient(a in arb_array()) {
+        let x = Var::parameter(a);
+        let y = x.detach();
+        let z = y.mul(&y).sum();
+        if z.requires_grad() {
+            z.backward();
+        }
+        prop_assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn gradient_accumulates_linearly(seed in 0u64..1000) {
+        // Two backward passes accumulate exactly twice the gradient.
+        let a = Prng::new(seed).randn(&[4]);
+        let x1 = Var::parameter(a.clone());
+        x1.mul(&x1).sum().backward();
+        let single = x1.grad().unwrap();
+        let x2 = Var::parameter(a);
+        x2.mul(&x2).sum().backward();
+        x2.mul(&x2).sum().backward();
+        prop_assert!(x2.grad().unwrap().max_abs_diff(&single.scale(2.0)) < 1e-4);
+    }
+
+    #[test]
+    fn prng_uniform_in_unit_interval(seed in 0u64..10_000) {
+        let mut rng = Prng::new(seed);
+        for _ in 0..100 {
+            let v = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
