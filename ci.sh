@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 CI: offline build + full test suite + zero-dependency policy check.
+#
+# The workspace must build and test with NO network and NO crates.io
+# registry: every dependency in every crate manifest is a `path`
+# dependency inside this repository. This script is the enforcement
+# point — it fails if any manifest acquires a registry dependency.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== zero-dependency policy =="
+# Inspect every [dependencies]/[dev-dependencies]/[build-dependencies]
+# section; each entry must carry `path =` or `workspace = true` (the
+# workspace table itself is path-only, checked below).
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    deps=$(awk '
+        /^\[(workspace\.)?(dependencies|dev-dependencies|build-dependencies)\]/ { on=1; next }
+        /^\[/ { on=0 }
+        on && NF && $0 !~ /^#/ { print FILENAME ": " $0 }
+    ' "$manifest")
+    while IFS= read -r line; do
+        [ -z "$line" ] && continue
+        if ! echo "$line" | grep -Eq 'path *=|workspace *= *true'; then
+            echo "registry dependency found -> $line"
+            bad=1
+        fi
+    done <<< "$deps"
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: non-path dependencies detected (zero-dependency policy, README.md)"
+    exit 1
+fi
+echo "ok: all dependencies are path-only"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test --offline -q
+
+echo "== CI green =="

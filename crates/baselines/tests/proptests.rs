@@ -1,16 +1,15 @@
 //! Property-based tests for the baselines crate: k-means invariants,
 //! encoder shape contracts, and segment pooling laws.
 
-use proptest::prelude::*;
+use testkit::{prop, prop_assert, prop_assert_eq, prop_assume};
 use timedrl_baselines::common::{segment_pool_flat, BaselineConfig, ConvEncoder};
 use timedrl_baselines::kmeans;
 use timedrl_nn::Ctx;
-use timedrl_tensor::{NdArray, Prng, Var};
+use timedrl_tensor::{Prng, Var};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![config(cases = 24)]
 
-    #[test]
     fn kmeans_assignments_in_range(n in 4usize..20, k in 1usize..4, seed in 0u64..500) {
         prop_assume!(k <= n);
         let pts = Prng::new(seed).randn(&[n, 3]);
@@ -21,7 +20,6 @@ proptest! {
         prop_assert_eq!(result.centroids.shape(), &[k, 3]);
     }
 
-    #[test]
     fn kmeans_every_cluster_assignment_is_nearest(seed in 0u64..200) {
         let pts = Prng::new(seed).randn(&[15, 2]);
         let result = kmeans(&pts, 3, 15, &mut Prng::new(seed ^ 2));
@@ -43,7 +41,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn conv_encoder_shape_contract(b in 1usize..4, t in 4usize..20, c in 1usize..4, seed in 0u64..200) {
         let cfg = BaselineConfig::compact(t, c);
         let mut rng = Prng::new(seed);
@@ -54,7 +51,6 @@ proptest! {
         prop_assert!(!z.to_array().has_non_finite());
     }
 
-    #[test]
     fn segment_pool_preserves_mean(b in 1usize..4, t in 4usize..24, segs in 1usize..6, seed in 0u64..200) {
         // Pooling into segments then averaging equals the global average
         // when segments tile the axis evenly.
@@ -72,7 +68,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn segment_pool_more_segments_than_steps_clamps(seed in 0u64..100) {
         let z = Prng::new(seed).randn(&[2, 3, 4]);
         let pooled = segment_pool_flat(&z, 10);

@@ -1,15 +1,17 @@
-//! Criterion bench for the patching ablation behind Fig. 4's efficiency
-//! claim: encoder forward cost vs patch length at fixed input length.
-//! Larger patches → fewer tokens → quadratically cheaper attention.
+//! Bench for the patching ablation behind Fig. 4's efficiency claim:
+//! encoder forward cost vs patch length at fixed input length. Larger
+//! patches → fewer tokens → quadratically cheaper attention. Runs on
+//! `testkit::bench`; tune with the `TESTKIT_BENCH_*` env knobs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::Bench;
 use timedrl::{TimeDrl, TimeDrlConfig};
 use timedrl_data::PatchConfig;
 use timedrl_nn::Ctx;
 use timedrl_tensor::Prng;
 
-fn bench_patch_lengths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encoder_forward_by_patch_len");
+fn main() {
+    let mut b = Bench::from_env("patching");
+    let mut group = b.group("encoder_forward_by_patch_len");
     let input_len = 128usize;
     let mut rng = Prng::new(0);
     let x = rng.randn(&[8, input_len, 1]);
@@ -19,23 +21,9 @@ fn bench_patch_lengths(c: &mut Criterion) {
         cfg.patch = PatchConfig::non_overlapping(p);
         let model = TimeDrl::new(cfg);
         let tokens = 1 + input_len / p;
-        group.bench_with_input(
-            BenchmarkId::new("tokens", tokens),
-            &tokens,
-            |bench, _| {
-                bench.iter(|| model.encode(&x, &mut Ctx::eval()).z.to_array());
-            },
-        );
+        group.bench(format!("tokens/{tokens}"), || {
+            model.encode(&x, &mut Ctx::eval()).z.to_array()
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_patch_lengths
-}
-criterion_main!(benches);

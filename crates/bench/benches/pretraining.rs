@@ -1,9 +1,10 @@
-//! Criterion macro-benchmark: one pre-training epoch per method — the
-//! Fig. 4 comparison as a statistically sampled benchmark (the
-//! `fig4_pretrain_time` binary reports single-shot wall-clock at T = 512;
-//! this bench uses T = 64 so criterion can afford many samples).
+//! Macro-benchmark: one pre-training epoch per method — the Fig. 4
+//! comparison as a sampled benchmark (the `fig4_pretrain_time` binary
+//! reports single-shot wall-clock at T = 512; this bench uses T = 64 so
+//! many samples are affordable). Runs on `testkit::bench`; tune with the
+//! `TESTKIT_BENCH_*` env knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::Bench;
 use timedrl::{pretrain, TimeDrl, TimeDrlConfig};
 use timedrl_baselines::{BaselineConfig, SimTs, SslMethod, Ts2Vec};
 use timedrl_tensor::{NdArray, Prng};
@@ -15,42 +16,27 @@ fn windows(n: usize, t: usize) -> NdArray {
     })
 }
 
-fn bench_pretrain_epoch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pretrain_one_epoch");
+fn main() {
+    let mut b = Bench::from_env("pretraining");
+    let mut group = b.group("pretrain_one_epoch");
     let w = windows(64, 64);
 
-    group.bench_function("TimeDRL", |b| {
-        b.iter(|| {
-            let mut cfg = TimeDrlConfig::forecasting(64);
-            cfg.epochs = 1;
-            let model = TimeDrl::new(cfg);
-            pretrain(&model, &w).final_loss()
-        });
+    group.bench_function("TimeDRL", || {
+        let mut cfg = TimeDrlConfig::forecasting(64);
+        cfg.epochs = 1;
+        let model = TimeDrl::new(cfg);
+        pretrain(&model, &w).final_loss()
     });
 
-    group.bench_function("SimTS", |b| {
-        b.iter(|| {
-            let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(64, 1) };
-            SimTs::new(cfg).pretrain(&w)
-        });
+    group.bench_function("SimTS", || {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(64, 1) };
+        SimTs::new(cfg).pretrain(&w)
     });
 
-    group.bench_function("TS2Vec", |b| {
-        b.iter(|| {
-            let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(64, 1) };
-            Ts2Vec::new(cfg).pretrain(&w)
-        });
+    group.bench_function("TS2Vec", || {
+        let cfg = BaselineConfig { epochs: 1, ..BaselineConfig::compact(64, 1) };
+        Ts2Vec::new(cfg).pretrain(&w)
     });
 
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pretrain_epoch
-}
-criterion_main!(benches);

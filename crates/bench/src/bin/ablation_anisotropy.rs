@@ -10,7 +10,7 @@
 //! (effective dimensionality; higher is better), for each pooling
 //! strategy of Table VII.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::{pretrain, Pooling, TimeDrl};
 use timedrl_bench::registry::classify_by_name;
 use timedrl_bench::runners::timedrl_classify_config;
@@ -19,13 +19,14 @@ use timedrl_eval::{mean_pairwise_cosine, participation_ratio};
 use timedrl_nn::Ctx;
 use timedrl_tensor::NdArray;
 
-#[derive(Serialize)]
 struct AnisotropyRecord {
     dataset: String,
     pooling: String,
     mean_cosine: f32,
     participation_ratio: f32,
 }
+
+impl_to_json!(AnisotropyRecord { dataset, pooling, mean_cosine, participation_ratio });
 
 fn main() {
     let scale = Scale::from_args();

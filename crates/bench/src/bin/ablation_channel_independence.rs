@@ -7,7 +7,7 @@
 //! shared weights (`[N, L, C] -> [N·C, L, 1]`). Channel-mixing: the model
 //! consumes all channels jointly (`n_features = C`).
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::{
     channel_independent, forecast_linear_eval, pretrain, ForecastEvalResult, ForecastTask,
     TimeDrl, TimeDrlConfig,
@@ -18,13 +18,14 @@ use timedrl_bench::{ResultSink, Scale};
 use timedrl_data::{chrono_split, sliding_windows, Standardizer};
 use timedrl_eval::{mae, mse, RidgeProbe};
 
-#[derive(Serialize)]
 struct CiRecord {
     dataset: String,
     mode: String,
     mse: f32,
     mae: f32,
 }
+
+impl_to_json!(CiRecord { dataset, mode, mse, mae });
 
 fn main() {
     let scale = Scale::from_args();

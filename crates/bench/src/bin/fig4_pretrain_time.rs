@@ -8,7 +8,7 @@
 //! (patch length 1) to demonstrate the quadratic attention-cost reduction
 //! the paper credits the patching mechanism with.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use std::time::Instant;
 use timedrl::{pretrain, TimeDrl, TimeDrlConfig};
 use timedrl_baselines::{BaselineConfig, SimTs, SslMethod, Ts2Vec};
@@ -17,12 +17,13 @@ use timedrl_bench::{ResultSink, Scale};
 use timedrl_data::{chrono_split, sliding_windows, PatchConfig};
 use timedrl::channel_independent;
 
-#[derive(Serialize)]
 struct TimingRecord {
     dataset: String,
     method: String,
     seconds: f64,
 }
+
+impl_to_json!(TimingRecord { dataset, method, seconds });
 
 fn main() {
     let scale = Scale::from_args();

@@ -7,7 +7,7 @@
 //! paper's expected shape: TimeDRL (FT) dominates, and the gap widens as
 //! labels get scarcer.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::{
     finetune_classification, finetune_forecast, pretrain, FinetuneConfig, TimeDrl,
 };
@@ -16,7 +16,6 @@ use timedrl_bench::runners::{forecast_data, timedrl_classify_config, timedrl_for
 use timedrl_bench::{line_chart, ResultSink, Scale, Series};
 use timedrl_tensor::Prng;
 
-#[derive(Serialize)]
 struct SemiRecord {
     task: String,
     dataset: String,
@@ -24,6 +23,8 @@ struct SemiRecord {
     supervised: f32,
     timedrl_ft: f32,
 }
+
+impl_to_json!(SemiRecord { task, dataset, label_fraction, supervised, timedrl_ft });
 
 fn main() {
     let scale = Scale::from_args();

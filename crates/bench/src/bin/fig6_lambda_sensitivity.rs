@@ -5,7 +5,7 @@
 //! paper's finding: both extremes hurt, λ = 1 (balanced) is near-optimal
 //! for both forecasting (MSE) and classification (accuracy).
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl_bench::registry::{classify_by_name, forecast_by_name};
 use timedrl_bench::runners::{
     forecast_data, probe_config, timedrl_classify_config, timedrl_forecast_config,
@@ -14,13 +14,14 @@ use timedrl_bench::{line_chart, ResultSink, Scale, Series};
 use timedrl::{classification_linear_eval, forecast_linear_eval};
 use timedrl_tensor::Prng;
 
-#[derive(Serialize)]
 struct LambdaRecord {
     task: String,
     dataset: String,
     lambda: f32,
     metric: f32,
 }
+
+impl_to_json!(LambdaRecord { task, dataset, lambda, metric });
 
 fn main() {
     let scale = Scale::from_args();

@@ -8,10 +8,10 @@
 //! Run `all_experiments` first; this binary only formats what it finds
 //! (missing experiments render as "not yet run").
 
-use serde_json::Value;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use testkit::json::Json as Value;
 
 fn main() {
     let results_dir = std::env::var("TIMEDRL_RESULTS_DIR")
@@ -46,7 +46,7 @@ fn load(dir: &std::path::Path, name: &str) -> Vec<Value> {
     let Ok(text) = fs::read_to_string(&path) else {
         return Vec::new();
     };
-    serde_json::from_str::<Value>(&text)
+    Value::parse(&text)
         .ok()
         .and_then(|v| v.get("records").and_then(|r| r.as_array()).cloned())
         .unwrap_or_default()

@@ -4,20 +4,21 @@
 //! on ETTh1 and Exchange, at the prediction geometry scaled from the
 //! paper's T = 168.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::forecast_linear_eval;
 use timedrl_bench::registry::forecast_by_name;
 use timedrl_bench::runners::{forecast_data, timedrl_forecast_config};
 use timedrl_bench::{ResultSink, Scale};
 use timedrl_data::Augmentation;
 
-#[derive(Serialize)]
 struct AugRecord {
     dataset: String,
     augmentation: String,
     mse: f32,
     delta_pct: f32,
 }
+
+impl_to_json!(AugRecord { dataset, augmentation, mse, delta_pct });
 
 fn main() {
     let scale = Scale::from_args();

@@ -6,19 +6,20 @@
 //! The paper's point: pooled derivations suffer the anisotropy problem;
 //! `[CLS]` wins, and GAP (the common choice, e.g. TS2Vec) is worst.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::{classification_linear_eval, Pooling};
 use timedrl_bench::registry::classify_by_name;
 use timedrl_bench::runners::{probe_config, timedrl_classify_config};
 use timedrl_bench::{ResultSink, Scale};
 use timedrl_tensor::Prng;
 
-#[derive(Serialize)]
 struct PoolRecord {
     dataset: String,
     pooling: String,
     acc: f32,
 }
+
+impl_to_json!(PoolRecord { dataset, pooling, acc });
 
 fn main() {
     let scale = Scale::from_args();

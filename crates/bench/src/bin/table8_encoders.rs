@@ -7,19 +7,20 @@
 //! bidirectional counterparts — full temporal access per timestamp
 //! matters.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::{forecast_linear_eval, EncoderKind};
 use timedrl_bench::registry::forecast_by_name;
 use timedrl_bench::runners::{forecast_data, timedrl_forecast_config};
 use timedrl_bench::{ResultSink, Scale};
 
-#[derive(Serialize)]
 struct EncoderRecord {
     dataset: String,
     encoder: String,
     mse: f32,
     delta_pct: f32,
 }
+
+impl_to_json!(EncoderRecord { dataset, encoder, mse, delta_pct });
 
 fn main() {
     let scale = Scale::from_args();

@@ -3,20 +3,21 @@
 //! negative-free Siamese objective admits the collapsed constant solution;
 //! the paper shows accuracy drops sharply on FingerMovements and Epilepsy.
 
-use serde::Serialize;
+use testkit::impl_to_json;
 use timedrl::classification_linear_eval;
 use timedrl_bench::registry::classify_by_name;
 use timedrl_bench::runners::{probe_config, timedrl_classify_config};
 use timedrl_bench::{ResultSink, Scale};
 use timedrl_tensor::Prng;
 
-#[derive(Serialize)]
 struct SgRecord {
     dataset: String,
     stop_gradient: bool,
     acc: f32,
     embedding_std: f32,
 }
+
+impl_to_json!(SgRecord { dataset, stop_gradient, acc, embedding_std });
 
 fn main() {
     let scale = Scale::from_args();

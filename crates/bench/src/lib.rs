@@ -2,7 +2,8 @@
 //!
 //! The experiment harness: shared scaffolding for the per-table/per-figure
 //! binaries in `src/bin/` (scaled-down dataset registry, method runners,
-//! table formatting, JSON result output) plus criterion benches.
+//! table formatting, JSON result output) plus `testkit::bench` wall-clock
+//! benches in `benches/`.
 //!
 //! Every binary accepts `--quick` for a smoke-test scale (seconds) and
 //! defaults to the "experiment" scale documented in EXPERIMENTS.md

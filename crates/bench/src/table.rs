@@ -1,10 +1,11 @@
 //! Table formatting and JSON result persistence for the experiment
 //! binaries.
 
-use serde::Serialize;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use testkit::json::{Json, ToJson};
+use testkit::impl_to_json;
 
 /// Formats one table row: a label column followed by fixed-precision
 /// numeric cells.
@@ -21,7 +22,7 @@ pub fn format_row(label: &str, cells: &[f32]) -> String {
 /// EXPERIMENTS.md can be regenerated from artifacts.
 pub struct ResultSink {
     experiment: String,
-    records: Vec<serde_json::Value>,
+    records: Vec<Json>,
 }
 
 impl ResultSink {
@@ -31,9 +32,8 @@ impl ResultSink {
     }
 
     /// Appends one result record.
-    pub fn push(&mut self, record: impl Serialize) {
-        self.records
-            .push(serde_json::to_value(record).expect("result record serializes"));
+    pub fn push(&mut self, record: impl ToJson) {
+        self.records.push(record.to_json());
     }
 
     /// Number of collected records.
@@ -52,11 +52,11 @@ impl ResultSink {
         fs::create_dir_all(&dir).expect("create results dir");
         let path = dir.join(format!("{}.json", self.experiment));
         let mut file = fs::File::create(&path).expect("create results file");
-        let doc = serde_json::json!({
-            "experiment": self.experiment,
-            "records": self.records,
-        });
-        writeln!(file, "{}", serde_json::to_string_pretty(&doc).unwrap()).expect("write results");
+        let doc = Json::Obj(vec![
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("records".to_string(), Json::Arr(self.records.clone())),
+        ]);
+        writeln!(file, "{}", doc.to_string_pretty()).expect("write results");
         path
     }
 }
@@ -70,7 +70,7 @@ fn results_dir() -> PathBuf {
 }
 
 /// One forecasting-table record.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ForecastRecord {
     /// Dataset name.
     pub dataset: String,
@@ -84,8 +84,10 @@ pub struct ForecastRecord {
     pub mae: f32,
 }
 
+impl_to_json!(ForecastRecord { dataset, horizon, method, mse, mae });
+
 /// One classification-table record.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ClassifyRecord {
     /// Dataset name.
     pub dataset: String,
@@ -98,6 +100,8 @@ pub struct ClassifyRecord {
     /// Cohen's kappa (percent).
     pub kappa: f32,
 }
+
+impl_to_json!(ClassifyRecord { dataset, method, acc, mf1, kappa });
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,31 @@
+//! Gradient check for the SimSiam-style predictor (`ContrastHead`, the
+//! asymmetric half of the stop-gradient pair): finite differences through
+//! the full `Linear -> BatchNorm -> ReLU -> Linear` bottleneck.
+
+use timedrl::model::ContrastHead;
+use timedrl_tensor::gradcheck::assert_gradients_close;
+use timedrl_tensor::Prng;
+
+#[test]
+fn contrast_head_gradcheck() {
+    let mut rng = Prng::new(200);
+    let head = ContrastHead::new(8, &mut rng);
+    // Eval mode: BatchNorm uses (fixed) running statistics, so the loss is
+    // a smooth deterministic function of the probe point. Shift inputs away
+    // from the ReLU kink so central differences stay on one side.
+    let x = rng.randn(&[4, 8]).map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+    assert_gradients_close(&x, 1e-3, 2e-2, |v| head.forward(v, false).powf(2.0).mean());
+}
+
+#[test]
+fn contrast_head_preserves_width_and_gradients_reach_all_params() {
+    let mut rng = Prng::new(201);
+    let head = ContrastHead::new(16, &mut rng);
+    let x = timedrl_tensor::Var::constant(rng.randn(&[3, 16]));
+    let y = head.forward(&x, true);
+    assert_eq!(y.shape(), vec![3, 16]);
+    y.powf(2.0).mean().backward();
+    for p in timedrl_nn::Module::parameters(&head) {
+        assert!(p.grad().is_some());
+    }
+}

@@ -2,7 +2,7 @@
 //! window extraction bounds, normalization statistics, and augmentation
 //! invariants.
 
-use proptest::prelude::*;
+use testkit::{prop, prop_assert, prop_assert_eq, prop_assume};
 use timedrl_data::synth::classify::pendigits;
 use timedrl_data::{
     augment, instance_normalize, patch_sample, sliding_windows, unpatch_sample, Augmentation,
@@ -10,10 +10,9 @@ use timedrl_data::{
 };
 use timedrl_tensor::{NdArray, Prng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+prop! {
+    #![config(cases = 32)]
 
-    #[test]
     fn nonoverlapping_patch_roundtrip(k in 1usize..6, p in 1usize..5, c in 1usize..4, seed in 0u64..1000) {
         // T divisible by P: patch then unpatch is the identity.
         let t = k * p;
@@ -23,7 +22,6 @@ proptest! {
         prop_assert_eq!(back, x);
     }
 
-    #[test]
     fn patch_count_formula_holds(t in 4usize..40, p in 2usize..6, s in 1usize..4) {
         prop_assume!(t >= p);
         let cfg = PatchConfig { patch_len: p, stride: s };
@@ -33,7 +31,6 @@ proptest! {
         prop_assert_eq!(patched.shape()[1], 2 * p);
     }
 
-    #[test]
     fn windows_never_leak_into_targets(t in 20usize..60, l in 3usize..8, h in 1usize..5, seed in 0u64..1000) {
         prop_assume!(t >= l + h);
         // Monotone series: every input value must be strictly less than
@@ -48,7 +45,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn instance_norm_idempotent_up_to_eps(t in 8usize..30, c in 1usize..4, seed in 0u64..1000) {
         let x = Prng::new(seed).randn(&[t, c]).scale(3.0).add_scalar(5.0);
         let once = instance_normalize(&x);
@@ -56,7 +52,6 @@ proptest! {
         prop_assert!(once.max_abs_diff(&twice) < 1e-2);
     }
 
-    #[test]
     fn standardizer_transform_inverse_identity(t in 10usize..40, c in 1usize..4, seed in 0u64..1000) {
         let mut rng = Prng::new(seed);
         let train = rng.randn(&[t, c]).scale(2.0).add_scalar(-1.0);
@@ -65,7 +60,6 @@ proptest! {
         prop_assert!(sc.inverse(&sc.transform(&x)).max_abs_diff(&x) < 1e-3);
     }
 
-    #[test]
     fn augmentations_preserve_shape(seed in 0u64..1000, t in 6usize..30, c in 1usize..5) {
         let x = Prng::new(seed).randn(&[t, c]);
         let mut rng = Prng::new(seed ^ 1);
@@ -76,14 +70,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn jitter_centred_on_original(seed in 0u64..1000) {
         let x = NdArray::zeros(&[200, 4]);
         let y = augment::jitter(&x, 0.1, &mut Prng::new(seed));
         prop_assert!(y.mean().abs() < 0.02);
     }
 
-    #[test]
     fn permutation_preserves_multiset(seed in 0u64..1000, segs in 2usize..6) {
         let x = NdArray::from_fn(&[24, 1], |i| i as f32);
         let y = augment::permutation(&x, segs, &mut Prng::new(seed));
@@ -94,7 +86,6 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
-    #[test]
     fn masking_only_zeroes(seed in 0u64..1000, p in 0.05f32..0.9) {
         let x = NdArray::full(&[30, 3], 2.5);
         let y = augment::masking(&x, p, &mut Prng::new(seed));
@@ -103,7 +94,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn subsample_labels_respects_fraction(frac in 0.05f32..1.0, seed in 0u64..500) {
         let ds = pendigits(60, 0);
         let sub = ds.subsample_labels(frac, &mut Prng::new(seed));
@@ -112,7 +102,6 @@ proptest! {
         prop_assert!(sub.len() >= expected && sub.len() <= expected + ds.n_classes);
     }
 
-    #[test]
     fn split_preserves_samples(frac in 0.1f32..0.9, seed in 0u64..500) {
         let ds = pendigits(50, 1);
         let (a, b) = ds.train_test_split(frac, &mut Prng::new(seed));

@@ -1,17 +1,17 @@
 //! Property-based tests for metric bounds and probe behaviour.
 
-use proptest::prelude::*;
+use testkit::prop::{vec_of, Gen};
+use testkit::{prop, prop_assert, prop_assert_eq};
 use timedrl_eval::{classification_report, cholesky_solve, mae, mse, RidgeProbe};
 use timedrl_tensor::{matmul, NdArray, Prng};
 
-fn labels_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0usize..k, n)
+fn labels_strategy(n: usize, k: usize) -> impl Gen<Value = Vec<usize>> {
+    vec_of(0usize..k, n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+prop! {
+    #![config(cases = 48)]
 
-    #[test]
     fn metric_bounds(pred in labels_strategy(40, 3), truth in labels_strategy(40, 3)) {
         let r = classification_report(&pred, &truth, 3);
         prop_assert!((0.0..=1.0).contains(&r.accuracy));
@@ -19,7 +19,6 @@ proptest! {
         prop_assert!((-1.0..=1.0).contains(&r.kappa));
     }
 
-    #[test]
     fn perfect_agreement_maximizes_all(truth in labels_strategy(30, 4)) {
         let r = classification_report(&truth, &truth, 4);
         prop_assert_eq!(r.accuracy, 1.0);
@@ -37,14 +36,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn kappa_never_exceeds_accuracy_rescaled(pred in labels_strategy(50, 2), truth in labels_strategy(50, 2)) {
         // kappa = (acc - pe) / (1 - pe) <= acc when acc <= 1.
         let r = classification_report(&pred, &truth, 2);
         prop_assert!(r.kappa <= r.accuracy + 1e-6);
     }
 
-    #[test]
     fn mse_mae_zero_iff_equal(seed in 0u64..1000) {
         let x = Prng::new(seed).randn(&[4, 5]);
         prop_assert_eq!(mse(&x, &x), 0.0);
@@ -54,7 +51,6 @@ proptest! {
         prop_assert!((mae(&x, &y) - 0.5).abs() < 1e-5);
     }
 
-    #[test]
     fn mse_dominates_squared_mae(seed in 0u64..1000) {
         // Jensen: MSE >= MAE^2.
         let mut rng = Prng::new(seed);
@@ -63,7 +59,6 @@ proptest! {
         prop_assert!(mse(&a, &b) + 1e-6 >= mae(&a, &b).powi(2));
     }
 
-    #[test]
     fn cholesky_solves_spd_systems(seed in 0u64..1000, n in 2usize..7) {
         let mut rng = Prng::new(seed);
         let g = rng.randn(&[n, n]);
@@ -74,7 +69,6 @@ proptest! {
         prop_assert!(x.max_abs_diff(&x_true) < 1e-2);
     }
 
-    #[test]
     fn ridge_interpolates_exact_linear_data(seed in 0u64..500) {
         let mut rng = Prng::new(seed);
         let x = rng.randn(&[60, 4]);

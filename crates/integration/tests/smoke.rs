@@ -1,0 +1,56 @@
+//! Pre-training smoke test: the fastest end-to-end signal that the whole
+//! stack (patching → encoder → dual pretext heads → optimizer) learns.
+//! Three epochs on tiny synthetic data must reduce the loss and produce
+//! healthy (finite, non-collapsed) disentangled embeddings.
+
+use timedrl::{pretrain, TimeDrl, TimeDrlConfig};
+use timedrl_tensor::{NdArray, Prng};
+
+/// Tiny synthetic pre-training set: noisy sines, `[n, t, 1]`.
+fn windows(n: usize, t: usize) -> NdArray {
+    let mut rng = Prng::new(9);
+    NdArray::from_fn(&[n, t, 1], |flat| {
+        let ti = flat % t;
+        (ti as f32 * 0.4).sin() + rng.normal_with(0.0, 0.1)
+    })
+}
+
+#[test]
+fn three_epoch_pretrain_learns_and_embeds() {
+    let t = 32;
+    let w = windows(24, t);
+
+    let mut cfg = TimeDrlConfig::forecasting(t);
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.epochs = 3;
+    let model = TimeDrl::new(cfg);
+
+    let report = pretrain(&model, &w);
+    assert_eq!(report.total.len(), 3, "one total-loss entry per epoch");
+    assert!(
+        report.total.iter().all(|l| l.is_finite()),
+        "loss must stay finite: {:?}",
+        report.total
+    );
+    assert!(
+        report.final_loss() < report.total[0],
+        "3 epochs must reduce the pretext loss: {:?}",
+        report.total
+    );
+
+    // Instance-level embeddings z_i: finite, and not collapsed to a point.
+    let z_i = model.embed_instances(&w);
+    assert_eq!(z_i.shape()[0], 24);
+    assert!(!z_i.has_non_finite(), "z_i contains NaN/inf");
+    let zi_var = z_i.var_axis(0, false).mean();
+    assert!(zi_var > 1e-6, "z_i collapsed: mean feature variance {zi_var}");
+
+    // Timestamp-level embeddings z_t (flattened per window): same checks.
+    let z_t = model.embed_timestamps_flat(&w);
+    assert_eq!(z_t.shape()[0], 24);
+    assert!(!z_t.has_non_finite(), "z_t contains NaN/inf");
+    let zt_var = z_t.var_axis(0, false).mean();
+    assert!(zt_var > 1e-6, "z_t collapsed: mean feature variance {zt_var}");
+}

@@ -1,0 +1,93 @@
+//! Finite-difference gradient checks for the composite layers: multi-head
+//! attention, the Transformer block in both sublayer arrangements, and
+//! Conv1d. Each check differentiates a scalar loss through the full layer
+//! with respect to the *input*, which exercises every internal op's
+//! backward pass along the way.
+//!
+//! All checks run in eval mode (dropout off) so the loss is a smooth,
+//! deterministic function of the probe point.
+
+use timedrl_nn::transformer::TransformerBlock;
+use timedrl_nn::{Conv1d, Ctx, MultiHeadAttention};
+use timedrl_tensor::gradcheck::assert_gradients_close;
+use timedrl_tensor::Prng;
+
+#[test]
+fn multi_head_attention_gradcheck() {
+    let mut rng = Prng::new(100);
+    let attn = MultiHeadAttention::new(8, 2, false, 0.0, &mut rng);
+    let x = rng.randn(&[2, 3, 8]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| {
+        attn.forward(v, &mut Ctx::eval()).powf(2.0).mean()
+    });
+}
+
+#[test]
+fn causal_attention_gradcheck() {
+    let mut rng = Prng::new(101);
+    let attn = MultiHeadAttention::new(8, 2, true, 0.0, &mut rng);
+    let x = rng.randn(&[1, 4, 8]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| {
+        attn.forward(v, &mut Ctx::eval()).powf(2.0).mean()
+    });
+}
+
+#[test]
+fn post_norm_transformer_block_gradcheck() {
+    let mut rng = Prng::new(102);
+    let block = TransformerBlock::new(8, 2, 16, 0.0, false, &mut rng);
+    let x = rng.randn(&[2, 3, 8]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| {
+        block.forward(v, &mut Ctx::eval()).powf(2.0).mean()
+    });
+}
+
+#[test]
+fn pre_norm_transformer_block_gradcheck() {
+    let mut rng = Prng::new(103);
+    let block = TransformerBlock::new(8, 2, 16, 0.0, false, &mut rng).with_pre_norm();
+    let x = rng.randn(&[2, 3, 8]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| {
+        block.forward(v, &mut Ctx::eval()).powf(2.0).mean()
+    });
+}
+
+#[test]
+fn pre_norm_and_post_norm_blocks_differ() {
+    // Same weights, different wiring: the two arrangements must not be
+    // numerically identical (that would mean with_pre_norm is a no-op).
+    let make = |pre: bool| {
+        let mut rng = Prng::new(104);
+        let b = TransformerBlock::new(8, 2, 16, 0.0, false, &mut rng);
+        if pre {
+            b.with_pre_norm()
+        } else {
+            b
+        }
+    };
+    let x = Prng::new(105).randn(&[2, 3, 8]);
+    let post = make(false)
+        .forward(&timedrl_tensor::Var::constant(x.clone()), &mut Ctx::eval())
+        .to_array();
+    let pre = make(true)
+        .forward(&timedrl_tensor::Var::constant(x), &mut Ctx::eval())
+        .to_array();
+    assert_eq!(post.shape(), pre.shape());
+    assert!(post.max_abs_diff(&pre) > 1e-3);
+}
+
+#[test]
+fn conv1d_gradcheck() {
+    let mut rng = Prng::new(106);
+    let conv = Conv1d::new(3, 4, 3, 1, 1, 1, &mut rng);
+    let x = rng.randn(&[2, 3, 6]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| conv.forward(v).powf(2.0).mean());
+}
+
+#[test]
+fn strided_dilated_conv1d_gradcheck() {
+    let mut rng = Prng::new(107);
+    let conv = Conv1d::new(2, 3, 3, 2, 2, 2, &mut rng);
+    let x = rng.randn(&[1, 2, 9]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| conv.forward(v).powf(2.0).mean());
+}

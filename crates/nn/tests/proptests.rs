@@ -1,15 +1,14 @@
 //! Property-based tests for the neural-network layer invariants.
 
-use proptest::prelude::*;
+use testkit::{prop, prop_assert, prop_assert_eq};
 use timedrl_nn::{
     BatchNorm1d, Ctx, LayerNorm, Linear, Module, MultiHeadAttention, Sgd, Optimizer,
 };
 use timedrl_tensor::{NdArray, Prng, Var};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![config(cases = 24)]
 
-    #[test]
     fn linear_is_affine(seed in 0u64..500, n in 1usize..5) {
         // f(a + b) - f(b) == f(a) - f(0): affine maps have constant slope.
         let mut rng = Prng::new(seed);
@@ -22,7 +21,6 @@ proptest! {
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
     }
 
-    #[test]
     fn layernorm_is_shift_invariant(seed in 0u64..500, shift in -20.0f32..20.0) {
         // Adding a constant to every feature leaves the normalized output
         // unchanged (mean removal).
@@ -34,7 +32,6 @@ proptest! {
         prop_assert!(y1.max_abs_diff(&y2) < 1e-3);
     }
 
-    #[test]
     fn layernorm_is_scale_invariant(seed in 0u64..500, scale in 0.1f32..10.0) {
         let mut rng = Prng::new(seed);
         let ln = LayerNorm::new(8);
@@ -44,7 +41,6 @@ proptest! {
         prop_assert!(y1.max_abs_diff(&y2) < 1e-2);
     }
 
-    #[test]
     fn batchnorm_output_statistics(seed in 0u64..500) {
         let mut rng = Prng::new(seed);
         let bn = BatchNorm1d::new(4);
@@ -58,7 +54,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn attention_is_permutation_sensitive_but_shape_stable(seed in 0u64..200) {
         let mut rng = Prng::new(seed);
         let attn = MultiHeadAttention::new(8, 2, false, 0.0, &mut rng);
@@ -68,7 +63,6 @@ proptest! {
         prop_assert!(!y.to_array().has_non_finite());
     }
 
-    #[test]
     fn sgd_step_moves_against_gradient(seed in 0u64..500, lr in 0.001f32..0.5) {
         let mut rng = Prng::new(seed);
         let w = Var::parameter(rng.randn(&[4]));
@@ -85,7 +79,6 @@ proptest! {
         prop_assert!(w.to_array().max_abs_diff(&before) > 0.0 || loss_before == 0.0);
     }
 
-    #[test]
     fn dropout_expectation_preserved(seed in 0u64..200, p in 0.05f32..0.8) {
         let mut ctx = Ctx::train(seed);
         let x = Var::constant(NdArray::ones(&[64, 64]));
@@ -94,7 +87,6 @@ proptest! {
         prop_assert!((y.mean() - 1.0).abs() < 0.12, "mean {} at p {p}", y.mean());
     }
 
-    #[test]
     fn module_parameter_counts_are_stable(seed in 0u64..100) {
         let mut rng = Prng::new(seed);
         let l = Linear::new(7, 3, &mut rng);

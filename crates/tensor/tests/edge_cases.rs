@@ -150,3 +150,117 @@ fn deep_diamond_graph_gradients_correct() {
     y.sum().backward();
     assert_eq!(x.grad().unwrap().data(), &[4.0]);
 }
+
+#[test]
+fn zero_size_dims_through_elementwise_and_reductions() {
+    // A [0, 3] array: elementwise ops and axis reductions over the
+    // non-empty axis must produce consistent empty results, not panic.
+    let empty = NdArray::zeros(&[0, 3]);
+    assert_eq!(empty.numel(), 0);
+    assert_eq!(empty.add(&empty).shape(), &[0, 3]);
+    assert_eq!(empty.scale(2.0).numel(), 0);
+    assert_eq!(empty.sum(), 0.0);
+    let reduced = empty.sum_axis(0, false);
+    assert_eq!(reduced.shape(), &[3]);
+    assert_eq!(reduced.data(), &[0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn zero_size_inner_dim_matmul_gives_zeros() {
+    // [2, 0] x [0, 3]: an empty contraction axis is a valid product whose
+    // every entry is the empty sum, i.e. exactly zero.
+    let a = NdArray::zeros(&[2, 0]);
+    let b = NdArray::zeros(&[0, 3]);
+    let c = matmul(&a, &b).unwrap();
+    assert_eq!(c.shape(), &[2, 3]);
+    assert!(c.data().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn length_one_axis_broadcast_matches_explicit_expansion() {
+    // [2, 1, 4] + [2, 3, 1] -> [2, 3, 4], checked element by element
+    // against the hand-expanded computation.
+    let a = NdArray::from_fn(&[2, 1, 4], |i| i as f32);
+    let b = NdArray::from_fn(&[2, 3, 1], |i| i as f32 * 10.0);
+    let c = a.add(&b);
+    assert_eq!(c.shape(), &[2, 3, 4]);
+    for i in 0..2 {
+        for j in 0..3 {
+            for k in 0..4 {
+                assert_eq!(c.at(&[i, j, k]), a.at(&[i, 0, k]) + b.at(&[i, j, 0]));
+            }
+        }
+    }
+}
+
+#[test]
+fn broadcast_to_then_reduce_roundtrip() {
+    let v = NdArray::from_fn(&[1, 4], |i| i as f32 + 1.0);
+    let big = v.broadcast_to(&[3, 4]).unwrap();
+    assert_eq!(big.shape(), &[3, 4]);
+    // Every broadcast row is the source row; reducing back recovers 3x it.
+    assert_eq!(big.sum_axis(0, false).data(), &[3.0, 6.0, 9.0, 12.0]);
+}
+
+/// Reference three-loop matmul for the strided-view checks below.
+fn naive_matmul(a: &NdArray, b: &NdArray) -> NdArray {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    NdArray::from_fn(&[m, n], |flat| {
+        let (i, j) = (flat / n, flat % n);
+        (0..k).map(|p| a.at(&[i, p]) * b.at(&[p, j])).sum()
+    })
+}
+
+#[test]
+fn transposed_view_through_matmul_matches_naive() {
+    // transpose() produces a view-derived array; feeding it straight into
+    // matmul must agree with the naive product of the materialized layout.
+    let mut rng = Prng::new(31);
+    let a = rng.randn(&[3, 5]);
+    let b = rng.randn(&[3, 4]);
+    let got = matmul(&a.transpose(), &b).unwrap(); // [5,3] x [3,4]
+    let want = naive_matmul(&a.transpose(), &b);
+    assert_eq!(got.shape(), &[5, 4]);
+    assert!(got.max_abs_diff(&want) < 1e-5);
+}
+
+#[test]
+fn permuted_view_through_matmul_matches_naive() {
+    // A rank-3 permute collapsed to 2-D exercises the stride remapping on
+    // both operands at once.
+    let mut rng = Prng::new(32);
+    let a3 = rng.randn(&[2, 3, 4]);
+    let a = a3.permute(&[1, 0, 2]).reshape(&[3, 8]).unwrap(); // [3, 2*4]
+    let b = rng.randn(&[8, 2]);
+    let got = matmul(&a, &b).unwrap();
+    assert!(got.max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+}
+
+#[test]
+fn double_transpose_is_identity_through_matmul() {
+    let mut rng = Prng::new(33);
+    let a = rng.randn(&[4, 3]);
+    let b = rng.randn(&[3, 2]);
+    let direct = matmul(&a, &b).unwrap();
+    let via_views = matmul(&a.transpose().transpose(), &b).unwrap();
+    assert_eq!(direct, via_views);
+}
+
+#[test]
+fn broadcast_view_through_matmul_matches_naive() {
+    // A row broadcast to a full matrix, then used as a matmul operand.
+    let mut rng = Prng::new(34);
+    let row = rng.randn(&[1, 3]);
+    let a = row.broadcast_to(&[4, 3]).unwrap();
+    let b = rng.randn(&[3, 2]);
+    let got = matmul(&a, &b).unwrap();
+    assert!(got.max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+    // All output rows identical, since all input rows are.
+    for j in 0..2 {
+        let first = got.at(&[0, j]);
+        for i in 1..4 {
+            assert_eq!(got.at(&[i, j]), first);
+        }
+    }
+}

@@ -1,39 +1,37 @@
 //! Property-based tests for the tensor substrate: algebraic laws that must
-//! hold for arbitrary shapes and values, checked with proptest.
+//! hold for arbitrary shapes and values, checked with `testkit::prop!`
+//! (seeded, replayable via `TESTKIT_SEED`).
 
-use proptest::prelude::*;
+use testkit::prop::{vec_of, Gen};
+use testkit::{prop, prop_assert, prop_assert_eq};
 use timedrl_tensor::{matmul, NdArray, Prng, Var};
 
-/// Strategy: a small shape (1-3 axes, each 1-5 wide).
-fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..=5, 1..=3)
+/// Generator: a small shape (1-3 axes, each 1-5 wide).
+fn shape_strategy() -> impl Gen<Value = Vec<usize>> {
+    vec_of(1usize..=5, 1usize..=3)
 }
 
-/// Strategy: an array of the given shape with bounded values.
-fn array_for(shape: Vec<usize>) -> impl Strategy<Value = NdArray> {
+/// Generator: an array of the given shape with bounded values.
+fn array_for(shape: Vec<usize>) -> impl Gen<Value = NdArray> {
     let n: usize = shape.iter().product();
-    prop::collection::vec(-10.0f32..10.0, n)
-        .prop_map(move |data| NdArray::from_vec(&shape, data).unwrap())
+    vec_of(-10.0f32..10.0, n).prop_map(move |data| NdArray::from_vec(&shape, data).unwrap())
 }
 
-fn arb_array() -> impl Strategy<Value = NdArray> {
+fn arb_array() -> impl Gen<Value = NdArray> {
     shape_strategy().prop_flat_map(array_for)
 }
 
-proptest! {
-    #[test]
+prop! {
     fn add_commutes(a in arb_array()) {
         let b = a.map(|v| v * 0.5 + 1.0);
         prop_assert_eq!(a.add(&b), b.add(&a));
     }
 
-    #[test]
     fn add_zero_is_identity(a in arb_array()) {
         let z = NdArray::zeros(a.shape());
         prop_assert_eq!(a.add(&z), a.clone());
     }
 
-    #[test]
     fn mul_distributes_over_add(a in arb_array()) {
         let b = a.map(|v| v - 1.0);
         let c = a.map(|v| -v * 0.3);
@@ -42,31 +40,26 @@ proptest! {
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
     }
 
-    #[test]
     fn double_negation(a in arb_array()) {
         prop_assert_eq!(a.neg().neg(), a.clone());
     }
 
-    #[test]
     fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
         let a = Prng::new(seed).randn(&[rows, cols]);
         prop_assert_eq!(a.transpose().transpose(), a);
     }
 
-    #[test]
     fn reshape_preserves_sum(a in arb_array()) {
         let flat = a.flatten();
         prop_assert!((a.sum() - flat.sum()).abs() < 1e-3);
     }
 
-    #[test]
     fn sum_axis_totals_match(a in arb_array()) {
         for axis in 0..a.rank() {
             prop_assert!((a.sum_axis(axis, false).sum() - a.sum()).abs() < 1e-2);
         }
     }
 
-    #[test]
     fn broadcast_then_reduce_scales_by_factor(n in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
         let a = Prng::new(seed).randn(&[m]);
         let b = a.broadcast_to(&[n, m]).unwrap();
@@ -74,7 +67,6 @@ proptest! {
         prop_assert!(back.max_abs_diff(&a.scale(n as f32)) < 1e-4);
     }
 
-    #[test]
     fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
         let a = Prng::new(seed).randn(&[rows, cols]).scale(5.0);
         let s = a.softmax_lastdim();
@@ -85,14 +77,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn matmul_identity_left(n in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
         let a = Prng::new(seed).randn(&[n, m]);
         let out = matmul(&NdArray::eye(n), &a).unwrap();
         prop_assert!(out.max_abs_diff(&a) < 1e-5);
     }
 
-    #[test]
     fn matmul_associative(seed in 0u64..1000) {
         let mut rng = Prng::new(seed);
         let a = rng.randn(&[3, 4]);
@@ -103,7 +93,6 @@ proptest! {
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
     }
 
-    #[test]
     fn slice_concat_roundtrip(rows in 2usize..6, cols in 1usize..5, seed in 0u64..1000) {
         let a = Prng::new(seed).randn(&[rows, cols]);
         let cut = rows / 2;
@@ -112,14 +101,12 @@ proptest! {
         prop_assert_eq!(NdArray::concat(&[&top, &bottom], 0), a);
     }
 
-    #[test]
     fn autograd_sum_gradient_is_ones(a in arb_array()) {
         let x = Var::parameter(a.clone());
         x.sum().backward();
         prop_assert_eq!(x.grad().unwrap(), NdArray::ones(a.shape()));
     }
 
-    #[test]
     fn autograd_linear_scaling(a in arb_array(), k in -3.0f32..3.0) {
         // d/dx sum(k*x) = k everywhere.
         let x = Var::parameter(a.clone());
@@ -128,7 +115,6 @@ proptest! {
         prop_assert!(g.max_abs_diff(&NdArray::full(a.shape(), k)) < 1e-4);
     }
 
-    #[test]
     fn detach_never_receives_gradient(a in arb_array()) {
         let x = Var::parameter(a);
         let y = x.detach();
@@ -139,7 +125,6 @@ proptest! {
         prop_assert!(x.grad().is_none());
     }
 
-    #[test]
     fn gradient_accumulates_linearly(seed in 0u64..1000) {
         // Two backward passes accumulate exactly twice the gradient.
         let a = Prng::new(seed).randn(&[4]);
@@ -152,7 +137,6 @@ proptest! {
         prop_assert!(x2.grad().unwrap().max_abs_diff(&single.scale(2.0)) < 1e-4);
     }
 
-    #[test]
     fn prng_uniform_in_unit_interval(seed in 0u64..10_000) {
         let mut rng = Prng::new(seed);
         for _ in 0..100 {

@@ -1,0 +1,35 @@
+//! # testkit — the workspace's zero-dependency build & test substrate
+//!
+//! Everything that used to come from crates.io lives here, implemented on
+//! pure `std` so the whole workspace builds and tests with an empty cargo
+//! registry and no network:
+//!
+//! - [`rng`] — a seeded SplitMix64/xoshiro256++ PRNG with uniform, normal,
+//!   integer, and permutation sampling (replaces `rand`). This is the
+//!   *production* randomness source: `timedrl_tensor::Prng` wraps it, so
+//!   every experiment in the repo is bit-reproducible given its seed.
+//! - [`prop`] + the [`prop!`] macro — a minimal property-testing harness
+//!   (replaces `proptest`): generator combinators, a fixed default seed
+//!   derived per test, and seeded shrinking-free replay via the
+//!   `TESTKIT_SEED` environment variable.
+//! - [`json`] — a small JSON value type with writer and parser (replaces
+//!   `serde`/`serde_json`), plus the [`impl_to_json!`] macro standing in
+//!   for `#[derive(Serialize)]` on result-record structs.
+//! - [`bench`] — a wall-clock benchmark runner (warmup + N samples +
+//!   min/median/p95 report) that replaces the `criterion` benches.
+//!
+//! The zero-dependency policy is deliberate: the tier-1 verify
+//! (`cargo build --release && cargo test -q`) must pass on an offline
+//! machine, so the substrate that generates randomness and checks
+//! properties has to live in-repo. See DESIGN.md §7.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{Bench, BenchConfig};
+pub use json::{Json, ToJson};
+pub use rng::{SplitMix64, TestRng};

@@ -1,0 +1,218 @@
+//! Seeded pseudo-random number generation: SplitMix64 for seeding and
+//! xoshiro256++ for the main stream.
+//!
+//! The generator state is six machine words and every operation is a few
+//! shifts and adds, so sampling is effectively free next to the f32 math it
+//! feeds. Determinism guarantee: for a fixed seed the byte-for-byte output
+//! sequence is stable across platforms, build profiles, and releases of
+//! this workspace — checkpoints, experiment tables, and property-test
+//! replays all rely on it.
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny 64-bit generator whose only
+/// job here is turning one `u64` seed into well-mixed xoshiro256++ state.
+/// Also usable on its own for cheap hash-like mixing.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot SplitMix64 mix of a value — used to derive independent
+/// sub-seeds (per test case, per fork) from a base seed.
+pub fn mix64(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// xoshiro256++ (Blackman & Vigna, 2019): the workspace's main PRNG.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush. Seeded through
+/// SplitMix64 so that even adjacent integer seeds yield decorrelated
+/// streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 random mantissa bits.
+    pub fn uniform_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, n)`. Uses rejection sampling (Lemire-style
+    /// threshold on the modulus) so every value is exactly equiprobable.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Rejection zone: the low `2^64 % n` values of the raw stream.
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            if v >= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform usize in `[0, n)`.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Standard normal sample via Box–Muller (computed in f64, one draw
+    /// per call; the sine partner is discarded to keep the stream simple
+    /// and stateless).
+    pub fn normal_f64(&mut self) -> f64 {
+        // u1 in (0, 1] keeps ln finite.
+        let u1 = 1.0 - self.uniform_f64();
+        let u2 = self.uniform_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        r * theta.cos()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniform random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// A fresh generator seeded from this one, for forking independent
+    /// streams (e.g. per-epoch shuffles).
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs of SplitMix64 seeded with 1234567, per the public
+        // reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&v));
+            let f = rng.uniform_f32();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = TestRng::new(11);
+        let mean: f64 = (0..100_000).map(|_| rng.uniform_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = TestRng::new(13);
+        let xs: Vec<f64> = (0..100_000).map(|_| rng.normal_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn below_is_unbiased_across_buckets() {
+        let mut rng = TestRng::new(17);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn permutation_covers_all_indices() {
+        let mut rng = TestRng::new(19);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut root = TestRng::new(23);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}
