@@ -36,7 +36,24 @@ echo "ok: all dependencies are path-only"
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== tests =="
-cargo test --offline -q
+echo "== tests (TIMEDRL_THREADS=1) =="
+TIMEDRL_THREADS=1 cargo test --offline -q
+
+echo "== tests (TIMEDRL_THREADS=4) =="
+TIMEDRL_THREADS=4 cargo test --offline -q
+
+echo "== determinism probe: checkpoint byte-equality across thread counts =="
+# A tiny data-parallel pretrain must serialize identically no matter how
+# many pool workers ran it (see DESIGN.md, deterministic parallelism).
+cargo build --release --offline -p timedrl-bench --bin pretrain_checkpoint
+probe_dir=$(mktemp -d)
+trap 'rm -rf "$probe_dir"' EXIT
+TIMEDRL_THREADS=1 ./target/release/pretrain_checkpoint "$probe_dir/ckpt_t1.bin"
+TIMEDRL_THREADS=4 ./target/release/pretrain_checkpoint "$probe_dir/ckpt_t4.bin"
+if ! cmp "$probe_dir/ckpt_t1.bin" "$probe_dir/ckpt_t4.bin"; then
+    echo "FAIL: pretrain checkpoint differs between TIMEDRL_THREADS=1 and 4"
+    exit 1
+fi
+echo "ok: checkpoints byte-identical"
 
 echo "== CI green =="

@@ -1,0 +1,40 @@
+//! Determinism probe for CI: runs a tiny 2-epoch data-parallel pretrain and
+//! saves the resulting checkpoint to the path given as the first argument.
+//!
+//! `ci.sh` runs this twice — once with `TIMEDRL_THREADS=1` and once with
+//! `TIMEDRL_THREADS=4` — and byte-compares the two files. Any divergence
+//! means a kernel's chunked fan-out changed a floating-point reduction
+//! order, which the deterministic-parallelism contract forbids.
+
+use timedrl::config::TimeDrlConfig;
+use timedrl::model::TimeDrl;
+use timedrl::trainer::pretrain;
+use timedrl_tensor::NdArray;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: pretrain_checkpoint <output-path>");
+        std::process::exit(2);
+    });
+    let mut cfg = TimeDrlConfig::forecasting(32);
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.epochs = 2;
+    cfg.batch_size = 8;
+    cfg.seed = 42;
+    cfg.micro_batch = Some(4);
+    let model = TimeDrl::new(cfg);
+    // Deterministic windows: pure sinusoids, no RNG involved.
+    let windows = NdArray::from_fn(&[16, 32, 1], |flat| {
+        let (i, step) = (flat / 32, flat % 32);
+        (step as f32 * 0.4 + i as f32 * 0.3).sin()
+    });
+    let report = pretrain(&model, &windows);
+    model.save(&path).expect("write checkpoint");
+    println!(
+        "pretrain_checkpoint: {} epochs, final loss {:.6}, saved {path}",
+        report.total.len(),
+        report.final_loss()
+    );
+}

@@ -92,6 +92,14 @@ pub struct TimeDrlConfig {
     pub epochs: usize,
     /// Master seed for weights, dropout, and batch order.
     pub seed: u64,
+    /// Data-parallel micro-batch size for pre-training. `None` (the
+    /// default) keeps the serial whole-batch gradient path. `Some(m)`
+    /// splits every batch into micro-batches of `m` samples that run on
+    /// independent model replicas across the `testkit::pool` workers, with
+    /// an ordered gradient reduction — the result is bit-identical at any
+    /// `TIMEDRL_THREADS` setting, but is a *different* (equally valid)
+    /// dropout/augmentation stream than the whole-batch path.
+    pub micro_batch: Option<usize>,
 }
 
 impl TimeDrlConfig {
@@ -118,6 +126,7 @@ impl TimeDrlConfig {
             batch_size: 32,
             epochs: 10,
             seed: 0,
+            micro_batch: None,
         }
     }
 
@@ -144,6 +153,7 @@ impl TimeDrlConfig {
             batch_size: 32,
             epochs: 10,
             seed: 0,
+            micro_batch: None,
         }
     }
 
@@ -165,6 +175,9 @@ impl TimeDrlConfig {
         assert!((0.0..1.0).contains(&self.dropout), "dropout in [0,1)");
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
         assert!(self.batch_size > 0 && self.epochs > 0, "degenerate training plan");
+        if let Some(m) = self.micro_batch {
+            assert!(m > 0, "micro_batch must be positive when set");
+        }
         if self.channel_independence {
             assert_eq!(self.n_features, 1, "channel-independence implies n_features = 1");
         }

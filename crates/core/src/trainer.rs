@@ -1,7 +1,26 @@
 //! The self-supervised pre-training loop (Fig. 3a).
+//!
+//! Two gradient paths share the optimizer step:
+//!
+//! * the default whole-batch path (`micro_batch: None`) — one forward and
+//!   backward per batch on the caller's model, byte-for-byte the historical
+//!   behaviour;
+//! * the data-parallel path (`micro_batch: Some(m)`) — each batch splits
+//!   into micro-batches of `m` samples that run on *independent model
+//!   replicas* fanned out over `testkit::pool`, each with its own
+//!   deterministically-derived dropout/augmentation streams. Gradients come
+//!   back as plain arrays and are reduced on the calling thread in
+//!   micro-batch index order with fixed weights, so the update — and hence
+//!   the final checkpoint — is bit-identical at any `TIMEDRL_THREADS`.
+//!
+//! The autograd graph (`Var`) is `Rc`-based and deliberately not `Send`;
+//! replicas are rebuilt inside each worker from a parameter snapshot, which
+//! is what keeps the parallel path safe without locks.
 
+use crate::config::TimeDrlConfig;
 use crate::model::TimeDrl;
-use crate::pretext::pretext_loss;
+use crate::pretext::{pretext_loss, PretextBreakdown};
+use testkit::pool;
 use timedrl_data::BatchIndices;
 use timedrl_nn::{clip_grad_norm, AdamW, Ctx, Module, Optimizer};
 use timedrl_tensor::{NdArray, Prng};
@@ -69,20 +88,28 @@ fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArra
     let n = windows.shape()[0];
 
     let mut report = PretrainReport::default();
+    let mut step = 0u64;
     for _epoch in 0..cfg.epochs {
         let mut sums = (0.0f64, 0.0f64, 0.0f64);
         let mut batches = 0usize;
         for idx in BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng)) {
-            let batch = gather_rows(windows, &idx);
-            opt.zero_grad();
-            let (loss, breakdown) = pretext_loss(model, &batch, &mut ctx, &mut aug_rng);
-            loss.backward();
-            clip_grad_norm(opt.parameters(), 5.0);
-            opt.step();
+            let breakdown = match cfg.micro_batch {
+                Some(m) => micro_batch_step(model, &cfg, windows, &idx, m, step, &mut opt),
+                None => {
+                    let batch = gather_rows(windows, &idx);
+                    opt.zero_grad();
+                    let (loss, breakdown) = pretext_loss(model, &batch, &mut ctx, &mut aug_rng);
+                    loss.backward();
+                    clip_grad_norm(opt.parameters(), 5.0);
+                    opt.step();
+                    breakdown
+                }
+            };
             sums.0 += breakdown.total as f64;
             sums.1 += breakdown.predictive as f64;
             sums.2 += breakdown.contrastive as f64;
             batches += 1;
+            step += 1;
         }
         let b = batches as f64;
         report.total.push((sums.0 / b) as f32);
@@ -107,6 +134,82 @@ fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArra
         }
     }
     report
+}
+
+/// One data-parallel optimizer step: fan the batch out as micro-batches on
+/// model replicas, reduce the gradients in index order, step once.
+///
+/// Each micro-batch `j` of optimizer step `step` draws dropout and
+/// augmentation randomness from seeds mixed from `(cfg.seed, step, j)` —
+/// a function of the *schedule position only*, never of which worker ran
+/// it, which is half of the determinism argument. The other half is the
+/// reduction: micro-gradients are combined on the calling thread as
+/// `Σ_j (|chunk_j| / B) · g_j` in ascending `j`, so the floating-point
+/// accumulation order is fixed regardless of thread count.
+///
+/// The replicas' BatchNorm running statistics are discarded with the
+/// replicas (only trainable parameters round-trip), matching what
+/// [`TimeDrl::save`] checkpoints.
+fn micro_batch_step(
+    model: &TimeDrl,
+    cfg: &TimeDrlConfig,
+    windows: &NdArray,
+    idx: &[usize],
+    micro: usize,
+    step: u64,
+    opt: &mut AdamW,
+) -> PretextBreakdown {
+    assert!(micro > 0, "micro_batch must be positive");
+    let params = model.parameters();
+    let snapshot: Vec<NdArray> = params.iter().map(|p| p.to_array()).collect();
+    let chunks: Vec<&[usize]> = idx.chunks(micro).collect();
+    let b_total = idx.len() as f32;
+    let results = pool::map_indexed(&chunks, |j, chunk| {
+        let replica = TimeDrl::new(cfg.clone());
+        for (p, v) in replica.parameters().iter().zip(snapshot.iter()) {
+            p.set_value(v.clone());
+        }
+        let mut ctx = Ctx::train(mix_seed(cfg.seed ^ 0x5eed_0002, step, j as u64));
+        let mut aug = Prng::new(mix_seed(cfg.seed ^ 0x5eed_0003, step, j as u64));
+        let batch = gather_rows(windows, chunk);
+        let (loss, breakdown) = pretext_loss(&replica, &batch, &mut ctx, &mut aug);
+        loss.backward();
+        let grads: Vec<NdArray> = replica
+            .parameters()
+            .iter()
+            .map(|p| p.grad().unwrap_or_else(|| NdArray::zeros(&p.shape())))
+            .collect();
+        (grads, breakdown, chunk.len() as f32 / b_total)
+    });
+    opt.zero_grad();
+    let mut reduced: Vec<NdArray> = snapshot.iter().map(|p| NdArray::zeros(p.shape())).collect();
+    let mut agg = PretextBreakdown { total: 0.0, predictive: 0.0, contrastive: 0.0 };
+    for (grads, breakdown, w) in &results {
+        for (acc, g) in reduced.iter_mut().zip(grads.iter()) {
+            *acc = acc.add(&g.scale(*w));
+        }
+        agg.total += w * breakdown.total;
+        agg.predictive += w * breakdown.predictive;
+        agg.contrastive += w * breakdown.contrastive;
+    }
+    for (p, g) in params.iter().zip(reduced) {
+        p.backward_with(g);
+    }
+    clip_grad_norm(opt.parameters(), 5.0);
+    opt.step();
+    agg
+}
+
+/// SplitMix64-style seed mixer: decorrelates the per-micro-batch RNG
+/// streams from `(base seed, optimizer step, micro-batch index)` without
+/// any shared mutable state.
+fn mix_seed(base: u64, step: u64, j: u64) -> u64 {
+    let mut z = base
+        ^ step.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ j.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Gathers rows of a `[N, T, C]` tensor into a `[B, T, C]` batch.
@@ -187,6 +290,51 @@ mod tests {
         let r1 = pretrain(&tiny_model(7), &w);
         let r2 = pretrain(&tiny_model(7), &w);
         assert_eq!(r1.total, r2.total);
+    }
+
+    #[test]
+    fn micro_batch_training_decreases_loss() {
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 3;
+        cfg.batch_size = 8;
+        cfg.micro_batch = Some(3);
+        let m = TimeDrl::new(cfg);
+        let windows = structured_windows(24, 32, 5);
+        let report = pretrain(&m, &windows);
+        assert!(report.final_loss() < report.total[0], "loss: {:?}", report.total);
+    }
+
+    #[test]
+    fn micro_batch_training_is_thread_count_invariant() {
+        let make = || {
+            let mut cfg = TimeDrlConfig::forecasting(32);
+            cfg.d_model = 16;
+            cfg.d_ff = 32;
+            cfg.n_heads = 2;
+            cfg.epochs = 2;
+            cfg.batch_size = 8;
+            cfg.seed = 11;
+            cfg.micro_batch = Some(3);
+            TimeDrl::new(cfg)
+        };
+        let windows = structured_windows(12, 32, 6);
+        let run = |threads: usize| {
+            testkit::pool::with_threads(threads, || {
+                let m = make();
+                let report = pretrain(&m, &windows);
+                let params: Vec<_> = m.parameters().iter().map(|p| p.to_array()).collect();
+                (report.total, params)
+            })
+        };
+        let (loss1, params1) = run(1);
+        for threads in [2usize, 4] {
+            let (loss_n, params_n) = run(threads);
+            assert_eq!(loss1, loss_n, "loss history diverged at {threads} threads");
+            assert_eq!(params1, params_n, "parameters diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! encoders (TS2Vec/SimTS-style).
 
 use crate::module::Module;
+use testkit::pool;
 use timedrl_tensor::{NdArray, Prng, Var};
+
+/// Work-per-chunk target for the parallel conv kernels, in multiply-adds.
+const CONV_GRAIN: usize = 1 << 16;
 
 /// Computes the output length of a 1-D convolution.
 pub fn conv1d_out_len(t: usize, k: usize, stride: usize, padding: usize, dilation: usize) -> usize {
@@ -30,12 +34,26 @@ fn conv1d_forward(
     assert_eq!(c_in, c_in_w, "conv1d channel mismatch");
     let t_out = conv1d_out_len(t, k, stride, padding, dilation);
     let mut out = NdArray::zeros(&[b, c_out, t_out]);
+    if t_out == 0 {
+        return out;
+    }
     let xd = x.data();
     let wd = w.data();
-    let od = out.data_mut();
-    for bi in 0..b {
-        for co in 0..c_out {
-            for to in 0..t_out {
+    // Fan out over `(bi, co)` output rows: each row depends only on its own
+    // batch entry and kernel filter, and the `(ci, kk)` accumulation order
+    // inside a row matches the serial loop, so chunking is bit-exact.
+    let cost = b * c_out * t_out * c_in * k;
+    let rows_per_chunk = if pool::should_parallelize(cost, CONV_GRAIN) {
+        (pool::grain(CONV_GRAIN) / (t_out * c_in * k).max(1)).clamp(1, b * c_out)
+    } else {
+        b * c_out
+    };
+    pool::for_each_chunk(out.data_mut(), rows_per_chunk * t_out, |offset, chunk| {
+        let first_row = offset / t_out;
+        for (lr, orow) in chunk.chunks_mut(t_out).enumerate() {
+            let row = first_row + lr;
+            let (bi, co) = (row / c_out, row % c_out);
+            for (to, o) in orow.iter_mut().enumerate() {
                 let mut acc = 0.0f32;
                 let base = to * stride;
                 for ci in 0..c_in {
@@ -49,10 +67,10 @@ fn conv1d_forward(
                         acc += wd[woff + kk] * xd[xoff + ti - padding];
                     }
                 }
-                od[(bi * c_out + co) * t_out + to] = acc;
+                *o = acc;
             }
         }
-    }
+    });
     out
 }
 
@@ -73,57 +91,78 @@ fn conv1d_backward(
     let gd = g.data();
     let xd = x.data();
     let wd = w.data();
+    let cost = b * c_out * t_out * c_in * k;
+    // gx: fan out over batch entries — each worker owns `gx[bi]` exclusively
+    // and replays the serial `(co, to, ci, kk)` accumulation order within it.
     {
-        let gxd = gx.data_mut();
-        for bi in 0..b {
-            for co in 0..c_out {
-                let goff = (bi * c_out + co) * t_out;
-                for to in 0..t_out {
-                    let gv = gd[goff + to];
-                    if gv == 0.0 {
-                        continue;
-                    }
-                    let base = to * stride;
-                    for ci in 0..c_in {
-                        let xoff = (bi * c_in + ci) * t;
-                        let woff = (co * c_in + ci) * k;
-                        for kk in 0..k {
-                            let ti = base + kk * dilation;
-                            if ti < padding || ti - padding >= t {
-                                continue;
+        let per = c_in * t;
+        let batches_per_chunk = if pool::should_parallelize(cost, CONV_GRAIN) {
+            (pool::grain(CONV_GRAIN) / (c_out * t_out * c_in * k).max(1)).clamp(1, b)
+        } else {
+            b
+        };
+        pool::for_each_chunk(gx.data_mut(), batches_per_chunk * per.max(1), |offset, chunk| {
+            let first = if per > 0 { offset / per } else { 0 };
+            for (lb, gx_b) in chunk.chunks_mut(per.max(1)).enumerate() {
+                let bi = first + lb;
+                for co in 0..c_out {
+                    let goff = (bi * c_out + co) * t_out;
+                    for to in 0..t_out {
+                        let gv = gd[goff + to];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        let base = to * stride;
+                        for ci in 0..c_in {
+                            let woff = (co * c_in + ci) * k;
+                            for kk in 0..k {
+                                let ti = base + kk * dilation;
+                                if ti < padding || ti - padding >= t {
+                                    continue;
+                                }
+                                gx_b[ci * t + ti - padding] += gv * wd[woff + kk];
                             }
-                            gxd[xoff + ti - padding] += gv * wd[woff + kk];
                         }
                     }
                 }
             }
-        }
+        });
     }
+    // gw: fan out over output filters — each worker owns `gw[co]` and keeps
+    // the serial `(bi, to, ci, kk)` accumulation order for that filter.
     {
-        let gwd = gw.data_mut();
-        for bi in 0..b {
-            for co in 0..c_out {
-                let goff = (bi * c_out + co) * t_out;
-                for to in 0..t_out {
-                    let gv = gd[goff + to];
-                    if gv == 0.0 {
-                        continue;
-                    }
-                    let base = to * stride;
-                    for ci in 0..c_in {
-                        let xoff = (bi * c_in + ci) * t;
-                        let woff = (co * c_in + ci) * k;
-                        for kk in 0..k {
-                            let ti = base + kk * dilation;
-                            if ti < padding || ti - padding >= t {
-                                continue;
+        let per = c_in * k;
+        let filters_per_chunk = if pool::should_parallelize(cost, CONV_GRAIN) {
+            (pool::grain(CONV_GRAIN) / (b * t_out * c_in * k).max(1)).clamp(1, c_out)
+        } else {
+            c_out
+        };
+        pool::for_each_chunk(gw.data_mut(), filters_per_chunk * per.max(1), |offset, chunk| {
+            let first = if per > 0 { offset / per } else { 0 };
+            for (lc, gw_c) in chunk.chunks_mut(per.max(1)).enumerate() {
+                let co = first + lc;
+                for bi in 0..b {
+                    let goff = (bi * c_out + co) * t_out;
+                    for to in 0..t_out {
+                        let gv = gd[goff + to];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        let base = to * stride;
+                        for ci in 0..c_in {
+                            let xoff = (bi * c_in + ci) * t;
+                            for kk in 0..k {
+                                let ti = base + kk * dilation;
+                                if ti < padding || ti - padding >= t {
+                                    continue;
+                                }
+                                gw_c[ci * k + kk] += gv * xd[xoff + ti - padding];
                             }
-                            gwd[woff + kk] += gv * xd[xoff + ti - padding];
                         }
                     }
                 }
             }
-        }
+        });
     }
     (gx, gw)
 }
@@ -262,6 +301,24 @@ mod tests {
         conv.forward(&x).powf(2.0).sum().backward();
         for p in conv.parameters() {
             assert!(p.grad().expect("grad").l2_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_conv_is_bit_exact() {
+        let mut rng = Prng::new(7);
+        let x = rng.randn(&[4, 3, 16]);
+        let w = rng.randn(&[5, 3, 3]);
+        let g = rng.randn(&[4, 5, conv1d_out_len(16, 3, 1, 1, 1)]);
+        let run = || {
+            let y = conv1d_forward(&x, &w, 1, 1, 1);
+            let (gx, gw) = conv1d_backward(&g, &x, &w, 1, 1, 1);
+            (y, gx, gw)
+        };
+        let serial = pool::with_threads(1, run);
+        for threads in [2usize, 4] {
+            let par = pool::with_threads(threads, || pool::with_grain(8, run));
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 

@@ -8,7 +8,7 @@
 //! deterministic function of the probe point.
 
 use timedrl_nn::transformer::TransformerBlock;
-use timedrl_nn::{Conv1d, Ctx, MultiHeadAttention};
+use timedrl_nn::{BiLstm, Conv1d, Ctx, Gru, Lstm, MultiHeadAttention, Tcn, TemporalBlock};
 use timedrl_tensor::gradcheck::assert_gradients_close;
 use timedrl_tensor::Prng;
 
@@ -90,4 +90,48 @@ fn strided_dilated_conv1d_gradcheck() {
     let conv = Conv1d::new(2, 3, 3, 2, 2, 2, &mut rng);
     let x = rng.randn(&[1, 2, 9]);
     assert_gradients_close(&x, 1e-2, 2e-2, |v| conv.forward(v).powf(2.0).mean());
+}
+
+#[test]
+fn lstm_gradcheck() {
+    let mut rng = Prng::new(108);
+    let lstm = Lstm::new(4, 6, &mut rng);
+    let x = rng.randn(&[2, 5, 4]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| lstm.forward(v).powf(2.0).mean());
+}
+
+#[test]
+fn bilstm_gradcheck() {
+    let mut rng = Prng::new(109);
+    let lstm = BiLstm::new(3, 4, &mut rng);
+    let x = rng.randn(&[1, 4, 3]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| lstm.forward(v).powf(2.0).mean());
+}
+
+#[test]
+fn gru_gradcheck() {
+    let mut rng = Prng::new(110);
+    let gru = Gru::new(4, 5, &mut rng);
+    let x = rng.randn(&[2, 5, 4]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| gru.forward(v).powf(2.0).mean());
+}
+
+#[test]
+fn temporal_block_gradcheck() {
+    let mut rng = Prng::new(111);
+    let block = TemporalBlock::new(3, 5, 3, 2, 0.0, &mut rng);
+    let x = rng.randn(&[1, 3, 8]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| {
+        block.forward(v, &mut Ctx::eval()).powf(2.0).mean()
+    });
+}
+
+#[test]
+fn tcn_gradcheck() {
+    let mut rng = Prng::new(112);
+    let tcn = Tcn::new(2, &[4, 4], 3, 0.0, &mut rng);
+    let x = rng.randn(&[1, 2, 8]);
+    assert_gradients_close(&x, 1e-2, 2e-2, |v| {
+        tcn.forward(v, &mut Ctx::eval()).powf(2.0).mean()
+    });
 }

@@ -10,8 +10,20 @@
 use crate::error::{Result, TensorError};
 use crate::shape::{
     broadcast_shape, broadcast_strides, broadcastable_to, check_axis, numel, ravel,
-    row_major_strides,
+    row_major_strides, unravel,
 };
+use testkit::pool;
+
+/// Work-per-chunk target for parallel elementwise kernels, in elements.
+/// Elementwise work is cheap per element, so the grain is large: fanning
+/// out below it would be dominated by thread-spawn cost. Chunk boundaries
+/// never change per-element results, so the gate affects scheduling only.
+const ELEMWISE_GRAIN: usize = 1 << 17;
+
+/// Work-per-chunk target for row-fused kernels (softmax family), in
+/// elements; lower than [`ELEMWISE_GRAIN`] because each element costs an
+/// `exp`.
+const ROWWISE_GRAIN: usize = 1 << 15;
 
 /// A dense, row-major, f32 n-dimensional array.
 ///
@@ -289,47 +301,89 @@ impl NdArray {
     // Elementwise operations
     // ------------------------------------------------------------------
 
-    /// Applies `f` to every element, producing a new array.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    /// Applies `f` to every element, producing a new array. Large arrays
+    /// fan out over the pool in fixed element chunks (bit-exact vs serial).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let n = self.data.len();
+        let mut data = vec![0.0f32; n];
+        let chunk_len = if pool::should_parallelize(n, ELEMWISE_GRAIN) {
+            pool::grain(ELEMWISE_GRAIN)
+        } else {
+            n.max(1)
+        };
+        let src = &self.data;
+        pool::for_each_chunk(&mut data, chunk_len, |offset, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&src[offset..offset + len]) {
+                *o = f(v);
+            }
+        });
+        Self { shape: self.shape.clone(), data }
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let n = self.data.len();
+        let chunk_len = if pool::should_parallelize(n, ELEMWISE_GRAIN) {
+            pool::grain(ELEMWISE_GRAIN)
+        } else {
+            n.max(1)
+        };
+        pool::for_each_chunk(&mut self.data, chunk_len, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Broadcasting binary map: `f(self, other)` elementwise over the
-    /// broadcast shape.
+    /// broadcast shape. Large outputs fan out over the pool in fixed
+    /// element chunks; each chunk unravels its start offset into
+    /// coordinates and walks them independently, so the parallel result is
+    /// bit-identical to the serial one.
     ///
     /// # Errors
     /// Returns [`TensorError::BroadcastMismatch`] if shapes are incompatible.
-    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Self> {
+        let chunk_for = |n: usize| {
+            if pool::should_parallelize(n, ELEMWISE_GRAIN) {
+                pool::grain(ELEMWISE_GRAIN)
+            } else {
+                n.max(1)
+            }
+        };
         if self.shape == other.shape {
             // fast path: identical shapes
-            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            let n = self.data.len();
+            let mut data = vec![0.0f32; n];
+            let (lhs, rhs) = (&self.data, &other.data);
+            pool::for_each_chunk(&mut data, chunk_for(n), |offset, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = f(lhs[offset + i], rhs[offset + i]);
+                }
+            });
             return Ok(Self { shape: self.shape.clone(), data });
         }
         let out_shape = broadcast_shape(&self.shape, &other.shape)?;
         let ls = broadcast_strides(&self.shape, &out_shape);
         let rs = broadcast_strides(&other.shape, &out_shape);
         let n = numel(&out_shape);
-        let mut data = Vec::with_capacity(n);
-        let mut coords = vec![0usize; out_shape.len()];
-        for _ in 0..n {
-            let a = self.data[ravel(&coords, &ls)];
-            let b = other.data[ravel(&coords, &rs)];
-            data.push(f(a, b));
-            for ax in (0..out_shape.len()).rev() {
-                coords[ax] += 1;
-                if coords[ax] < out_shape[ax] {
-                    break;
+        let mut data = vec![0.0f32; n];
+        let (lhs, rhs) = (&self.data, &other.data);
+        let shape_ref = &out_shape;
+        pool::for_each_chunk(&mut data, chunk_for(n), |offset, chunk| {
+            let mut coords = unravel(offset, shape_ref);
+            for o in chunk.iter_mut() {
+                *o = f(lhs[ravel(&coords, &ls)], rhs[ravel(&coords, &rs)]);
+                for ax in (0..shape_ref.len()).rev() {
+                    coords[ax] += 1;
+                    if coords[ax] < shape_ref[ax] {
+                        break;
+                    }
+                    coords[ax] = 0;
                 }
-                coords[ax] = 0;
             }
-        }
+        });
         Ok(Self { shape: out_shape, data })
     }
 
@@ -599,31 +653,52 @@ impl NdArray {
     // Fused numeric kernels (used by autograd ops with bespoke gradients)
     // ------------------------------------------------------------------
 
+    /// Row-chunked fan-out shared by the softmax family: each output row is
+    /// a pure function of the matching input row, so chunking along row
+    /// boundaries leaves every per-row reduction order untouched.
+    fn rowwise_lastdim(&self, per_row: impl Fn(&[f32], &mut [f32]) + Sync) -> Self {
+        assert!(self.rank() >= 1, "rowwise op on scalar");
+        let dim = (*self.shape.last().unwrap()).max(1);
+        let n = self.data.len();
+        let mut data = vec![0.0f32; n];
+        let rows_per_chunk = if pool::should_parallelize(n, ROWWISE_GRAIN) {
+            (pool::grain(ROWWISE_GRAIN) / dim).max(1)
+        } else {
+            (n / dim).max(1)
+        };
+        let src = &self.data;
+        pool::for_each_chunk(&mut data, rows_per_chunk * dim, |offset, chunk| {
+            for (li, orow) in chunk.chunks_mut(dim).enumerate() {
+                let base = offset + li * dim;
+                per_row(&src[base..base + dim], orow);
+            }
+        });
+        Self { shape: self.shape.clone(), data }
+    }
+
     /// Numerically stable softmax over the last axis.
     pub fn softmax_lastdim(&self) -> Self {
-        assert!(self.rank() >= 1, "softmax on scalar");
-        let dim = *self.shape.last().unwrap();
-        let mut data = Vec::with_capacity(self.numel());
-        for row in self.data.chunks(dim) {
+        self.rowwise_lastdim(|row, out| {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
-            let s: f32 = exps.iter().sum();
-            data.extend(exps.iter().map(|&e| e / s));
-        }
-        Self { shape: self.shape.clone(), data }
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o = (v - m).exp();
+            }
+            let s: f32 = out.iter().sum();
+            for o in out.iter_mut() {
+                *o /= s;
+            }
+        })
     }
 
     /// Numerically stable log-softmax over the last axis.
     pub fn log_softmax_lastdim(&self) -> Self {
-        assert!(self.rank() >= 1, "log_softmax on scalar");
-        let dim = *self.shape.last().unwrap();
-        let mut data = Vec::with_capacity(self.numel());
-        for row in self.data.chunks(dim) {
+        self.rowwise_lastdim(|row, out| {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-            data.extend(row.iter().map(|&v| v - lse));
-        }
-        Self { shape: self.shape.clone(), data }
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o = v - lse;
+            }
+        })
     }
 
     /// Frobenius / L2 norm of all elements.
@@ -777,5 +852,27 @@ mod tests {
         let s = a.softmax_lastdim();
         assert!(!s.has_non_finite());
         assert!((s.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_elementwise_ops_are_bit_exact() {
+        let a = NdArray::from_fn(&[7, 11, 5], |i| (i as f32 * 0.37).sin());
+        let b = NdArray::from_fn(&[7, 11, 5], |i| (i as f32 * 0.53).cos());
+        let bias = NdArray::from_fn(&[5], |i| i as f32 * 0.11 - 0.2);
+        let run = || {
+            let mapped = a.map(|v| (v * 1.7).tanh());
+            let zipped = a.zip_map(&b, |x, y| x * y + 0.25).unwrap();
+            let broad = a.zip_map(&bias, |x, y| x + y).unwrap();
+            let soft = a.softmax_lastdim();
+            let logsoft = a.log_softmax_lastdim();
+            let mut inplace = a.clone();
+            inplace.map_inplace(|v| v.exp() - 1.0);
+            (mapped, zipped, broad, soft, logsoft, inplace)
+        };
+        let serial = pool::with_threads(1, run);
+        for threads in [2usize, 4] {
+            let par = pool::with_threads(threads, || pool::with_grain(16, run));
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 }

@@ -74,7 +74,20 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::MatmulMismatch { lhs, rhs } => {
-                write!(f, "matmul shape mismatch: {lhs:?} x {rhs:?}")
+                write!(f, "matmul shape mismatch: {lhs:?} x {rhs:?}")?;
+                // Name the offending dims when both operands are matrices
+                // (possibly batched): `[.., m, k] x [.., k', n]`.
+                if lhs.len() >= 2 && rhs.len() >= 2 {
+                    let (m, k) = (lhs[lhs.len() - 2], lhs[lhs.len() - 1]);
+                    let (k2, n) = (rhs[rhs.len() - 2], rhs[rhs.len() - 1]);
+                    write!(f, ": ({m},{k}) x ({k2},{n})")?;
+                    if k != k2 {
+                        write!(f, " — inner dimensions {k} vs {k2} differ")?;
+                    } else if lhs.len() == 3 && rhs.len() == 3 && lhs[0] != rhs[0] {
+                        write!(f, " — batch dimensions {} vs {} differ", lhs[0], rhs[0])?;
+                    }
+                }
+                Ok(())
             }
             TensorError::ReshapeMismatch { from, to } => {
                 write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")

@@ -4,20 +4,33 @@
 //! inputs dispatch to it per batch. The kernel is deliberately simple — at
 //! the model widths used in this reproduction (d_model <= 128) it is within
 //! a small factor of a tuned BLAS and keeps the crate dependency-free.
+//!
+//! Large products fan out over `testkit::pool`: the output is split into
+//! fixed, index-ordered row (or batch-entry) chunks, each computed by the
+//! same serial per-row kernel into its own disjoint slice. Chunk boundaries
+//! never reorder the `k`-axis accumulation that produces an element, so the
+//! parallel result is bit-identical to the serial one at any thread count
+//! (`TIMEDRL_THREADS=1` ≡ `TIMEDRL_THREADS=N`).
 
 use crate::array::NdArray;
 use crate::error::{Result, TensorError};
+use testkit::pool;
 
-/// Raw 2-D kernel: `out[m x n] = a[m x k] * b[k x n]`, all slices row-major.
-pub(crate) fn matmul2d_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    out.fill(0.0);
+/// Work-per-chunk target for the parallel path, in multiply-adds. One grain
+/// is roughly a quarter millisecond of serial kernel time — large enough
+/// that per-chunk dispatch cost vanishes, small enough to load-balance.
+const MATMUL_GRAIN: usize = 1 << 18;
+
+/// Serial row-range core: computes `out_chunk = a[row0.., :] * b` for the
+/// `out_chunk.len() / n` rows starting at `row0`. All parallel and serial
+/// entry points funnel through this one loop, which is what makes the
+/// chunked fan-out bit-exact by construction.
+fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    out_chunk.fill(0.0);
     // i-k-j order: the inner loop walks both b and out contiguously.
-    for i in 0..m {
+    for (li, orow) in out_chunk.chunks_mut(n).enumerate() {
+        let i = row0 + li;
         let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
         for (kk, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -30,15 +43,35 @@ pub(crate) fn matmul2d_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k
     }
 }
 
+/// Raw 2-D kernel: `out[m x n] = a[m x k] * b[k x n]`, all slices row-major.
+/// Row-chunked across the pool when the product is large enough.
+pub(crate) fn matmul2d_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if out.is_empty() {
+        return;
+    }
+    let rows_per_chunk = if pool::should_parallelize(m * k * n, MATMUL_GRAIN) {
+        (pool::grain(MATMUL_GRAIN) / (k * n).max(1)).clamp(1, m)
+    } else {
+        m
+    };
+    pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+        matmul_rows(a, b, chunk, offset / n, k, n);
+    });
+}
+
 /// Matrix product with rank dispatch:
 ///
 /// * `[m,k] x [k,n] -> [m,n]`
-/// * `[b,m,k] x [b,k,n] -> [b,m,n]` (batched)
+/// * `[b,m,k] x [b,k,n] -> [b,m,n]` (batched, parallel across batch entries)
 /// * `[b,m,k] x [k,n] -> [b,m,n]` (shared right operand)
 ///
 /// # Errors
 /// Returns [`TensorError::MatmulMismatch`] for any other rank combination or
-/// inner-dimension disagreement.
+/// inner-dimension disagreement; the error message names the offending
+/// `(m,k) x (k',n)` dimensions.
 pub fn matmul(a: &NdArray, b: &NdArray) -> Result<NdArray> {
     let err = || TensorError::MatmulMismatch { lhs: a.shape().to_vec(), rhs: b.shape().to_vec() };
     match (a.rank(), b.rank()) {
@@ -59,11 +92,28 @@ pub fn matmul(a: &NdArray, b: &NdArray) -> Result<NdArray> {
                 return Err(err());
             }
             let mut out = NdArray::zeros(&[bs, m, n]);
-            for i in 0..bs {
-                let a_sl = &a.data()[i * m * k..(i + 1) * m * k];
-                let b_sl = &b.data()[i * k * n..(i + 1) * k * n];
-                let o_sl = &mut out.data_mut()[i * m * n..(i + 1) * m * n];
-                matmul2d_kernel(a_sl, b_sl, o_sl, m, k, n);
+            let per = m * n;
+            if per > 0 {
+                let batches_per_chunk = if pool::should_parallelize(bs * m * k * n, MATMUL_GRAIN) {
+                    (pool::grain(MATMUL_GRAIN) / (m * k * n).max(1)).clamp(1, bs)
+                } else {
+                    bs
+                };
+                let (ad, bd) = (a.data(), b.data());
+                pool::for_each_chunk(out.data_mut(), batches_per_chunk * per, |offset, chunk| {
+                    let first = offset / per;
+                    for (j, o_sl) in chunk.chunks_mut(per).enumerate() {
+                        let i = first + j;
+                        matmul_rows(
+                            &ad[i * m * k..(i + 1) * m * k],
+                            &bd[i * k * n..(i + 1) * k * n],
+                            o_sl,
+                            0,
+                            k,
+                            n,
+                        );
+                    }
+                });
             }
             Ok(out)
         }
@@ -133,6 +183,21 @@ mod tests {
     }
 
     #[test]
+    fn mismatch_error_names_offending_dims() {
+        let a = NdArray::zeros(&[2, 3]);
+        let b = NdArray::zeros(&[4, 5]);
+        let msg = matmul(&a, &b).unwrap_err().to_string();
+        assert!(msg.contains("(2,3) x (4,5)"), "message: {msg}");
+        assert!(msg.contains("inner dimensions 3 vs 4"), "message: {msg}");
+        // Batched mismatch: inner dims agree but batch sizes differ.
+        let a3 = NdArray::zeros(&[2, 3, 4]);
+        let b3 = NdArray::zeros(&[5, 4, 6]);
+        let msg = matmul(&a3, &b3).unwrap_err().to_string();
+        assert!(msg.contains("(3,4) x (4,6)"), "message: {msg}");
+        assert!(msg.contains("batch dimensions 2 vs 5"), "message: {msg}");
+    }
+
+    #[test]
     fn matmul_matches_naive_reference() {
         let a = NdArray::from_fn(&[5, 7], |i| (i as f32 * 0.37).sin());
         let b = NdArray::from_fn(&[7, 4], |i| (i as f32 * 0.21).cos());
@@ -146,5 +211,26 @@ mod tests {
                 assert!((c.at(&[i, j]) - acc).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_exact() {
+        // Force multi-chunk fan-out on small inputs and compare against the
+        // single-thread result elementwise with exact equality.
+        let a = NdArray::from_fn(&[17, 23], |i| (i as f32 * 0.71).sin());
+        let b = NdArray::from_fn(&[23, 13], |i| (i as f32 * 0.29).cos());
+        let serial = pool::with_threads(1, || matmul(&a, &b).unwrap());
+        for threads in [2usize, 4] {
+            let par = pool::with_threads(threads, || {
+                pool::with_grain(32, || matmul(&a, &b).unwrap())
+            });
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // Batched dispatch too.
+        let a3 = NdArray::from_fn(&[6, 5, 7], |i| (i as f32 * 0.13).sin());
+        let b3 = NdArray::from_fn(&[6, 7, 4], |i| (i as f32 * 0.41).cos());
+        let serial = pool::with_threads(1, || matmul(&a3, &b3).unwrap());
+        let par = pool::with_threads(4, || pool::with_grain(16, || matmul(&a3, &b3).unwrap()));
+        assert_eq!(serial, par);
     }
 }

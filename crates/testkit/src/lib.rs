@@ -17,6 +17,11 @@
 //!   for `#[derive(Serialize)]` on result-record structs.
 //! - [`bench`] — a wall-clock benchmark runner (warmup + N samples +
 //!   min/median/p95 report) that replaces the `criterion` benches.
+//! - [`pool`] — a scoped thread pool with deterministic chunked fan-out
+//!   (replaces `rayon`): fixed, index-ordered chunks writing to disjoint
+//!   output slices, so parallel results are bit-identical to serial ones
+//!   (`TIMEDRL_THREADS=1` ≡ `TIMEDRL_THREADS=N`). The tensor, nn, and
+//!   trainer hot paths all fan out through it.
 //!
 //! The zero-dependency policy is deliberate: the tier-1 verify
 //! (`cargo build --release && cargo test -q`) must pass on an offline
@@ -27,6 +32,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
