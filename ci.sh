@@ -56,4 +56,21 @@ if ! cmp "$probe_dir/ckpt_t1.bin" "$probe_dir/ckpt_t4.bin"; then
 fi
 echo "ok: checkpoints byte-identical"
 
+echo "== allocation budget: steady-state training step =="
+# The tensor buffer pool and the inline autograd tape keep a steady-state
+# whole-batch training step near-allocation-free (DESIGN.md §10). The seed
+# code performed 8944 heap allocations per step; the budget below holds the
+# regression line at >= 10x better than that. Measured at TIMEDRL_THREADS=1
+# so pool-worker allocations cannot pollute the process-global counter.
+ALLOC_BUDGET=800
+cargo build --release --offline -p timedrl-bench --bin step_alloc_probe
+alloc_line=$(TIMEDRL_THREADS=1 ./target/release/step_alloc_probe)
+allocs=${alloc_line#allocs_per_step=}
+echo "steady-state allocations/step: $allocs (budget $ALLOC_BUDGET, seed baseline 8944)"
+if [ "$allocs" -gt "$ALLOC_BUDGET" ]; then
+    echo "FAIL: training step allocates $allocs blocks/step, budget is $ALLOC_BUDGET"
+    exit 1
+fi
+echo "ok: allocation budget held"
+
 echo "== CI green =="

@@ -1,0 +1,54 @@
+//! Training-step benchmark: wall-clock and steady-state heap allocations
+//! of one whole-batch pre-training step (forward + backward + clip +
+//! AdamW), the path the packed matmul microkernel and the tensor buffer
+//! pool optimize (DESIGN.md §10).
+//!
+//! Writes a machine-readable baseline to `BENCH_step.json` at the
+//! repository root (override with `TIMEDRL_BENCH_OUT`). Alongside the
+//! usual median/min/p95 seconds it records `allocs_per_step`, measured at
+//! steady state (after warm-up steps, so every pool bucket is populated) —
+//! the same metric `ci.sh` gates via the `step_alloc_probe` binary.
+
+use testkit::{Bench, Json};
+use timedrl_bench::StepHarness;
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("TIMEDRL_BENCH_OUT") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_step.json")
+}
+
+fn main() {
+    let mut b = Bench::from_env("step_train");
+    let mut group = b.group("pretrain_step");
+    let mut harness = StepHarness::new();
+    // The group's own warm-up iterations put the pool at steady state
+    // before any timed sample.
+    let report = group.bench("whole_batch_b8_d16", || harness.step());
+    group.finish();
+
+    // Allocation metric, measured after the timing loop: thousands of
+    // steps in, every transient buffer should come from the pool.
+    let allocs_per_step = harness.allocations_per_step(2, 8);
+    println!("allocs/step (steady state): {allocs_per_step}");
+
+    let doc = Json::Obj(vec![
+        ("suite".to_string(), Json::Str("step_train".to_string())),
+        (
+            "results".to_string(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("group".to_string(), Json::Str("pretrain_step".to_string())),
+                ("id".to_string(), Json::Str("whole_batch_b8_d16".to_string())),
+                ("median_s".to_string(), Json::Num(report.median)),
+                ("min_s".to_string(), Json::Num(report.min)),
+                ("p95_s".to_string(), Json::Num(report.p95)),
+                ("samples".to_string(), Json::Num(report.samples as f64)),
+                ("allocs_per_step".to_string(), Json::Num(allocs_per_step as f64)),
+            ])]),
+        ),
+    ]);
+    let path = out_path();
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_step.json");
+    println!("\nwrote {}", path.display());
+}

@@ -17,9 +17,11 @@ pub mod plot;
 pub mod registry;
 pub mod runners;
 pub mod scale;
+pub mod step;
 pub mod table;
 
 pub use plot::{line_chart, scatter_chart, Series};
+pub use step::StepHarness;
 pub use registry::{classify_registry, forecast_registry};
 pub use runners::{
     run_e2e_forecast, run_ssl_classification, run_ssl_forecast, run_timedrl_classification,

@@ -185,8 +185,14 @@ fn micro_batch_step(
     let mut reduced: Vec<NdArray> = snapshot.iter().map(|p| NdArray::zeros(p.shape())).collect();
     let mut agg = PretextBreakdown { total: 0.0, predictive: 0.0, contrastive: 0.0 };
     for (grads, breakdown, w) in &results {
+        let w = *w;
         for (acc, g) in reduced.iter_mut().zip(grads.iter()) {
-            *acc = acc.add(&g.scale(*w));
+            // In-place axpy, still ascending-`j`: each element accumulates
+            // `acc + g*w` exactly as the old `acc.add(&g.scale(w))` did,
+            // without materializing either intermediate array.
+            for (a, &gj) in acc.data_mut().iter_mut().zip(g.data()) {
+                *a += gj * w;
+            }
         }
         agg.total += w * breakdown.total;
         agg.predictive += w * breakdown.predictive;

@@ -157,3 +157,27 @@ fn pretrain_checkpoint_is_byte_identical_across_identical_runs() {
     prop_assert_eq!(loss_a, loss_b, "same-seed loss history not reproducible");
     prop_assert!(bytes_a == bytes_b, "same-seed checkpoints differ between runs");
 }
+
+/// The buffer pool (DESIGN.md §10) must be invisible to results: training
+/// against a cold pool (every buffer fresh from the heap) and against a
+/// warm pool (buffers recycled from a previous full run, carrying stale
+/// bits) must produce byte-identical checkpoints. This is the pool's
+/// determinism contract — checked-out storage is indistinguishable from
+/// `vec![0.0; len]`.
+#[test]
+fn pretrain_checkpoint_is_byte_identical_cold_vs_warm_pool() {
+    timedrl_tensor::bufpool::clear();
+    let (loss_cold, bytes_cold) = pretrain_checkpoint_bytes(1);
+    // The pool is now warm: the first run's buffers were recycled. A
+    // second identical run recycles them, observing whatever the pool
+    // hands back.
+    let (recycled_before, _) = timedrl_tensor::bufpool::stats();
+    let (loss_warm, bytes_warm) = pretrain_checkpoint_bytes(1);
+    let (recycled_after, _) = timedrl_tensor::bufpool::stats();
+    prop_assert!(
+        recycled_after > recycled_before,
+        "warm run must actually exercise recycled buffers"
+    );
+    prop_assert_eq!(loss_cold, loss_warm, "pool warmth changed the loss history");
+    prop_assert!(bytes_cold == bytes_warm, "pool warmth changed the checkpoint bytes");
+}

@@ -46,13 +46,22 @@ impl MultiHeadAttention {
 
     /// Applies self-attention; input and output are `[B, T, D]`.
     pub fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
-        self.forward_with_weights(x, ctx).0
+        self.attend(x, ctx, false).0
     }
 
     /// Applies self-attention and also returns the post-softmax attention
     /// probabilities `[B, H, T, T]` (pre-dropout) for interpretability —
     /// e.g. inspecting what the `[CLS]` token attends to.
     pub fn forward_with_weights(&self, x: &Var, ctx: &mut Ctx) -> (Var, Var) {
+        let (out, weights) = self.attend(x, ctx, true);
+        (out, weights.expect("weights requested"))
+    }
+
+    /// Shared attention core. The `[B, H, T, T]` weights view is a full
+    /// copy of the probability tensor, so it is materialized only when
+    /// `want_weights` asks for it — `forward` used to pay for it on every
+    /// training step and drop it immediately.
+    fn attend(&self, x: &Var, ctx: &mut Ctx, want_weights: bool) -> (Var, Option<Var>) {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "attention expects [B, T, D]");
         let (b, t, d) = (shape[0], shape[1], shape[2]);
@@ -68,7 +77,8 @@ impl MultiHeadAttention {
             scores = scores.add(&Var::constant(causal_mask(t)));
         }
         let probs = scores.softmax_lastdim();
-        let mut attn = probs.clone();
+        let weights = want_weights.then(|| probs.reshape(&[b, self.n_heads, t, t]));
+        let mut attn = probs;
         if self.attn_dropout > 0.0 {
             attn = attn.dropout(self.attn_dropout, ctx.training, &mut ctx.rng);
         }
@@ -77,7 +87,6 @@ impl MultiHeadAttention {
             .reshape(&[b, self.n_heads, t, self.head_dim])
             .permute(&[0, 2, 1, 3])
             .reshape(&[b, t, d]);
-        let weights = probs.reshape(&[b, self.n_heads, t, t]);
         (self.wo.forward(&out), weights)
     }
 

@@ -49,7 +49,7 @@ impl Ctx {
 pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     for p in params {
-        if let Some(g) = p.grad() {
+        if let Some(g) = p.grad_ref() {
             total += g.data().iter().map(|v| v * v).sum::<f32>();
         }
     }
@@ -57,12 +57,12 @@ pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            if let Some(g) = p.grad() {
-                p.zero_grad();
-                // Leaves accumulate backward_with seeds directly into their
-                // own gradient slot, so this writes the clipped gradient.
-                p.backward_with(g.scale(scale));
-            }
+            // In place — same values the old clone/re-seed produced.
+            p.update_grad(|g| {
+                for v in g.data_mut() {
+                    *v *= scale;
+                }
+            });
         }
     }
     norm

@@ -37,14 +37,28 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        // Fused in-place update: per element the same operations as the
+        // old chained array ops (`v*mom + g`, `w - v*lr`), without the
+        // intermediate arrays.
+        let (lr, mom) = (self.lr, self.momentum);
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
-            let Some(g) = p.grad() else { continue };
-            if self.momentum > 0.0 {
-                *v = v.scale(self.momentum).add(&g);
-                let delta = v.scale(self.lr);
-                p.update_value(|w| *w = w.sub(&delta));
+            let Some(g) = p.grad_ref() else { continue };
+            if mom > 0.0 {
+                p.update_value(|w| {
+                    for ((wj, vj), &gj) in
+                        w.data_mut().iter_mut().zip(v.data_mut()).zip(g.data())
+                    {
+                        let nv = *vj * mom + gj;
+                        *vj = nv;
+                        *wj -= nv * lr;
+                    }
+                });
             } else {
-                p.update_value(|w| *w = w.sub(&g.scale(self.lr)));
+                p.update_value(|w| {
+                    for (wj, &gj) in w.data_mut().iter_mut().zip(g.data()) {
+                        *wj -= gj * lr;
+                    }
+                });
             }
         }
     }
@@ -93,26 +107,46 @@ impl AdamState {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // Fused in-place update. All scalar factors are hoisted exactly as
+        // the old chained array ops computed them (`scale(1.0 / bc1)`
+        // multiplies every element by the precomputed reciprocal), so each
+        // element sees the identical f32 operation sequence:
+        //   g' = g + w*wd_coupled
+        //   m  = m*b1 + g'*(1-b1);  v = v*b2 + (g'*g')*(1-b2)
+        //   u  = (m*(1/bc1)) / (sqrt(v*(1/bc2)) + eps) * lr
+        //   w  = w*(1-lr*wd_decoupled) - u
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let (ob1, ob2) = (1.0 - b1, 1.0 - b2);
+        let (rb1, rb2) = (1.0 / bc1, 1.0 / bc2);
+        let coupled_wd = if self.decoupled { 0.0 } else { self.weight_decay };
+        let wd = if self.decoupled { self.lr * self.weight_decay } else { 0.0 };
+        let decay = 1.0 - wd;
         for i in 0..self.params.len() {
             let p = &self.params[i];
-            let Some(mut g) = p.grad() else { continue };
-            if self.weight_decay > 0.0 && !self.decoupled {
-                // Classic Adam folds L2 regularization into the gradient.
-                g = g.add(&p.value().scale(self.weight_decay));
-            }
-            self.m[i] = self.m[i].scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-            self.v[i] = self.v[i].scale(self.beta2).add(&g.mul(&g).scale(1.0 - self.beta2));
-            let m_hat = self.m[i].scale(1.0 / bc1);
-            let v_hat = self.v[i].scale(1.0 / bc2);
-            let update = m_hat.div(&v_hat.sqrt().add_scalar(self.eps)).scale(self.lr);
-            let wd = if self.decoupled { self.lr * self.weight_decay } else { 0.0 };
+            let Some(g) = p.grad_ref() else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
             p.update_value(|w| {
-                if wd > 0.0 {
-                    // AdamW: decay applied directly to weights, decoupled
-                    // from the adaptive gradient scaling.
-                    *w = w.scale(1.0 - wd);
+                let it = w.data_mut().iter_mut().zip(g.data()).zip(m.data_mut()).zip(v.data_mut());
+                for (((wj, &gj), mj), vj) in it {
+                    let mut gj = gj;
+                    if coupled_wd > 0.0 {
+                        // Classic Adam folds L2 regularization into the
+                        // gradient.
+                        gj += *wj * coupled_wd;
+                    }
+                    let mn = *mj * b1 + gj * ob1;
+                    *mj = mn;
+                    let vn = *vj * b2 + gj * gj * ob2;
+                    *vj = vn;
+                    let upd = mn * rb1 / ((vn * rb2).sqrt() + eps) * lr;
+                    if wd > 0.0 {
+                        // AdamW: decay applied directly to weights,
+                        // decoupled from the adaptive gradient scaling.
+                        *wj *= decay;
+                    }
+                    *wj -= upd;
                 }
-                *w = w.sub(&update);
             });
         }
     }

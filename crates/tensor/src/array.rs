@@ -7,10 +7,11 @@
 //! At the model sizes used by the TimeDRL reproduction this is never the
 //! bottleneck, and it eliminates the entire class of stride-aliasing bugs.
 
+use crate::bufpool::Buffer;
 use crate::error::{Result, TensorError};
 use crate::shape::{
     broadcast_shape, broadcast_strides, broadcastable_to, check_axis, numel, ravel,
-    row_major_strides, unravel,
+    row_major_strides, unravel, Dims,
 };
 use testkit::pool;
 
@@ -28,10 +29,14 @@ const ROWWISE_GRAIN: usize = 1 << 15;
 /// A dense, row-major, f32 n-dimensional array.
 ///
 /// The empty shape `[]` denotes a scalar holding exactly one element.
+/// Storage draws from the thread-local buffer pool ([`crate::bufpool`]):
+/// temporaries created and dropped inside a training step recycle the same
+/// blocks instead of hitting the heap, and the shape itself is an inline
+/// [`Dims`] (no allocation at rank <= 6). See DESIGN.md §10.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NdArray {
-    shape: Vec<usize>,
-    data: Vec<f32>,
+    shape: Dims,
+    data: Buffer,
 }
 
 impl NdArray {
@@ -48,12 +53,12 @@ impl NdArray {
         if numel(shape) != data.len() {
             return Err(TensorError::ShapeDataMismatch { shape: shape.to_vec(), data_len: data.len() });
         }
-        Ok(Self { shape: shape.to_vec(), data })
+        Ok(Self { shape: Dims::from(shape), data: Buffer::from_vec(data) })
     }
 
     /// Creates an array filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+        Self { shape: Dims::from(shape), data: Buffer::filled(numel(shape), value) }
     }
 
     /// Creates a zero-filled array.
@@ -68,19 +73,20 @@ impl NdArray {
 
     /// Creates a rank-0 scalar.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![], data: vec![value] }
+        Self { shape: Dims::new(), data: Buffer::filled(1, value) }
     }
 
     /// Creates a 1-D array from a slice.
     pub fn from_slice(values: &[f32]) -> Self {
-        Self { shape: vec![values.len()], data: values.to_vec() }
+        Self { shape: Dims::from([values.len()]), data: Buffer::copied_from(values) }
     }
 
     /// Creates an array by evaluating `f` at every flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n = numel(shape);
-        let data = (0..n).map(&mut f).collect();
-        Self { shape: shape.to_vec(), data }
+        let mut data = Buffer::with_capacity(n);
+        data.extend((0..n).map(&mut f));
+        Self { shape: Dims::from(shape), data }
     }
 
     /// Identity matrix of size `n`.
@@ -128,9 +134,10 @@ impl NdArray {
         &mut self.data
     }
 
-    /// Consumes the array, returning its backing data.
+    /// Consumes the array, returning its backing data (detached from the
+    /// buffer pool).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Reads the element at multi-dimensional coordinates `idx`.
@@ -171,14 +178,14 @@ impl NdArray {
     /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
         if numel(shape) != self.numel() {
-            return Err(TensorError::ReshapeMismatch { from: self.shape.clone(), to: shape.to_vec() });
+            return Err(TensorError::ReshapeMismatch { from: self.shape.to_vec(), to: shape.to_vec() });
         }
-        Ok(Self { shape: shape.to_vec(), data: self.data.clone() })
+        Ok(Self { shape: Dims::from(shape), data: self.data.clone() })
     }
 
     /// Flattens to 1-D.
     pub fn flatten(&self) -> Self {
-        Self { shape: vec![self.numel()], data: self.data.clone() }
+        Self { shape: Dims::from([self.numel()]), data: self.data.clone() }
     }
 
     /// Generalized axis permutation; `axes` must be a permutation of
@@ -190,11 +197,11 @@ impl NdArray {
             assert!(a < self.rank() && !seen[a], "axes must be a permutation");
             seen[a] = true;
         }
-        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let new_shape: Dims = axes.iter().map(|&a| self.shape[a]).collect();
         let src_strides = row_major_strides(&self.shape);
-        let perm_strides: Vec<usize> = axes.iter().map(|&a| src_strides[a]).collect();
-        let mut data = Vec::with_capacity(self.numel());
-        let mut coords = vec![0usize; self.rank()];
+        let perm_strides: Dims = axes.iter().map(|&a| src_strides[a]).collect();
+        let mut data = Buffer::with_capacity(self.numel());
+        let mut coords = Dims::zeros(self.rank());
         for _ in 0..self.numel() {
             data.push(self.data[ravel(&coords, &perm_strides)]);
             // increment coords in row-major order of the *new* shape
@@ -246,15 +253,15 @@ impl NdArray {
     /// Returns [`TensorError::BroadcastMismatch`] if not broadcastable.
     pub fn broadcast_to(&self, target: &[usize]) -> Result<Self> {
         if !broadcastable_to(&self.shape, target) {
-            return Err(TensorError::BroadcastMismatch { lhs: self.shape.clone(), rhs: target.to_vec() });
+            return Err(TensorError::BroadcastMismatch { lhs: self.shape.to_vec(), rhs: target.to_vec() });
         }
         if self.shape == target {
             return Ok(self.clone());
         }
         let strides = broadcast_strides(&self.shape, target);
         let n = numel(target);
-        let mut data = Vec::with_capacity(n);
-        let mut coords = vec![0usize; target.len()];
+        let mut data = Buffer::with_capacity(n);
+        let mut coords = Dims::zeros(target.len());
         for _ in 0..n {
             data.push(self.data[ravel(&coords, &strides)]);
             for ax in (0..target.len()).rev() {
@@ -265,7 +272,7 @@ impl NdArray {
                 coords[ax] = 0;
             }
         }
-        Ok(Self { shape: target.to_vec(), data })
+        Ok(Self { shape: Dims::from(target), data })
     }
 
     /// Sums `self` down to `target` shape (the adjoint of `broadcast_to`).
@@ -283,8 +290,8 @@ impl NdArray {
         );
         let mut out = NdArray::zeros(target);
         let strides = broadcast_strides(target, &self.shape);
-        let mut coords = vec![0usize; self.rank()];
-        for &v in &self.data {
+        let mut coords = Dims::zeros(self.rank());
+        for &v in self.data.iter() {
             out.data[ravel(&coords, &strides)] += v;
             for ax in (0..self.shape.len()).rev() {
                 coords[ax] += 1;
@@ -305,7 +312,7 @@ impl NdArray {
     /// fan out over the pool in fixed element chunks (bit-exact vs serial).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
         let n = self.data.len();
-        let mut data = vec![0.0f32; n];
+        let mut data = Buffer::zeroed(n);
         let chunk_len = if pool::should_parallelize(n, ELEMWISE_GRAIN) {
             pool::grain(ELEMWISE_GRAIN)
         } else {
@@ -355,7 +362,7 @@ impl NdArray {
         if self.shape == other.shape {
             // fast path: identical shapes
             let n = self.data.len();
-            let mut data = vec![0.0f32; n];
+            let mut data = Buffer::zeroed(n);
             let (lhs, rhs) = (&self.data, &other.data);
             pool::for_each_chunk(&mut data, chunk_for(n), |offset, chunk| {
                 for (i, o) in chunk.iter_mut().enumerate() {
@@ -368,7 +375,7 @@ impl NdArray {
         let ls = broadcast_strides(&self.shape, &out_shape);
         let rs = broadcast_strides(&other.shape, &out_shape);
         let n = numel(&out_shape);
-        let mut data = vec![0.0f32; n];
+        let mut data = Buffer::zeroed(n);
         let (lhs, rhs) = (&self.data, &other.data);
         let shape_ref = &out_shape;
         pool::for_each_chunk(&mut data, chunk_for(n), |offset, chunk| {
@@ -492,7 +499,7 @@ impl NdArray {
         let outer: usize = self.shape[..axis].iter().product();
         let dim = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
-        let mut data = vec![0.0f32; outer * inner];
+        let mut data = Buffer::zeroed(outer * inner);
         for o in 0..outer {
             for d in 0..dim {
                 let base = (o * dim + d) * inner;
@@ -532,7 +539,7 @@ impl NdArray {
         let outer: usize = self.shape[..axis].iter().product();
         let dim = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
-        let mut data = vec![init; outer * inner];
+        let mut data = Buffer::filled(outer * inner, init);
         for o in 0..outer {
             for d in 0..dim {
                 let base = (o * dim + d) * inner;
@@ -597,7 +604,7 @@ impl NdArray {
         let inner: usize = self.shape[axis + 1..].iter().product();
         let mut out_shape = self.shape.clone();
         out_shape[axis] = len;
-        let mut data = Vec::with_capacity(outer * len * inner);
+        let mut data = Buffer::with_capacity(outer * len * inner);
         for o in 0..outer {
             let base = (o * dim + start) * inner;
             data.extend_from_slice(&self.data[base..base + len * inner]);
@@ -625,7 +632,7 @@ impl NdArray {
         out_shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
         let outer: usize = out_shape[..axis].iter().product();
         let inner: usize = out_shape[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(numel(&out_shape));
+        let mut data = Buffer::with_capacity(numel(&out_shape));
         for o in 0..outer {
             for p in parts {
                 let d = p.shape[axis];
@@ -660,7 +667,7 @@ impl NdArray {
         assert!(self.rank() >= 1, "rowwise op on scalar");
         let dim = (*self.shape.last().unwrap()).max(1);
         let n = self.data.len();
-        let mut data = vec![0.0f32; n];
+        let mut data = Buffer::zeroed(n);
         let rows_per_chunk = if pool::should_parallelize(n, ROWWISE_GRAIN) {
             (pool::grain(ROWWISE_GRAIN) / dim).max(1)
         } else {

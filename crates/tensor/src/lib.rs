@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod array;
+pub mod bufpool;
 mod error;
 pub mod gradcheck;
 mod init;
@@ -36,6 +37,6 @@ mod var;
 pub use array::NdArray;
 pub use error::{Result, TensorError};
 pub use init::Prng;
-pub use matmul::matmul;
+pub use matmul::{matmul, matmul_reference};
 pub use serialize::{load_parameters, read_arrays, save_parameters, write_arrays};
 pub use var::Var;

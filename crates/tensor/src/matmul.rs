@@ -1,18 +1,30 @@
 //! Matrix multiplication kernels.
 //!
-//! A single cache-friendly `i-k-j` loop kernel handles the 2-D case; rank-3
-//! inputs dispatch to it per batch. The kernel is deliberately simple — at
-//! the model widths used in this reproduction (d_model <= 128) it is within
-//! a small factor of a tuned BLAS and keeps the crate dependency-free.
+//! The 2-D core is a blocked, B-panel-packed microkernel in the GEBP
+//! style: `b` is packed once per call into contiguous [`NR`]-wide column
+//! panels, and an [`MR`]×[`NR`] register-blocked inner kernel walks the
+//! `k` axis keeping all `MR * NR` partial sums in registers. That removes
+//! the per-`k` load/store traffic on the output array that bounded the
+//! seed kernel and lets the compiler vectorize the `NR`-wide accumulator
+//! updates.
+//!
+//! Bit-exactness contract (DESIGN.md §9–§10): for every output element the
+//! microkernel performs *the same `f32` additions in the same ascending-`k`
+//! order* as [`matmul_rows_reference`], including the reference kernel's
+//! skip of `a`-entries that equal `0.0`. The packed path is therefore
+//! bit-identical to the reference loop (property-tested in this module and
+//! in the determinism suite), and results do not depend on whether the
+//! packed or reference path ran.
 //!
 //! Large products fan out over `testkit::pool`: the output is split into
-//! fixed, index-ordered row (or batch-entry) chunks, each computed by the
-//! same serial per-row kernel into its own disjoint slice. Chunk boundaries
-//! never reorder the `k`-axis accumulation that produces an element, so the
+//! fixed, index-ordered row (or batch-entry) chunks, each computed into its
+//! own disjoint slice. `b` is packed *before* the fan-out and shared
+//! read-only, and chunk boundaries never touch the `k` axis, so the
 //! parallel result is bit-identical to the serial one at any thread count
 //! (`TIMEDRL_THREADS=1` ≡ `TIMEDRL_THREADS=N`).
 
 use crate::array::NdArray;
+use crate::bufpool::Buffer;
 use crate::error::{Result, TensorError};
 use testkit::pool;
 
@@ -21,12 +33,37 @@ use testkit::pool;
 /// that per-chunk dispatch cost vanishes, small enough to load-balance.
 const MATMUL_GRAIN: usize = 1 << 18;
 
-/// Serial row-range core: computes `out_chunk = a[row0.., :] * b` for the
-/// `out_chunk.len() / n` rows starting at `row0`. All parallel and serial
-/// entry points funnel through this one loop, which is what makes the
-/// chunked fan-out bit-exact by construction.
-fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+/// Rows per register block of the microkernel.
+const MR: usize = 4;
+
+/// Columns per packed panel / register block of the microkernel. Two
+/// 256-bit vectors per row: wide enough that the per-row scalar load,
+/// zero-test, and branch amortize over 16 columns, small enough that the
+/// `MR * NR/8` accumulator vectors still fit the 16 AVX registers.
+const NR: usize = 16;
+
+/// Minimum `m` and `n` for the packed path. Below this the packing pass
+/// and the zero-padded panel arithmetic cost more than they save, so tiny
+/// products keep the reference loop (identical results either way).
+const MIN_PACKED_DIM: usize = 4;
+
+/// Reference row-range core — the seed repo's `i-k-j` loop, kept verbatim.
+/// Computes `out_chunk = a[row0.., :] * b` for the `out_chunk.len() / n`
+/// rows starting at `row0`. The packed microkernel is property-tested to be
+/// bit-identical to this loop; it also still serves tiny products where
+/// packing does not pay.
+pub(crate) fn matmul_rows_reference(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
     out_chunk.fill(0.0);
+    if n == 0 {
+        return; // zero-width rows: nothing to compute
+    }
     // i-k-j order: the inner loop walks both b and out contiguously.
     for (li, orow) in out_chunk.chunks_mut(n).enumerate() {
         let i = row0 + li;
@@ -43,8 +80,237 @@ fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usiz
     }
 }
 
+/// Number of [`NR`]-wide column panels covering `n` columns.
+fn panel_count(n: usize) -> usize {
+    n.div_ceil(NR)
+}
+
+/// Packs `b` (`k x n`, row-major) into `NR`-wide column panels: panel `p`
+/// holds columns `[p*NR, p*NR+NR)` as `k` contiguous `NR`-element rows,
+/// zero-padded on the right edge. Packing reorders *memory*, never values:
+/// `packed[p][kk][c] == b[kk][p*NR + c]`.
+fn pack_b_panels(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    debug_assert_eq!(packed.len(), panel_count(n) * k * NR);
+    if k == 0 {
+        return; // zero-size inner axis: nothing to pack, output stays 0
+    }
+    for (p, panel) in packed.chunks_mut(k * NR).enumerate() {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        for (kk, dst) in panel.chunks_mut(NR).enumerate() {
+            dst[..w].copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+            dst[w..].fill(0.0);
+        }
+    }
+}
+
+/// One row's `NR`-wide accumulator update for a single `k` step — the
+/// exact per-element operation of [`matmul_rows_reference`]: skip when the
+/// `a`-entry equals `0.0`, otherwise `acc[c] += av * bp[c]`.
+///
+/// The skip uses an integer bit test instead of a float compare:
+/// `to_bits() & 0x7FFF_FFFF == 0` holds exactly for `+0.0`/`-0.0` and for
+/// no other `f32` (NaN compares unequal to zero *and* has nonzero payload
+/// bits), so the condition is identical to `av == 0.0` for every input —
+/// it just compiles to one predictable branch instead of a two-branch
+/// NaN-aware `ucomiss`.
+#[inline(always)]
+fn lane_update(av: f32, bp: &[f32; NR], acc: &mut [f32; NR]) {
+    if av.to_bits() & 0x7FFF_FFFF != 0 {
+        for c in 0..NR {
+            acc[c] += av * bp[c];
+        }
+    }
+}
+
+/// Register-blocked inner kernel, full `MR`-row case: accumulates the
+/// `MR x NR` output block for rows starting at `a_base` against one packed
+/// panel, walking `k` ascending with the exact per-element operation
+/// sequence of [`matmul_rows_reference`]. Zipped iterators (rather than
+/// indexed loads) keep the hot loop free of bounds checks.
+#[inline(always)]
+fn micro_block_main(a: &[f32], a_base: usize, k: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let row = |r: usize| &a[a_base + r * k..a_base + (r + 1) * k];
+    let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+    let (bps, _) = panel.as_chunks::<NR>();
+    for ((((bp, &v0), &v1), &v2), &v3) in bps.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+        lane_update(v0, bp, &mut acc[0]);
+        lane_update(v1, bp, &mut acc[1]);
+        lane_update(v2, bp, &mut acc[2]);
+        lane_update(v3, bp, &mut acc[3]);
+    }
+}
+
+/// Branch-free variant of [`micro_block_main`] for row blocks proven to
+/// hold no `0.0` entries (checked once per block by [`any_zero`], amortized
+/// over every panel): with no zeros present the reference skip is vacuous,
+/// so the four row updates run unconditionally as straight-line vector
+/// code — identical operations, minus the per-`k` taken branches that
+/// otherwise bound the loop.
+#[inline(always)]
+fn micro_block_dense(a: &[f32], a_base: usize, k: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let row = |r: usize| &a[a_base + r * k..a_base + (r + 1) * k];
+    let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+    let (bps, _) = panel.as_chunks::<NR>();
+    for ((((bp, &v0), &v1), &v2), &v3) in bps.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+        for c in 0..NR {
+            acc[0][c] += v0 * bp[c];
+        }
+        for c in 0..NR {
+            acc[1][c] += v1 * bp[c];
+        }
+        for c in 0..NR {
+            acc[2][c] += v2 * bp[c];
+        }
+        for c in 0..NR {
+            acc[3][c] += v3 * bp[c];
+        }
+    }
+}
+
+/// Whether `row` contains an exact `0.0`/`-0.0` — the same bit-level
+/// predicate as [`lane_update`]'s skip, vectorized by the compiler into a
+/// cheap integer scan.
+#[inline(always)]
+fn any_zero(row: &[f32]) -> bool {
+    row.iter().any(|v| v.to_bits() & 0x7FFF_FFFF == 0)
+}
+
+/// Single-row edge kernel: same operation sequence, partial register block.
+#[inline(always)]
+fn micro_block_edge(arow: &[f32], panel: &[f32], acc: &mut [f32; NR]) {
+    let (bps, _) = panel.as_chunks::<NR>();
+    for (bp, &av) in bps.iter().zip(arow) {
+        lane_update(av, bp, acc);
+    }
+}
+
+/// Packed row-range core: same contract as [`matmul_rows_reference`] but
+/// reads `b` through its packed panels and blocks `m`/`n` into `MR x NR`
+/// register tiles. Bit-identical to the reference loop by construction
+/// (same `k` order, same zero-skip, same `mul`+`add` per element).
+#[inline(always)]
+fn matmul_rows_packed_impl(
+    a: &[f32],
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    let m_chunk = out_chunk.len() / n.max(1);
+    let panels = panel_count(n);
+    let mut i = 0;
+    while i < m_chunk {
+        let mr = MR.min(m_chunk - i);
+        let a_base = (row0 + i) * k;
+        // One zero-scan per row block, reused across all its panels: picks
+        // the branch-free kernel when the reference skip cannot fire.
+        let dense = mr == MR
+            && !(0..MR).any(|r| any_zero(&a[a_base + r * k..a_base + (r + 1) * k]));
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed[p * k * NR..(p + 1) * k * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            if dense {
+                micro_block_dense(a, a_base, k, panel, &mut acc);
+            } else if mr == MR {
+                micro_block_main(a, a_base, k, panel, &mut acc);
+            } else {
+                // Edge rows: same kernel, partial register block.
+                for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                    let base = a_base + r * k;
+                    micro_block_edge(&a[base..base + k], panel, accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                let o0 = (i + r) * n + j0;
+                out_chunk[o0..o0 + w].copy_from_slice(&accr[..w]);
+            }
+        }
+        i += mr;
+    }
+}
+
+/// Portable instantiation of the packed core (baseline target features).
+fn matmul_rows_packed_portable(
+    a: &[f32],
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_rows_packed_impl(a, packed, out_chunk, row0, k, n);
+}
+
+/// AVX2 instantiation: the same Rust body compiled with 256-bit vectors
+/// enabled, so the `NR`-wide accumulator updates become one-register ops.
+/// Vectorization only spans the `NR` independent output lanes — the `k`
+/// sum stays sequential per element and `mul`/`add` stay separate
+/// instructions (rustc never contracts them into FMA) — so this is
+/// bit-identical to the portable build; the dispatch below is invisible
+/// in results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn matmul_rows_packed_avx2(
+    a: &[f32],
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_rows_packed_impl(a, packed, out_chunk, row0, k, n);
+}
+
+/// Runtime-dispatched packed core: picks the widest instantiation the host
+/// supports. Both produce bit-identical output, so the choice never shows
+/// up in results — only in speed.
+fn matmul_rows_packed(
+    a: &[f32],
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: gated on runtime AVX2 detection; the fn is a safe Rust
+        // body that only needs the feature to be *legal to execute*.
+        unsafe {
+            return matmul_rows_packed_avx2(a, packed, out_chunk, row0, k, n);
+        }
+    }
+    matmul_rows_packed_portable(a, packed, out_chunk, row0, k, n);
+}
+
+/// Whether the packed microkernel pays for `m x k * n`: both output
+/// dimensions must be big enough to amortize packing and panel padding.
+fn use_packed(m: usize, n: usize) -> bool {
+    m >= MIN_PACKED_DIM && n >= MIN_PACKED_DIM
+}
+
+/// Single-matrix core with kernel dispatch: packs `b` (from the buffer
+/// pool) and runs the microkernel, or falls back to the reference loop for
+/// tiny products. No parallelism here — used per batch entry inside an
+/// outer fan-out, and by the 2-D path below after it packs once for all
+/// row chunks.
+fn matmul_single(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if !use_packed(m, n) {
+        matmul_rows_reference(a, b, out, 0, k, n);
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * k * NR);
+    pack_b_panels(b, k, n, &mut packed);
+    matmul_rows_packed(a, &packed, out, 0, k, n);
+}
+
 /// Raw 2-D kernel: `out[m x n] = a[m x k] * b[k x n]`, all slices row-major.
-/// Row-chunked across the pool when the product is large enough.
+/// Packs `b` once, then row-chunks across the pool when the product is
+/// large enough; every chunk reads the same shared panels.
 pub(crate) fn matmul2d_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -57,8 +323,19 @@ pub(crate) fn matmul2d_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k
     } else {
         m
     };
+    if !use_packed(m, n) {
+        pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+            matmul_rows_reference(a, b, chunk, offset / n, k, n);
+        });
+        return;
+    }
+    // Pack before the fan-out: one pass over b, shared read-only by every
+    // row chunk, so chunking cannot perturb packed values.
+    let mut packed = Buffer::zeroed(panel_count(n) * k * NR);
+    pack_b_panels(b, k, n, &mut packed);
+    let packed = &packed[..];
     pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
-        matmul_rows(a, b, chunk, offset / n, k, n);
+        matmul_rows_packed(a, packed, chunk, offset / n, k, n);
     });
 }
 
@@ -104,11 +381,11 @@ pub fn matmul(a: &NdArray, b: &NdArray) -> Result<NdArray> {
                     let first = offset / per;
                     for (j, o_sl) in chunk.chunks_mut(per).enumerate() {
                         let i = first + j;
-                        matmul_rows(
+                        matmul_single(
                             &ad[i * m * k..(i + 1) * m * k],
                             &bd[i * k * n..(i + 1) * k * n],
                             o_sl,
-                            0,
+                            m,
                             k,
                             n,
                         );
@@ -132,9 +409,64 @@ pub fn matmul(a: &NdArray, b: &NdArray) -> Result<NdArray> {
     }
 }
 
+/// Reference matrix product: the same rank dispatch as [`matmul`] but
+/// always through the seed `i-k-j` loop, serially. The packed microkernel
+/// is property-tested to be bit-identical to this (here and in the
+/// determinism suite); it also anchors perf comparisons in the benches.
+pub fn matmul_reference(a: &NdArray, b: &NdArray) -> Result<NdArray> {
+    let err = || TensorError::MatmulMismatch { lhs: a.shape().to_vec(), rhs: b.shape().to_vec() };
+    match (a.rank(), b.rank()) {
+        (2, 2) => {
+            let (m, k) = (a.shape()[0], a.shape()[1]);
+            let (k2, n) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[m, n]);
+            matmul_rows_reference(a.data(), b.data(), out.data_mut(), 0, k, n);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (bs2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+            if k != k2 || bs != bs2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            let per = m * n;
+            if per > 0 {
+                let (ad, bd) = (a.data(), b.data());
+                for (i, o_sl) in out.data_mut().chunks_mut(per).enumerate() {
+                    matmul_rows_reference(
+                        &ad[i * m * k..(i + 1) * m * k],
+                        &bd[i * k * n..(i + 1) * k * n],
+                        o_sl,
+                        0,
+                        k,
+                        n,
+                    );
+                }
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (k2, n) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            matmul_rows_reference(a.data(), b.data(), out.data_mut(), 0, k, n);
+            Ok(out)
+        }
+        _ => Err(err()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use testkit::{prop, prop_assert, prop_assert_eq};
 
     #[test]
     fn matmul_2d_known_values() {
@@ -232,5 +564,83 @@ mod tests {
         let serial = pool::with_threads(1, || matmul(&a3, &b3).unwrap());
         let par = pool::with_threads(4, || pool::with_grain(16, || matmul(&a3, &b3).unwrap()));
         assert_eq!(serial, par);
+    }
+
+    /// The ISSUE's shape grid: odd, power-of-two, and just-past-block
+    /// sizes, plus the zero-size edges.
+    const DIMS: [usize; 7] = [0, 1, 3, 7, 17, 64, 129];
+
+    /// Inputs with exact zeros sprinkled in (so the `av == 0.0` skip path
+    /// is exercised), plus negative zero and denormal-ish values.
+    fn grid_array(shape: &[usize], salt: u64) -> NdArray {
+        NdArray::from_fn(shape, |i| {
+            let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt);
+            match x % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => (x % 1000) as f32 / 61.0 - 8.0,
+            }
+        })
+    }
+
+    prop! {
+        #![config(cases = 48)]
+
+        fn packed_matches_reference_bitwise(
+            mi in 0usize..7,
+            ki in 0usize..7,
+            ni in 0usize..7,
+            salt in 0u64..1000
+        ) {
+            let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+            let a = grid_array(&[m, k], salt);
+            let b = grid_array(&[k, n], salt ^ 0xdead);
+            let fast = matmul(&a, &b).unwrap();
+            let reference = matmul_reference(&a, &b).unwrap();
+            // Bitwise comparison: identical f32 sequences, not just close.
+            let fb: Vec<u32> = fast.data().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(fb, rb);
+        }
+
+        fn packed_matches_reference_batched(
+            bs in 1usize..5,
+            mi in 0usize..7,
+            ki in 0usize..7,
+            ni in 0usize..7
+        ) {
+            let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+            let a = grid_array(&[bs, m, k], bs as u64);
+            let b3 = grid_array(&[bs, k, n], 17);
+            let fast = matmul(&a, &b3).unwrap();
+            let reference = matmul_reference(&a, &b3).unwrap();
+            prop_assert_eq!(fast.data(), reference.data());
+            prop_assert!(fast.data().iter().zip(reference.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+            // Shared-rhs dispatch.
+            let b2 = grid_array(&[k, n], 23);
+            let fast = matmul(&a, &b2).unwrap();
+            let reference = matmul_reference(&a, &b2).unwrap();
+            prop_assert!(fast.data().iter().zip(reference.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn packed_handles_nonfinite_b_like_reference() {
+        // The zero-skip changes results when b holds inf/NaN: 0 * inf = NaN
+        // would poison the sum if the skip were dropped. Pin the packed
+        // kernel to the reference behavior.
+        let a = NdArray::from_vec(&[4, 2], vec![0.0, 1.0, 2.0, 0.0, -0.0, 3.0, 1.0, 1.0]).unwrap();
+        let b = NdArray::from_vec(
+            &[2, 4],
+            vec![f32::INFINITY, 1.0, f32::NAN, 2.0, 3.0, f32::NEG_INFINITY, 4.0, 5.0],
+        )
+        .unwrap();
+        let fast = matmul(&a, &b).unwrap();
+        let reference = matmul_reference(&a, &b).unwrap();
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "fast {x} vs reference {y}");
+        }
     }
 }

@@ -1,14 +1,227 @@
 //! Shape arithmetic: row-major strides, broadcasting rules, and index math.
+//!
+//! Shapes, strides, and coordinate vectors are [`Dims`]: a small inline
+//! array (up to [`INLINE_RANK`] axes) that spills to the heap only for
+//! deeper ranks. Every tensor in this repo is rank <= 4, so in practice
+//! shape handling never allocates — a prerequisite for the steady-state
+//! allocation budget of DESIGN.md §10.
 
 use crate::error::{Result, TensorError};
+use std::ops::{Deref, DerefMut};
+
+/// Maximum rank stored inline (no heap) by [`Dims`].
+pub const INLINE_RANK: usize = 6;
+
+/// A shape / strides / coordinates vector with inline storage.
+///
+/// Behaves like a `Vec<usize>` for everything tensor code needs: derefs to
+/// `&[usize]` (indexing, slicing, iteration), supports `push` / `insert` /
+/// `remove`, and compares against slices and `Vec<usize>`.
+#[derive(Clone, Debug, Default)]
+pub struct Dims {
+    len: u8,
+    inline: [usize; INLINE_RANK],
+    /// Spill storage for rank > INLINE_RANK; `len`/`inline` are unused
+    /// whenever this is `Some`.
+    spill: Option<Vec<usize>>,
+}
+
+impl Dims {
+    /// An empty (rank-0) dims vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A dims vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        if n <= INLINE_RANK {
+            Self { len: n as u8, inline: [0; INLINE_RANK], spill: None }
+        } else {
+            Self { len: 0, inline: [0; INLINE_RANK], spill: Some(vec![0; n]) }
+        }
+    }
+
+    /// The dims as a plain slice.
+    pub fn as_slice(&self) -> &[usize] {
+        self
+    }
+
+    /// Appends an axis.
+    pub fn push(&mut self, dim: usize) {
+        match &mut self.spill {
+            Some(v) => v.push(dim),
+            None => {
+                if (self.len as usize) < INLINE_RANK {
+                    self.inline[self.len as usize] = dim;
+                    self.len += 1;
+                } else {
+                    let mut v = self.inline.to_vec();
+                    v.push(dim);
+                    self.spill = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Inserts an axis at `index`, shifting later axes right.
+    pub fn insert(&mut self, index: usize, dim: usize) {
+        match &mut self.spill {
+            Some(v) => v.insert(index, dim),
+            None => {
+                let n = self.len as usize;
+                assert!(index <= n, "insert index {index} out of range for rank {n}");
+                if n < INLINE_RANK {
+                    self.inline.copy_within(index..n, index + 1);
+                    self.inline[index] = dim;
+                    self.len += 1;
+                } else {
+                    let mut v = self.inline.to_vec();
+                    v.insert(index, dim);
+                    self.spill = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the axis at `index`, shifting later axes left.
+    pub fn remove(&mut self, index: usize) -> usize {
+        match &mut self.spill {
+            Some(v) => v.remove(index),
+            None => {
+                let n = self.len as usize;
+                assert!(index < n, "remove index {index} out of range for rank {n}");
+                let out = self.inline[index];
+                self.inline.copy_within(index + 1..n, index);
+                self.len -= 1;
+                out
+            }
+        }
+    }
+
+    /// Copies the dims into a `Vec<usize>`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Dims {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.inline[..self.len as usize],
+        }
+    }
+}
+
+impl DerefMut for Dims {
+    fn deref_mut(&mut self) -> &mut [usize] {
+        match &mut self.spill {
+            Some(v) => v,
+            None => &mut self.inline[..self.len as usize],
+        }
+    }
+}
+
+impl From<&[usize]> for Dims {
+    fn from(slice: &[usize]) -> Self {
+        if slice.len() <= INLINE_RANK {
+            let mut inline = [0usize; INLINE_RANK];
+            inline[..slice.len()].copy_from_slice(slice);
+            Self { len: slice.len() as u8, inline, spill: None }
+        } else {
+            Self { len: 0, inline: [0; INLINE_RANK], spill: Some(slice.to_vec()) }
+        }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Dims {
+    fn from(arr: [usize; N]) -> Self {
+        Self::from(&arr[..])
+    }
+}
+
+impl From<Vec<usize>> for Dims {
+    fn from(v: Vec<usize>) -> Self {
+        Self::from(&v[..])
+    }
+}
+
+impl FromIterator<usize> for Dims {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for d in iter {
+            out.push(d);
+        }
+        out
+    }
+}
+
+impl PartialEq for Dims {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Dims {}
+
+impl PartialEq<[usize]> for Dims {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[usize]> for Dims {
+    fn eq(&self, other: &&[usize]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[usize; N]> for Dims {
+    fn eq(&self, other: &[usize; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[usize; N]> for Dims {
+    fn eq(&self, other: &&[usize; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<usize>> for Dims {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Dims> for Vec<usize> {
+    fn eq(&self, other: &Dims) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Dims> for [usize] {
+    fn eq(&self, other: &Dims) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dims {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// Computes row-major (C-order) strides for `shape`.
 ///
 /// The stride of the last axis is 1; each earlier axis strides over the
 /// product of all later dimensions. An empty shape (scalar) yields an empty
 /// stride vector.
-pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
-    let mut strides = vec![0usize; shape.len()];
+pub fn row_major_strides(shape: &[usize]) -> Dims {
+    let mut strides = Dims::zeros(shape.len());
     let mut acc = 1usize;
     for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
         *s = acc;
@@ -25,9 +238,9 @@ pub fn numel(shape: &[usize]) -> usize {
 /// Computes the broadcast result shape of `lhs` and `rhs` following NumPy
 /// rules: align trailing axes; each pair of dims must be equal or one of them
 /// must be 1.
-pub fn broadcast_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+pub fn broadcast_shape(lhs: &[usize], rhs: &[usize]) -> Result<Dims> {
     let rank = lhs.len().max(rhs.len());
-    let mut out = vec![0usize; rank];
+    let mut out = Dims::zeros(rank);
     for i in 0..rank {
         let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
         let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
@@ -57,11 +270,11 @@ pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
 /// (broadcasting): broadcast axes get stride 0.
 ///
 /// Precondition: `broadcastable_to(from, to)`.
-pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Dims {
     debug_assert!(broadcastable_to(from, to));
     let base = row_major_strides(from);
     let offset = to.len() - from.len();
-    let mut out = vec![0usize; to.len()];
+    let mut out = Dims::zeros(to.len());
     for i in 0..from.len() {
         out[i + offset] = if from[i] == 1 && to[i + offset] != 1 { 0 } else { base[i] };
     }
@@ -69,8 +282,8 @@ pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
 }
 
 /// Converts a flat row-major index into multi-dimensional coordinates.
-pub fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
-    let mut coords = vec![0usize; shape.len()];
+pub fn unravel(mut flat: usize, shape: &[usize]) -> Dims {
+    let mut coords = Dims::zeros(shape.len());
     for i in (0..shape.len()).rev() {
         coords[i] = flat % shape[i];
         flat /= shape[i];
@@ -131,5 +344,50 @@ mod tests {
     fn axis_check() {
         assert!(check_axis(1, 2).is_ok());
         assert!(check_axis(2, 2).is_err());
+    }
+
+    #[test]
+    fn dims_inline_edits() {
+        let mut d = Dims::from([2, 3, 4]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[1], 3);
+        d[1] = 7;
+        assert_eq!(d, [2, 7, 4]);
+        d.insert(0, 9);
+        assert_eq!(d, [9, 2, 7, 4]);
+        assert_eq!(d.remove(2), 7);
+        assert_eq!(d, [9, 2, 4]);
+        d.push(5);
+        assert_eq!(d, vec![9, 2, 4, 5]);
+        assert_eq!(&d[..2], &[9, 2]);
+        assert_eq!(d.iter().product::<usize>(), 360);
+    }
+
+    #[test]
+    fn dims_never_allocates_at_tensor_ranks() {
+        let (_, n) = testkit::alloc::count_allocations(|| {
+            let mut d = Dims::from([4, 8, 16, 32]);
+            d.insert(2, 1);
+            d.remove(0);
+            d.push(2);
+            std::hint::black_box(ravel(&d, &row_major_strides(&d)))
+        });
+        assert_eq!(n, 0, "rank <= {INLINE_RANK} shape math must stay inline");
+    }
+
+    #[test]
+    fn dims_spills_beyond_inline_rank() {
+        let deep: Vec<usize> = (1..=INLINE_RANK + 2).collect();
+        let mut d = Dims::from(&deep[..]);
+        assert_eq!(d, deep);
+        d.push(99);
+        assert_eq!(d[INLINE_RANK + 1], INLINE_RANK + 2);
+        assert_eq!(*d.last().unwrap(), 99);
+        // Growing an inline Dims past the boundary spills correctly too.
+        let mut g = Dims::from([1, 2, 3, 4, 5, 6]);
+        g.push(7);
+        assert_eq!(g, vec![1, 2, 3, 4, 5, 6, 7]);
+        g.insert(0, 0);
+        assert_eq!(g, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 }

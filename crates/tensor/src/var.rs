@@ -22,18 +22,276 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::array::NdArray;
 use crate::init::Prng;
 use crate::matmul::matmul;
+use crate::shape::Dims;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
-type BackwardFn = Box<dyn Fn(&NdArray) -> Vec<NdArray>>;
+/// The backward rule of a graph node. Built-in ops store their saved
+/// state inline in the enum — no boxed closure, so recording a node costs
+/// exactly one allocation (the `Rc`). Saved tensors (`sqrt`/`exp`/softmax
+/// outputs, dropout masks) move in by value; ops whose rule needs a parent
+/// *input* read it through the node's parent list at backward time, which
+/// is sound because node values are never mutated between forward and
+/// backward. Only [`Var::custom`] pays for a boxed closure.
+enum Backward {
+    Add { ls: Dims, rs: Dims },
+    Sub { ls: Dims, rs: Dims },
+    Mul { ls: Dims, rs: Dims },
+    Div { ls: Dims, rs: Dims },
+    Neg,
+    Scale(f32),
+    AddScalar,
+    Powf(f32),
+    Sqrt { saved: NdArray },
+    Exp { saved: NdArray },
+    Ln,
+    Relu,
+    Sigmoid { s: NdArray },
+    Tanh { t: NdArray },
+    Gelu,
+    Matmul { ls: Dims, rs: Dims },
+    Transpose,
+    Permute { inverse: Dims },
+    Reshape { from: Dims },
+    BroadcastTo { from: Dims },
+    Slice { full: Dims, axis: usize, start: usize, len: usize },
+    Concat { axis: usize, sizes: Dims },
+    Sum { from: Dims },
+    SumAxis { from: Dims, axis: usize, keepdim: bool },
+    MaxAxis { from: Dims, axis: usize },
+    Softmax { s: NdArray, last: usize },
+    CrossEntropy { probs: NdArray, targets: Vec<usize> },
+    Dropout { mask: NdArray },
+    MaeLoss { target: NdArray, n: f32 },
+    Custom(Box<dyn Fn(&NdArray) -> Vec<NdArray>>),
+}
+
+/// Inline parent list. Every primitive op has one or two parents, so the
+/// common cases carry them without a heap allocation; only variadic ops
+/// ([`Var::concat`], [`Var::custom`]) spill to a `Vec`. One fewer
+/// allocation per graph node (DESIGN.md §10).
+enum Parents {
+    None,
+    One([Var; 1]),
+    Two([Var; 2]),
+    Many(Vec<Var>),
+}
+
+impl Parents {
+    fn one(p: Var) -> Self {
+        Parents::One([p])
+    }
+
+    fn two(a: Var, b: Var) -> Self {
+        Parents::Two([a, b])
+    }
+
+    fn as_slice(&self) -> &[Var] {
+        match self {
+            Parents::None => &[],
+            Parents::One(a) => a,
+            Parents::Two(a) => a,
+            Parents::Many(v) => v,
+        }
+    }
+}
+
+/// Inline gradient list returned by backward closures — the by-value
+/// counterpart of [`Parents`]: one or two gradients ride inline, variadic
+/// ops spill. An empty `spill` vec never allocates, so the per-node
+/// `Vec<NdArray>` of the old signature is gone.
+pub struct Grads {
+    a: Option<NdArray>,
+    b: Option<NdArray>,
+    spill: Vec<NdArray>,
+}
+
+impl Grads {
+    /// A single parent gradient.
+    pub fn one(g: NdArray) -> Self {
+        Self { a: Some(g), b: None, spill: Vec::new() }
+    }
+
+    /// Two parent gradients, in parent order.
+    pub fn two(ga: NdArray, gb: NdArray) -> Self {
+        Self { a: Some(ga), b: Some(gb), spill: Vec::new() }
+    }
+
+    /// Arbitrarily many parent gradients, in parent order.
+    pub fn many(gs: Vec<NdArray>) -> Self {
+        Self { a: None, b: None, spill: gs }
+    }
+
+    fn len(&self) -> usize {
+        usize::from(self.a.is_some()) + usize::from(self.b.is_some()) + self.spill.len()
+    }
+
+    fn into_iter(self) -> impl Iterator<Item = NdArray> {
+        self.a.into_iter().chain(self.b).chain(self.spill)
+    }
+}
+
+impl Backward {
+    /// Computes the parent gradients for a node with output gradient `g`.
+    /// Each arm is the former boxed closure's body, verbatim; arms that
+    /// need a parent's *input* value borrow it from `parents` in place.
+    fn apply(&self, parents: &Parents, g: &NdArray) -> Grads {
+        let parent = |i: usize| parents.as_slice()[i].value();
+        match self {
+            Backward::Add { ls, rs } => {
+                Grads::two(g.reduce_to_shape(ls), g.reduce_to_shape(rs))
+            }
+            Backward::Sub { ls, rs } => {
+                Grads::two(g.reduce_to_shape(ls), g.neg().reduce_to_shape(rs))
+            }
+            Backward::Mul { ls, rs } => {
+                let (a, b) = (parent(0), parent(1));
+                Grads::two(g.mul(&b).reduce_to_shape(ls), g.mul(&a).reduce_to_shape(rs))
+            }
+            Backward::Div { ls, rs } => {
+                let (a, b) = (parent(0), parent(1));
+                let ga = g.div(&b).reduce_to_shape(ls);
+                // d/db (a/b) = -a / b^2
+                let gb = g.mul(&a.neg().div(&b.mul(&b))).reduce_to_shape(rs);
+                Grads::two(ga, gb)
+            }
+            Backward::Neg => Grads::one(g.neg()),
+            Backward::Scale(s) => Grads::one(g.scale(*s)),
+            Backward::AddScalar => Grads::one(g.clone()),
+            Backward::Powf(p) => Grads::one(g.mul(&parent(0).powf(p - 1.0).scale(*p))),
+            Backward::Sqrt { saved } => Grads::one(g.div(&saved.scale(2.0))),
+            Backward::Exp { saved } => Grads::one(g.mul(saved)),
+            Backward::Ln => Grads::one(g.div(&parent(0))),
+            Backward::Relu => Grads::one(
+                g.zip_map(&parent(0), |gv, xv| if xv > 0.0 { gv } else { 0.0 })
+                    .expect("relu grad"),
+            ),
+            Backward::Sigmoid { s } => {
+                Grads::one(g.mul(&s.zip_map(s, |a, _| a * (1.0 - a)).expect("sigmoid grad")))
+            }
+            Backward::Tanh { t } => Grads::one(g.mul(&t.map(|v| 1.0 - v * v))),
+            Backward::Gelu => {
+                const C: f32 = 0.797_884_6; // sqrt(2/pi)
+                const A: f32 = 0.044_715;
+                let dx = parent(0).map(|v| {
+                    let u = C * (v + A * v * v * v);
+                    let t = u.tanh();
+                    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * C * (1.0 + 3.0 * A * v * v)
+                });
+                Grads::one(g.mul(&dx))
+            }
+            Backward::Matmul { ls, rs } => {
+                let (a, b) = (parent(0), parent(1));
+                // dL/dA = G @ B^T ; dL/dB = A^T @ G, reduced over any
+                // batch-broadcast axes.
+                let ga = matmul(g, &b.transpose()).expect("matmul grad A").reduce_to_shape(ls);
+                let gb = if a.rank() == 3 && b.rank() == 2 {
+                    // [b,m,k]^T fold: sum over batch — flatten batch into rows.
+                    let m = a.shape()[1];
+                    let k = a.shape()[2];
+                    let bsz = a.shape()[0];
+                    let a2 = a.reshape(&[bsz * m, k]).expect("fold a");
+                    let g2 = g.reshape(&[bsz * m, g.shape()[2]]).expect("fold g");
+                    matmul(&a2.transpose(), &g2).expect("matmul grad B")
+                } else {
+                    matmul(&a.transpose(), g).expect("matmul grad B").reduce_to_shape(rs)
+                };
+                Grads::two(ga, gb)
+            }
+            Backward::Transpose => Grads::one(g.transpose()),
+            Backward::Permute { inverse } => Grads::one(g.permute(inverse)),
+            Backward::Reshape { from } => Grads::one(g.reshape(from).expect("reshape grad")),
+            Backward::BroadcastTo { from } => Grads::one(g.reduce_to_shape(from)),
+            Backward::Slice { full, axis, start, len } => {
+                let (axis, start) = (*axis, *start);
+                let mut parts: Vec<NdArray> = Vec::new();
+                if start > 0 {
+                    let mut s = full.clone();
+                    s[axis] = start;
+                    parts.push(NdArray::zeros(&s));
+                }
+                parts.push(g.clone());
+                let tail = full[axis] - start - len;
+                if tail > 0 {
+                    let mut s = full.clone();
+                    s[axis] = tail;
+                    parts.push(NdArray::zeros(&s));
+                }
+                let refs: Vec<&NdArray> = parts.iter().collect();
+                Grads::one(NdArray::concat(&refs, axis))
+            }
+            Backward::Concat { axis, sizes } => {
+                let mut grads = Vec::with_capacity(sizes.len());
+                let mut offset = 0;
+                for &sz in sizes.as_slice() {
+                    grads.push(g.slice(*axis, offset, sz).expect("concat grad split"));
+                    offset += sz;
+                }
+                Grads::many(grads)
+            }
+            Backward::Sum { from } => Grads::one(NdArray::full(from, g.to_scalar())),
+            Backward::SumAxis { from, axis, keepdim } => {
+                let g_keep = if *keepdim { g.clone() } else { g.unsqueeze(*axis) };
+                Grads::one(g_keep.broadcast_to(from).expect("sum_axis grad"))
+            }
+            Backward::MaxAxis { from, axis } => {
+                let x = parent(0);
+                let axis = *axis;
+                let outer: usize = from[..axis].iter().product();
+                let dim = from[axis];
+                let inner: usize = from[axis + 1..].iter().product();
+                let mut grad = NdArray::zeros(from);
+                // g is the reduced-shape gradient; iterate groups.
+                for o in 0..outer {
+                    for i in 0..inner {
+                        let mut best = (0usize, f32::NEG_INFINITY);
+                        for d in 0..dim {
+                            let v = x.data()[(o * dim + d) * inner + i];
+                            if v > best.1 {
+                                best = (d, v);
+                            }
+                        }
+                        grad.data_mut()[(o * dim + best.0) * inner + i] = g.data()[o * inner + i];
+                    }
+                }
+                Grads::one(grad)
+            }
+            Backward::Softmax { s, last } => {
+                let gs = g.mul(s);
+                let dot = gs.sum_axis(*last, true);
+                Grads::one(s.mul(&g.sub(&dot.broadcast_to(g.shape()).expect("softmax grad"))))
+            }
+            Backward::CrossEntropy { probs, targets } => {
+                let n = probs.shape()[0];
+                let k = probs.shape()[1];
+                let scale = g.to_scalar() / n as f32;
+                let mut grad = probs.clone();
+                for (i, &t) in targets.iter().enumerate() {
+                    grad.data_mut()[i * k + t] -= 1.0;
+                }
+                Grads::one(grad.scale(scale))
+            }
+            Backward::Dropout { mask } => Grads::one(g.mul(mask)),
+            Backward::MaeLoss { target, n } => {
+                let s = g.to_scalar() / n;
+                Grads::one(
+                    parent(0)
+                        .zip_map(target, |a, b| if a >= b { s } else { -s })
+                        .expect("mae grad"),
+                )
+            }
+            Backward::Custom(f) => Grads::many(f(g)),
+        }
+    }
+}
 
 struct VarNode {
     id: u64,
     value: RefCell<NdArray>,
     grad: RefCell<Option<NdArray>>,
     requires_grad: bool,
-    parents: Vec<Var>,
-    backward: Option<BackwardFn>,
+    parents: Parents,
+    backward: Option<Backward>,
 }
 
 /// A differentiable tensor node. Cheap to clone (reference-counted).
@@ -61,7 +319,7 @@ impl Var {
             value: RefCell::new(value),
             grad: RefCell::new(None),
             requires_grad,
-            parents: Vec::new(),
+            parents: Parents::None,
             backward: None,
         }))
     }
@@ -81,8 +339,8 @@ impl Var {
         Self::constant(NdArray::scalar(v))
     }
 
-    fn op(value: NdArray, parents: Vec<Var>, backward: BackwardFn) -> Self {
-        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+    fn op(value: NdArray, parents: Parents, backward: Backward) -> Self {
+        let requires_grad = parents.as_slice().iter().any(|p| p.0.requires_grad);
         if !requires_grad {
             return Self::leaf(value, false);
         }
@@ -110,9 +368,10 @@ impl Var {
         self.0.value.borrow().clone()
     }
 
-    /// The node's shape (cloned; values are behind a `RefCell`).
-    pub fn shape(&self) -> Vec<usize> {
-        self.0.value.borrow().shape().to_vec()
+    /// The node's shape (copied out; values are behind a `RefCell`).
+    /// [`Dims`] stores tensor-rank shapes inline, so this never allocates.
+    pub fn shape(&self) -> Dims {
+        Dims::from(self.0.value.borrow().shape())
     }
 
     /// Scalar value of a single-element node.
@@ -133,6 +392,21 @@ impl Var {
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
         *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Mutates the accumulated gradient in place, if present — lets
+    /// optimizers and gradient clipping rescale without cloning the array
+    /// out and writing it back.
+    pub fn update_grad(&self, f: impl FnOnce(&mut NdArray)) {
+        if let Some(g) = self.0.grad.borrow_mut().as_mut() {
+            f(g);
+        }
+    }
+
+    /// Borrows the accumulated gradient without cloning. `None` when no
+    /// gradient has been accumulated.
+    pub fn grad_ref(&self) -> Option<Ref<'_, NdArray>> {
+        Ref::filter_map(self.0.grad.borrow(), Option::as_ref).ok()
     }
 
     /// Replaces the node's value (optimizer updates on parameter leaves).
@@ -168,7 +442,7 @@ impl Var {
         parents: Vec<Var>,
         backward: impl Fn(&NdArray) -> Vec<NdArray> + 'static,
     ) -> Var {
-        Self::op(value, parents, Box::new(backward))
+        Self::op(value, Parents::Many(parents), Backward::Custom(Box::new(backward)))
     }
 
     // ------------------------------------------------------------------
@@ -181,8 +455,8 @@ impl Var {
         let (ls, rs) = (self.shape(), other.shape());
         Var::op(
             out,
-            vec![self.clone(), other.clone()],
-            Box::new(move |g| vec![g.reduce_to_shape(&ls), g.reduce_to_shape(&rs)]),
+            Parents::two(self.clone(), other.clone()),
+            Backward::Add { ls, rs },
         )
     }
 
@@ -192,50 +466,35 @@ impl Var {
         let (ls, rs) = (self.shape(), other.shape());
         Var::op(
             out,
-            vec![self.clone(), other.clone()],
-            Box::new(move |g| vec![g.reduce_to_shape(&ls), g.neg().reduce_to_shape(&rs)]),
+            Parents::two(self.clone(), other.clone()),
+            Backward::Sub { ls, rs },
         )
     }
 
     /// Broadcasting multiplication.
     pub fn mul(&self, other: &Var) -> Var {
-        let a = self.to_array();
-        let b = other.to_array();
-        let out = a.mul(&b);
+        let out = self.value().mul(&other.value());
         let (ls, rs) = (self.shape(), other.shape());
-        Var::op(
-            out,
-            vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                vec![g.mul(&b).reduce_to_shape(&ls), g.mul(&a).reduce_to_shape(&rs)]
-            }),
-        )
+        // The backward rule reads the parent values through the node's
+        // parent list: no copies saved, no extra captures. Node values are
+        // never mutated between forward and backward, so this is the same
+        // data the old full-tensor snapshots held.
+        Var::op(out, Parents::two(self.clone(), other.clone()), Backward::Mul { ls, rs })
     }
 
     /// Broadcasting division.
     pub fn div(&self, other: &Var) -> Var {
-        let a = self.to_array();
-        let b = other.to_array();
-        let out = a.div(&b);
+        let out = self.value().div(&other.value());
         let (ls, rs) = (self.shape(), other.shape());
-        Var::op(
-            out,
-            vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                let ga = g.div(&b).reduce_to_shape(&ls);
-                // d/db (a/b) = -a / b^2
-                let gb = g.mul(&a.neg().div(&b.mul(&b))).reduce_to_shape(&rs);
-                vec![ga, gb]
-            }),
-        )
+        Var::op(out, Parents::two(self.clone(), other.clone()), Backward::Div { ls, rs })
     }
 
     /// Elementwise negation.
     pub fn neg(&self) -> Var {
         Var::op(
             self.value().neg(),
-            vec![self.clone()],
-            Box::new(|g| vec![g.neg()]),
+            Parents::one(self.clone()),
+            Backward::Neg,
         )
     }
 
@@ -243,8 +502,8 @@ impl Var {
     pub fn scale(&self, s: f32) -> Var {
         Var::op(
             self.value().scale(s),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.scale(s)]),
+            Parents::one(self.clone()),
+            Backward::Scale(s),
         )
     }
 
@@ -252,47 +511,35 @@ impl Var {
     pub fn add_scalar(&self, s: f32) -> Var {
         Var::op(
             self.value().add_scalar(s),
-            vec![self.clone()],
-            Box::new(|g| vec![g.clone()]),
+            Parents::one(self.clone()),
+            Backward::AddScalar,
         )
     }
 
     /// Elementwise power `x^p` (for `x > 0` when `p` is fractional).
     pub fn powf(&self, p: f32) -> Var {
-        let x = self.to_array();
-        Var::op(
-            x.powf(p),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.mul(&x.powf(p - 1.0).scale(p))]),
-        )
+        let out = self.value().powf(p);
+        Var::op(out, Parents::one(self.clone()), Backward::Powf(p))
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Var {
         let out = self.value().sqrt();
         let saved = out.clone();
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![g.div(&saved.scale(2.0))]),
-        )
+        Var::op(out, Parents::one(self.clone()), Backward::Sqrt { saved })
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var {
         let out = self.value().exp();
         let saved = out.clone();
-        Var::op(out, vec![self.clone()], Box::new(move |g| vec![g.mul(&saved)]))
+        Var::op(out, Parents::one(self.clone()), Backward::Exp { saved })
     }
 
     /// Elementwise natural log.
     pub fn ln(&self) -> Var {
-        let x = self.to_array();
-        Var::op(
-            x.ln(),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.div(&x)]),
-        )
+        let out = self.value().ln();
+        Var::op(out, Parents::one(self.clone()), Backward::Ln)
     }
 
     // ------------------------------------------------------------------
@@ -301,59 +548,33 @@ impl Var {
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
-        let x = self.to_array();
-        Var::op(
-            x.map(|v| v.max(0.0)),
-            vec![self.clone()],
-            Box::new(move |g| {
-                vec![g.zip_map(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }).expect("relu grad")]
-            }),
-        )
+        let out = self.value().map(|v| v.max(0.0));
+        Var::op(out, Parents::one(self.clone()), Backward::Relu)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
         let out = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
         let s = out.clone();
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![g.mul(&s.zip_map(&s, |a, _| a * (1.0 - a)).expect("sigmoid grad"))]),
-        )
+        Var::op(out, Parents::one(self.clone()), Backward::Sigmoid { s })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh_act(&self) -> Var {
         let out = self.value().map(f32::tanh);
         let t = out.clone();
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![g.mul(&t.map(|v| 1.0 - v * v))]),
-        )
+        Var::op(out, Parents::one(self.clone()), Backward::Tanh { t })
     }
 
     /// Gaussian error linear unit (tanh approximation, as in BERT/PatchTST).
     pub fn gelu(&self) -> Var {
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
         const A: f32 = 0.044_715;
-        let x = self.to_array();
-        let out = x.map(|v| {
+        let out = self.value().map(|v| {
             let u = C * (v + A * v * v * v);
             0.5 * v * (1.0 + u.tanh())
         });
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| {
-                let dx = x.map(|v| {
-                    let u = C * (v + A * v * v * v);
-                    let t = u.tanh();
-                    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * C * (1.0 + 3.0 * A * v * v)
-                });
-                vec![g.mul(&dx)]
-            }),
-        )
+        Var::op(out, Parents::one(self.clone()), Backward::Gelu)
     }
 
     // ------------------------------------------------------------------
@@ -362,53 +583,30 @@ impl Var {
 
     /// Matrix product (rank dispatch follows [`matmul`]).
     pub fn matmul(&self, other: &Var) -> Var {
-        let a = self.to_array();
-        let b = other.to_array();
-        let out = matmul(&a, &b).expect("matmul: incompatible shapes");
+        let out = matmul(&self.value(), &other.value()).expect("matmul: incompatible shapes");
         let (ls, rs) = (self.shape(), other.shape());
-        Var::op(
-            out,
-            vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                // dL/dA = G @ B^T ; dL/dB = A^T @ G, reduced over any
-                // batch-broadcast axes.
-                let ga = matmul(g, &b.transpose()).expect("matmul grad A").reduce_to_shape(&ls);
-                let gb = if a.rank() == 3 && b.rank() == 2 {
-                    // [b,m,k]^T fold: sum over batch — flatten batch into rows.
-                    let m = a.shape()[1];
-                    let k = a.shape()[2];
-                    let bsz = a.shape()[0];
-                    let a2 = a.reshape(&[bsz * m, k]).expect("fold a");
-                    let g2 = g.reshape(&[bsz * m, g.shape()[2]]).expect("fold g");
-                    matmul(&a2.transpose(), &g2).expect("matmul grad B")
-                } else {
-                    matmul(&a.transpose(), g).expect("matmul grad B").reduce_to_shape(&rs)
-                };
-                vec![ga, gb]
-            }),
-        )
+        Var::op(out, Parents::two(self.clone(), other.clone()), Backward::Matmul { ls, rs })
     }
 
     /// Swaps the last two axes.
     pub fn transpose(&self) -> Var {
         Var::op(
             self.value().transpose(),
-            vec![self.clone()],
-            Box::new(|g| vec![g.transpose()]),
+            Parents::one(self.clone()),
+            Backward::Transpose,
         )
     }
 
     /// General axis permutation.
     pub fn permute(&self, axes: &[usize]) -> Var {
-        let axes_v = axes.to_vec();
-        let mut inverse = vec![0usize; axes.len()];
+        let mut inverse = Dims::zeros(axes.len());
         for (i, &a) in axes.iter().enumerate() {
             inverse[a] = i;
         }
         Var::op(
-            self.value().permute(&axes_v),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.permute(&inverse)]),
+            self.value().permute(axes),
+            Parents::one(self.clone()),
+            Backward::Permute { inverse },
         )
     }
 
@@ -417,8 +615,8 @@ impl Var {
         let from = self.shape();
         Var::op(
             self.value().reshape(shape).expect("reshape: element count mismatch"),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.reshape(&from).expect("reshape grad")]),
+            Parents::one(self.clone()),
+            Backward::Reshape { from },
         )
     }
 
@@ -427,8 +625,8 @@ impl Var {
         let from = self.shape();
         Var::op(
             self.value().broadcast_to(target).expect("broadcast_to: incompatible"),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.reduce_to_shape(&from)]),
+            Parents::one(self.clone()),
+            Backward::BroadcastTo { from },
         )
     }
 
@@ -437,27 +635,7 @@ impl Var {
     pub fn slice(&self, axis: usize, start: usize, len: usize) -> Var {
         let full = self.shape();
         let out = self.value().slice(axis, start, len).expect("slice out of bounds");
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| {
-                let mut parts: Vec<NdArray> = Vec::new();
-                if start > 0 {
-                    let mut s = full.clone();
-                    s[axis] = start;
-                    parts.push(NdArray::zeros(&s));
-                }
-                parts.push(g.clone());
-                let tail = full[axis] - start - len;
-                if tail > 0 {
-                    let mut s = full.clone();
-                    s[axis] = tail;
-                    parts.push(NdArray::zeros(&s));
-                }
-                let refs: Vec<&NdArray> = parts.iter().collect();
-                vec![NdArray::concat(&refs, axis)]
-            }),
-        )
+        Var::op(out, Parents::one(self.clone()), Backward::Slice { full, axis, start, len })
     }
 
     /// Concatenates along `axis`; gradients split back to each part.
@@ -466,20 +644,8 @@ impl Var {
         let arrays: Vec<NdArray> = parts.iter().map(|p| p.to_array()).collect();
         let refs: Vec<&NdArray> = arrays.iter().collect();
         let out = NdArray::concat(&refs, axis);
-        let sizes: Vec<usize> = arrays.iter().map(|a| a.shape()[axis]).collect();
-        Var::op(
-            out,
-            parts.to_vec(),
-            Box::new(move |g| {
-                let mut grads = Vec::with_capacity(sizes.len());
-                let mut offset = 0;
-                for &sz in &sizes {
-                    grads.push(g.slice(axis, offset, sz).expect("concat grad split"));
-                    offset += sz;
-                }
-                grads
-            }),
-        )
+        let sizes: Dims = arrays.iter().map(|a| a.shape()[axis]).collect();
+        Var::op(out, Parents::Many(parts.to_vec()), Backward::Concat { axis, sizes })
     }
 
     // ------------------------------------------------------------------
@@ -489,13 +655,7 @@ impl Var {
     /// Sum of all elements (rank-0 result).
     pub fn sum(&self) -> Var {
         let from = self.shape();
-        Var::op(
-            NdArray::scalar(self.value().sum()),
-            vec![self.clone()],
-            Box::new(move |g| {
-                vec![NdArray::full(&from, g.to_scalar())]
-            }),
-        )
+        Var::op(NdArray::scalar(self.value().sum()), Parents::one(self.clone()), Backward::Sum { from })
     }
 
     /// Mean of all elements (rank-0 result).
@@ -509,11 +669,8 @@ impl Var {
         let from = self.shape();
         Var::op(
             self.value().sum_axis(axis, keepdim),
-            vec![self.clone()],
-            Box::new(move |g| {
-                let g_keep = if keepdim { g.clone() } else { g.unsqueeze(axis) };
-                vec![g_keep.broadcast_to(&from).expect("sum_axis grad")]
-            }),
+            Parents::one(self.clone()),
+            Backward::SumAxis { from, axis, keepdim },
         )
     }
 
@@ -526,33 +683,9 @@ impl Var {
     /// Maximum along one axis; the gradient routes to the (first) argmax
     /// position of each reduced group — the standard max-pool gradient.
     pub fn max_axis(&self, axis: usize, keepdim: bool) -> Var {
-        let x = self.to_array();
-        let from = x.shape().to_vec();
-        let out = x.max_axis(axis, keepdim);
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| {
-                let outer: usize = from[..axis].iter().product();
-                let dim = from[axis];
-                let inner: usize = from[axis + 1..].iter().product();
-                let mut grad = NdArray::zeros(&from);
-                // g is the reduced-shape gradient; iterate groups.
-                for o in 0..outer {
-                    for i in 0..inner {
-                        let mut best = (0usize, f32::NEG_INFINITY);
-                        for d in 0..dim {
-                            let v = x.data()[(o * dim + d) * inner + i];
-                            if v > best.1 {
-                                best = (d, v);
-                            }
-                        }
-                        grad.data_mut()[(o * dim + best.0) * inner + i] = g.data()[o * inner + i];
-                    }
-                }
-                vec![grad]
-            }),
-        )
+        let from = self.shape();
+        let out = self.value().max_axis(axis, keepdim);
+        Var::op(out, Parents::one(self.clone()), Backward::MaxAxis { from, axis })
     }
 
     // ------------------------------------------------------------------
@@ -565,21 +698,13 @@ impl Var {
         let out = self.value().softmax_lastdim();
         let s = out.clone();
         let last = self.shape().len() - 1;
-        Var::op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| {
-                let gs = g.mul(&s);
-                let dot = gs.sum_axis(last, true);
-                vec![s.mul(&g.sub(&dot.broadcast_to(g.shape()).expect("softmax grad")))]
-            }),
-        )
+        Var::op(out, Parents::one(self.clone()), Backward::Softmax { s, last })
     }
 
     /// Cross-entropy of `self` (logits, shape `[N, K]`) against integer
     /// class `targets`. Returns the mean loss as a rank-0 node.
     pub fn cross_entropy(&self, targets: &[usize]) -> Var {
-        let logits = self.to_array();
+        let logits = self.value();
         assert_eq!(logits.rank(), 2, "cross_entropy expects [N, K] logits");
         let n = logits.shape()[0];
         let k = logits.shape()[1];
@@ -592,18 +717,11 @@ impl Var {
         }
         loss /= n as f32;
         let probs = logits.softmax_lastdim();
-        let tg = targets.to_vec();
+        drop(logits);
         Var::op(
             NdArray::scalar(loss),
-            vec![self.clone()],
-            Box::new(move |g| {
-                let scale = g.to_scalar() / n as f32;
-                let mut grad = probs.clone();
-                for (i, &t) in tg.iter().enumerate() {
-                    grad.data_mut()[i * k + t] -= 1.0;
-                }
-                vec![grad.scale(scale)]
-            }),
+            Parents::one(self.clone()),
+            Backward::CrossEntropy { probs, targets: targets.to_vec() },
         )
     }
 
@@ -624,12 +742,9 @@ impl Var {
                 0.0
             }
         });
-        let m = mask.clone();
-        Var::op(
-            self.value().mul(&mask),
-            vec![self.clone()],
-            Box::new(move |g| vec![g.mul(&m)]),
-        )
+        let out = self.value().mul(&mask);
+        // The mask moves into the node — no second copy of it exists.
+        Var::op(out, Parents::one(self.clone()), Backward::Dropout { mask })
     }
 
     /// Mean-squared error against a constant target (rank-0 result).
@@ -641,18 +756,10 @@ impl Var {
 
     /// Mean absolute error against a constant target (rank-0 result).
     pub fn mae_loss(&self, target: &NdArray) -> Var {
-        let x = self.to_array();
         let t = target.clone();
-        let n = x.numel() as f32;
-        let loss = x.zip_map(&t, |a, b| (a - b).abs()).expect("mae shapes").mean();
-        Var::op(
-            NdArray::scalar(loss),
-            vec![self.clone()],
-            Box::new(move |g| {
-                let s = g.to_scalar() / n;
-                vec![x.zip_map(&t, |a, b| if a >= b { s } else { -s }).expect("mae grad")]
-            }),
-        )
+        let n = self.value().numel() as f32;
+        let loss = self.value().zip_map(&t, |a, b| (a - b).abs()).expect("mae shapes").mean();
+        Var::op(NdArray::scalar(loss), Parents::one(self.clone()), Backward::MaeLoss { target: t, n })
     }
 
     /// Row-wise cosine similarity between `self` and `other`, both
@@ -700,11 +807,17 @@ impl Var {
         }
         for node in order.iter().rev() {
             let Some(backward) = node.0.backward.as_ref() else { continue };
-            let out_grad = node.0.grad.borrow().clone();
-            let Some(out_grad) = out_grad else { continue };
-            let parent_grads = backward(&out_grad);
-            debug_assert_eq!(parent_grads.len(), node.0.parents.len());
-            for (parent, pg) in node.0.parents.iter().zip(parent_grads) {
+            // Borrow the output gradient in place for the closure — no
+            // clone. The closure only touches *parent* grad cells, which
+            // are distinct `RefCell`s (a node is never its own parent), so
+            // holding this borrow across the call is safe. Accumulation
+            // into parents is in-place (`add_assign`); the first
+            // contribution moves the array into the slot.
+            let out_grad = node.0.grad.borrow();
+            let Some(out_grad) = out_grad.as_ref() else { continue };
+            let parent_grads = backward.apply(&node.0.parents, out_grad);
+            debug_assert_eq!(parent_grads.len(), node.0.parents.as_slice().len());
+            for (parent, pg) in node.0.parents.as_slice().iter().zip(parent_grads.into_iter()) {
                 if !parent.0.requires_grad {
                     continue;
                 }
@@ -736,7 +849,7 @@ impl Var {
                     }
                     visited.insert(v.0.id);
                     stack.push(Frame::Exit(v.clone()));
-                    for p in &v.0.parents {
+                    for p in v.0.parents.as_slice() {
                         stack.push(Frame::Enter(p.clone()));
                     }
                 }

@@ -1,0 +1,104 @@
+//! Counting global allocator: `std::alloc::System` plus relaxed atomic
+//! tallies of every allocation.
+//!
+//! The workspace registers [`CountingAlloc`] as the `#[global_allocator]`
+//! (see this crate's `lib.rs`), so every binary that links `testkit` —
+//! which is all of them — can ask "how many heap allocations did this
+//! region of code perform?". That number is the metric behind the
+//! buffer-pool work in `timedrl-tensor`: a steady-state training step is
+//! supposed to be near-allocation-free, and `ci.sh` gates on the count
+//! (see DESIGN.md §10).
+//!
+//! Counting costs one relaxed `fetch_add` per allocation — far below the
+//! cost of the allocation itself — so leaving the shim enabled everywhere
+//! does not distort the wall-clock benches.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts calls.
+///
+/// `realloc` counts as one allocation event (it may move the block);
+/// `dealloc` is not counted — the pool metric of interest is how many
+/// *new* blocks a region requests, not its net balance.
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the counters have no effect on
+// the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+
+/// Total allocation events since process start (monotonic).
+pub fn allocation_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start (monotonic; not reduced by
+/// frees).
+pub fn allocated_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result together with the number of allocation
+/// events it performed on *this* thread's timeline.
+///
+/// The counters are process-global, so concurrent allocations on other
+/// threads are attributed to `f` as well — measure single-threaded regions
+/// for exact numbers.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = allocation_count();
+    let out = f();
+    (out, allocation_count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_a_vec_allocation() {
+        let (_, n) = count_allocations(|| std::hint::black_box(Vec::<u64>::with_capacity(32)));
+        assert!(n >= 1, "expected at least one allocation, saw {n}");
+    }
+
+    #[test]
+    fn counts_nothing_for_pure_arithmetic() {
+        // Warm any lazily-allocated test machinery first.
+        let _ = count_allocations(|| ());
+        let (sum, n) = count_allocations(|| (0u64..100).sum::<u64>());
+        assert_eq!(sum, 4950);
+        assert_eq!(n, 0, "pure arithmetic must not allocate");
+    }
+
+    #[test]
+    fn bytes_grow_with_allocation_size() {
+        let before = allocated_bytes();
+        let v = std::hint::black_box(vec![0u8; 1 << 12]);
+        assert!(allocated_bytes() - before >= v.len() as u64);
+    }
+}

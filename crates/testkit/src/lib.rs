@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod pool;
@@ -39,3 +40,9 @@ pub mod rng;
 pub use bench::{Bench, BenchConfig};
 pub use json::{Json, ToJson};
 pub use rng::{SplitMix64, TestRng};
+
+/// Workspace-wide counting allocator: every binary that links `testkit`
+/// (all of them) can measure heap-allocation counts via [`alloc`]. See
+/// DESIGN.md §10 — the steady-state training step is gated on this number.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
