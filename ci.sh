@@ -56,6 +56,24 @@ if ! cmp "$probe_dir/ckpt_t1.bin" "$probe_dir/ckpt_t4.bin"; then
 fi
 echo "ok: checkpoints byte-identical"
 
+echo "== kill-and-resume gate: checkpoint resume is bit-exact =="
+# Crash-safe checkpointing (DESIGN.md §11): 4 epochs straight vs 2 epochs +
+# training-state snapshot + resume for 2 in a *separate process* must yield
+# byte-identical final model checkpoints, at any thread count.
+cargo build --release --offline -p timedrl-bench --bin resume_probe
+for threads in 1 4; do
+    export TIMEDRL_THREADS=$threads
+    ./target/release/resume_probe straight "$probe_dir/straight_t$threads.bin"
+    ./target/release/resume_probe phase1 "$probe_dir/state_t$threads.tdrl"
+    ./target/release/resume_probe phase2 "$probe_dir/state_t$threads.tdrl" "$probe_dir/resumed_t$threads.bin"
+    if ! cmp "$probe_dir/straight_t$threads.bin" "$probe_dir/resumed_t$threads.bin"; then
+        echo "FAIL: resumed checkpoint differs from straight run at TIMEDRL_THREADS=$threads"
+        exit 1
+    fi
+done
+unset TIMEDRL_THREADS
+echo "ok: resumed runs byte-identical to uninterrupted runs (threads 1 and 4)"
+
 echo "== allocation budget: steady-state training step =="
 # The tensor buffer pool and the inline autograd tape keep a steady-state
 # whole-batch training step near-allocation-free (DESIGN.md §10). The seed

@@ -25,7 +25,7 @@ fn main() {
         let mut cfg = TimeDrlConfig::forecasting(64);
         cfg.epochs = 1;
         let model = TimeDrl::new(cfg);
-        pretrain(&model, &w).final_loss()
+        pretrain(&model, &w).expect("pre-training failed").final_loss()
     });
 
     group.bench_function("SimTS", || {

@@ -20,7 +20,7 @@ fn main() {
     cfg.epochs = 5;
     let model = TimeDrl::new(cfg);
     println!("pre-training on {} unlabeled HAR samples...", ds.len());
-    pretrain(&model, &ds.to_batch());
+    pretrain(&model, &ds.to_batch()).expect("pre-training failed");
 
     let z = model.embed_instances(&ds.to_batch());
     let pca = Pca::fit(&z, 2, &mut Prng::new(0));

@@ -42,7 +42,7 @@ fn main() {
         let ds = classify_by_name(name, scale);
         let cfg = timedrl_classify_config(&ds, scale, seed);
         let model = TimeDrl::new(cfg);
-        pretrain(&model, &ds.to_batch());
+        pretrain(&model, &ds.to_batch()).expect("pre-training failed");
 
         // Embed every sample once; extract all pooling views from the same
         // encoder output.

@@ -88,7 +88,7 @@ fn channel_mixing_eval(
     cfg.epochs = scale.epochs();
     cfg.seed = seed;
     let model = TimeDrl::new(cfg);
-    pretrain(&model, &train_w.inputs);
+    pretrain(&model, &train_w.inputs).expect("pre-training failed");
 
     // RevIN parity with the independent path: the probe learns horizons in
     // each window's per-channel normalized scale; predictions are

@@ -62,7 +62,7 @@ fn main() {
             cfg.patch = PatchConfig::non_overlapping(16);
             cfg.epochs = epochs;
             let model = TimeDrl::new(cfg);
-            pretrain(&model, &windows);
+            pretrain(&model, &windows).expect("pre-training failed");
         });
 
         // TimeDRL without patching (P=S=4 -> 128 tokens + CLS): attention
@@ -74,7 +74,7 @@ fn main() {
             cfg.patch = PatchConfig::non_overlapping(4);
             cfg.epochs = epochs;
             let model = TimeDrl::new(cfg);
-            pretrain(&model, &windows);
+            pretrain(&model, &windows).expect("pre-training failed");
         });
 
         let simts_s = time(|| {

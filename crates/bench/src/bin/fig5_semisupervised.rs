@@ -58,7 +58,7 @@ fn main() {
             // fine-tune on the labelled subset.
             let ssl_cfg = timedrl_forecast_config(scale, seed);
             let ssl_model = TimeDrl::new(ssl_cfg);
-            pretrain(&ssl_model, &data.train_inputs);
+            pretrain(&ssl_model, &data.train_inputs).expect("pre-training failed");
             let ft_result = finetune_forecast(&ssl_model, &data, &ft, frac, seed).mse;
 
             println!("{:>9.0}% {supervised:>14.3} {ft_result:>14.3}", frac * 100.0);
@@ -102,7 +102,7 @@ fn main() {
 
             let ssl_cfg = timedrl_classify_config(&train, scale, seed);
             let ssl_model = TimeDrl::new(ssl_cfg);
-            pretrain(&ssl_model, &train.to_batch());
+            pretrain(&ssl_model, &train.to_batch()).expect("pre-training failed");
             let ft_acc =
                 finetune_classification(&ssl_model, &train, &test, &ft, frac, seed).accuracy * 100.0;
 

@@ -30,11 +30,11 @@ fn main() {
         let (i, step) = (flat / 32, flat % 32);
         (step as f32 * 0.4 + i as f32 * 0.3).sin()
     });
-    let report = pretrain(&model, &windows);
+    let report = pretrain(&model, &windows).expect("pre-training failed");
     model.save(&path).expect("write checkpoint");
     println!(
         "pretrain_checkpoint: {} epochs, final loss {:.6}, saved {path}",
         report.total.len(),
-        report.final_loss()
+        report.final_loss().expect("at least one epoch ran")
     );
 }

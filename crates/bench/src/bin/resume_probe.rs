@@ -1,0 +1,92 @@
+//! Kill-and-resume probe for CI: verifies the crash-safe checkpoint
+//! contract end to end, across process boundaries (DESIGN.md §11).
+//!
+//! Three modes, each a separate process invocation so the resume path
+//! genuinely reconstructs everything from disk:
+//!
+//! * `straight <model-out>` — pretrain 4 epochs in one go, save the final
+//!   parameter checkpoint.
+//! * `phase1 <state-out>` — pretrain 2 epochs with `checkpoint_every = 2`,
+//!   writing a training-state snapshot, then exit (the "kill").
+//! * `phase2 <state-in> <model-out>` — resume from the snapshot for the
+//!   remaining 2 epochs, save the final parameter checkpoint.
+//!
+//! `ci.sh` byte-compares the `straight` and `phase2` model files at
+//! `TIMEDRL_THREADS=1` and `4`: any difference means resume lost part of
+//! the training state (optimizer moments, a PRNG stream position, a
+//! counter) or a reduction order changed with thread count.
+
+use timedrl::config::TimeDrlConfig;
+use timedrl::model::TimeDrl;
+use timedrl::trainer::pretrain;
+use timedrl_tensor::NdArray;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: resume_probe straight <model-out>\n\
+         \x20      resume_probe phase1 <state-out>\n\
+         \x20      resume_probe phase2 <state-in> <model-out>"
+    );
+    std::process::exit(2);
+}
+
+fn base_cfg() -> TimeDrlConfig {
+    let mut cfg = TimeDrlConfig::forecasting(32);
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.batch_size = 8;
+    cfg.seed = 77;
+    cfg
+}
+
+/// Deterministic windows: pure sinusoids, no RNG involved, so every
+/// process invocation trains on identical data.
+fn windows() -> NdArray {
+    NdArray::from_fn(&[16, 32, 1], |flat| {
+        let (i, step) = (flat / 32, flat % 32);
+        (step as f32 * 0.4 + i as f32 * 0.3).sin()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("straight") => {
+            let [_, model_out] = args.as_slice() else { usage() };
+            let mut cfg = base_cfg();
+            cfg.epochs = 4;
+            let model = TimeDrl::new(cfg);
+            let report = pretrain(&model, &windows()).expect("straight pretrain failed");
+            model.save(model_out).expect("write model checkpoint");
+            println!("resume_probe straight: {} epochs, saved {model_out}", report.total.len());
+        }
+        Some("phase1") => {
+            let [_, state_out] = args.as_slice() else { usage() };
+            let mut cfg = base_cfg();
+            cfg.epochs = 2;
+            cfg.checkpoint_every = Some(2);
+            cfg.checkpoint_path = Some(state_out.into());
+            let model = TimeDrl::new(cfg);
+            let report = pretrain(&model, &windows()).expect("phase1 pretrain failed");
+            println!("resume_probe phase1: {} epochs, snapshot {state_out}", report.total.len());
+        }
+        Some("phase2") => {
+            let [_, state_in, model_out] = args.as_slice() else { usage() };
+            let mut cfg = base_cfg();
+            cfg.epochs = 4;
+            cfg.resume_from = Some(state_in.into());
+            let model = TimeDrl::new(cfg);
+            let report = pretrain(&model, &windows()).unwrap_or_else(|e| {
+                eprintln!("resume_probe phase2: {e}");
+                std::process::exit(1);
+            });
+            model.save(model_out).expect("write model checkpoint");
+            println!(
+                "resume_probe phase2: resumed to {} epochs, saved {model_out}",
+                report.total.len()
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -45,8 +45,12 @@ fn main() {
     let mut cfg = TimeDrlConfig::forecasting(t);
     cfg.epochs = 5;
     let model = TimeDrl::new(cfg);
-    let report = pretrain(&model, &train);
-    println!("pre-trained on normal data: loss {:.4} -> {:.4}", report.total[0], report.final_loss());
+    let report = pretrain(&model, &train).expect("pre-training failed");
+    println!(
+        "pre-trained on normal data: loss {:.4} -> {:.4}",
+        report.total[0],
+        report.final_loss().expect("at least one epoch ran")
+    );
 
     // 2. Calibrate a detector on held-out normal windows (99th percentile).
     let calibration = normal_windows(64, t, 1);

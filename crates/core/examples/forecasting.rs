@@ -35,7 +35,11 @@ fn main() {
     let mut cfg = TimeDrlConfig::forecasting(task.lookback);
     cfg.epochs = 5;
     let (model, result, report) = forecast_linear_eval(&cfg, &data, 1.0);
-    println!("\npre-training loss: {:.4} -> {:.4}", report.total[0], report.final_loss());
+    println!(
+        "\npre-training loss: {:.4} -> {:.4}",
+        report.total[0],
+        report.final_loss().expect("at least one epoch ran")
+    );
     println!("linear-probe test MSE: {:.4}", result.mse);
     println!("linear-probe test MAE: {:.4}", result.mae);
 

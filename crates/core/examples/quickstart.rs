@@ -30,7 +30,7 @@ fn main() {
     // 3. Self-supervised pre-training: the timestamp-predictive task
     //    (reconstruction, no masking) + the instance-contrastive task
     //    (two dropout views, stop-gradient, no negatives).
-    let report = pretrain(&model, &windows);
+    let report = pretrain(&model, &windows).expect("pre-training failed");
     println!("\npretext loss per epoch:");
     for (epoch, ((total, pred), contrast)) in report
         .total

@@ -36,7 +36,7 @@ fn main() {
         // TimeDRL (FT): pre-train on ALL training samples (labels unused),
         // then fine-tune encoder + head on the labelled subset.
         let ssl_model = TimeDrl::new(sup_cfg);
-        pretrain(&ssl_model, &train.to_batch());
+        pretrain(&ssl_model, &train.to_batch()).expect("pre-training failed");
         let ft_acc = finetune_classification(&ssl_model, &train, &test, &ft, frac, 2).accuracy;
 
         println!(

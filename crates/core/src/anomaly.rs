@@ -118,7 +118,7 @@ mod tests {
         cfg.epochs = 5;
         cfg.seed = seed;
         let model = TimeDrl::new(cfg);
-        pretrain(&model, &sine_windows(64, 32, seed ^ 1));
+        pretrain(&model, &sine_windows(64, 32, seed ^ 1)).unwrap();
         model
     }
 

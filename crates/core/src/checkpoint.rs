@@ -1,0 +1,271 @@
+//! Full training-state snapshots: everything the pre-training loop needs
+//! to resume bit-exactly after a crash (DESIGN.md §11).
+//!
+//! A parameter-only checkpoint ([`TimeDrl::save`](crate::TimeDrl::save))
+//! is enough to *use* a model, but not to *continue training* it: AdamW's
+//! moment estimates, the bias-correction step count, the epoch/step
+//! counters, and the positions of the three PRNG streams (batch shuffling,
+//! dropout views, augmentation) all shape every subsequent update. A
+//! [`TrainingState`] carries all of them, so a run resumed from epoch `k`
+//! replays epochs `k..E` exactly as the uninterrupted run would have —
+//! the final checkpoints are byte-identical at any `TIMEDRL_THREADS`.
+//!
+//! On disk a snapshot is one `KIND_TRAIN_STATE` container in the v2
+//! checkpoint format (`timedrl_tensor::serialize`): atomic write, CRC-32
+//! over the payload, bounded reads. Layout of the payload body:
+//!
+//! ```text
+//! arrays: parameters          arrays: AdamW m      arrays: AdamW v
+//! u32:    AdamW t             u64: next_epoch      u64: global step
+//! 3 × 4 × u64: epoch/dropout/augmentation PRNG states
+//! arrays: report [total, predictive, contrastive, validation]  (rank-1)
+//! ```
+
+use crate::trainer::PretrainReport;
+use std::io;
+use std::path::Path;
+use timedrl_nn::OptimState;
+use timedrl_tensor::serialize::{
+    decode_arrays, encode_arrays, read_file, write_file_atomic, ByteReader, KIND_TRAIN_STATE,
+};
+use timedrl_tensor::NdArray;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Everything the pre-training loop needs to resume bit-exactly.
+#[derive(Debug, Clone)]
+pub struct TrainingState {
+    /// Model parameters in stable `parameters()` order.
+    pub params: Vec<NdArray>,
+    /// AdamW moments and step count.
+    pub opt: OptimState,
+    /// The first epoch the resumed run should execute (the snapshot was
+    /// taken after epoch `next_epoch - 1` finished).
+    pub next_epoch: u64,
+    /// Global optimizer step counter.
+    pub step: u64,
+    /// xoshiro256++ state of the batch-shuffling stream.
+    pub epoch_rng: [u64; 4],
+    /// xoshiro256++ state of the dropout-view stream (`Ctx`).
+    pub ctx_rng: [u64; 4],
+    /// xoshiro256++ state of the augmentation stream.
+    pub aug_rng: [u64; 4],
+    /// Per-epoch loss history up to the snapshot, so the resumed run's
+    /// report covers the whole training run, not just its own epochs.
+    pub report: PretrainReport,
+}
+
+fn encode_rank1(buf: &mut Vec<u8>, series: &[&[f32]]) {
+    let arrays: Vec<NdArray> = series
+        .iter()
+        .map(|s| NdArray::from_vec(&[s.len()], s.to_vec()).expect("rank-1 shape"))
+        .collect();
+    let refs: Vec<&NdArray> = arrays.iter().collect();
+    encode_arrays(buf, &refs);
+}
+
+/// Atomically writes a training-state snapshot to `path`.
+pub fn save_training_state(path: impl AsRef<Path>, state: &TrainingState) -> io::Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&KIND_TRAIN_STATE.to_le_bytes());
+    let param_refs: Vec<&NdArray> = state.params.iter().collect();
+    encode_arrays(&mut payload, &param_refs);
+    let m_refs: Vec<&NdArray> = state.opt.m.iter().collect();
+    encode_arrays(&mut payload, &m_refs);
+    let v_refs: Vec<&NdArray> = state.opt.v.iter().collect();
+    encode_arrays(&mut payload, &v_refs);
+    payload.extend_from_slice(&state.opt.t.to_le_bytes());
+    payload.extend_from_slice(&state.next_epoch.to_le_bytes());
+    payload.extend_from_slice(&state.step.to_le_bytes());
+    for rng in [&state.epoch_rng, &state.ctx_rng, &state.aug_rng] {
+        for word in rng {
+            payload.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    encode_rank1(
+        &mut payload,
+        &[
+            &state.report.total,
+            &state.report.predictive,
+            &state.report.contrastive,
+            &state.report.validation,
+        ],
+    );
+    write_file_atomic(path, &payload)
+}
+
+/// Reads and validates a training-state snapshot from `path`.
+///
+/// # Errors
+/// `InvalidData` on any corruption (bad magic/version/kind, checksum
+/// mismatch, truncation, trailing bytes, shape garbage, inconsistent
+/// section counts, or a degenerate PRNG state). The reader never
+/// allocates beyond the file's actual size.
+pub fn load_training_state(path: impl AsRef<Path>) -> io::Result<TrainingState> {
+    let payload = read_file(path, KIND_TRAIN_STATE)?;
+    let mut r = ByteReader::new(&payload);
+    let params = decode_arrays(&mut r)?;
+    let m = decode_arrays(&mut r)?;
+    let v = decode_arrays(&mut r)?;
+    if m.len() != params.len() || v.len() != params.len() {
+        return Err(invalid(format!(
+            "optimizer sections hold {} m / {} v arrays for {} parameters",
+            m.len(),
+            v.len(),
+            params.len()
+        )));
+    }
+    for (i, p) in params.iter().enumerate() {
+        if m[i].shape() != p.shape() || v[i].shape() != p.shape() {
+            return Err(invalid(format!(
+                "optimizer moment {i} shaped {:?}/{:?} for parameter {:?}",
+                m[i].shape(),
+                v[i].shape(),
+                p.shape()
+            )));
+        }
+    }
+    let t = r.u32()?;
+    let next_epoch = r.u64()?;
+    let step = r.u64()?;
+    let mut rngs = [[0u64; 4]; 3];
+    for rng in &mut rngs {
+        for word in rng.iter_mut() {
+            *word = r.u64()?;
+        }
+    }
+    for (name, rng) in [("epoch", rngs[0]), ("dropout", rngs[1]), ("augmentation", rngs[2])] {
+        if rng == [0; 4] {
+            return Err(invalid(format!("degenerate all-zero {name} PRNG state")));
+        }
+    }
+    let report_arrays = decode_arrays(&mut r)?;
+    let [total, predictive, contrastive, validation]: [NdArray; 4] = report_arrays
+        .try_into()
+        .map_err(|a: Vec<NdArray>| invalid(format!("report holds {} series, expected 4", a.len())))?;
+    let mut series = Vec::with_capacity(4);
+    for (name, a) in [
+        ("total", &total),
+        ("predictive", &predictive),
+        ("contrastive", &contrastive),
+        ("validation", &validation),
+    ] {
+        if a.rank() != 1 {
+            return Err(invalid(format!("report series '{name}' has rank {}", a.rank())));
+        }
+        series.push(a.data().to_vec());
+    }
+    let validation_len = series[3].len();
+    if series[..3].iter().any(|s| s.len() as u64 != next_epoch)
+        || (validation_len != 0 && validation_len as u64 != next_epoch)
+    {
+        return Err(invalid(format!(
+            "report lengths {:?} inconsistent with next_epoch {next_epoch}",
+            series.iter().map(|s| s.len()).collect::<Vec<_>>()
+        )));
+    }
+    r.finish()?;
+    let mut it = series.into_iter();
+    let report = PretrainReport {
+        total: it.next().unwrap(),
+        predictive: it.next().unwrap(),
+        contrastive: it.next().unwrap(),
+        validation: it.next().unwrap(),
+    };
+    Ok(TrainingState {
+        params,
+        opt: OptimState { m, v, t },
+        next_epoch,
+        step,
+        epoch_rng: rngs[0],
+        ctx_rng: rngs[1],
+        aug_rng: rngs[2],
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timedrl_tensor::Prng;
+
+    fn sample_state() -> TrainingState {
+        let mut rng = Prng::new(3);
+        let params = vec![rng.randn(&[3, 4]), rng.randn(&[5])];
+        let m = vec![rng.randn(&[3, 4]), rng.randn(&[5])];
+        let v = vec![rng.randn(&[3, 4]), rng.randn(&[5])];
+        TrainingState {
+            params,
+            opt: OptimState { m, v, t: 17 },
+            next_epoch: 2,
+            step: 42,
+            epoch_rng: [1, 2, 3, 4],
+            ctx_rng: [5, 6, 7, 8],
+            aug_rng: [9, 10, 11, 12],
+            report: PretrainReport {
+                total: vec![1.5, 1.2],
+                predictive: vec![1.0, 0.8],
+                contrastive: vec![0.5, 0.4],
+                validation: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let dir = std::env::temp_dir().join("timedrl_trainstate_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.tdrl");
+        let state = sample_state();
+        save_training_state(&path, &state).unwrap();
+        let back = load_training_state(&path).unwrap();
+        assert_eq!(back.params, state.params);
+        assert_eq!(back.opt.m, state.opt.m);
+        assert_eq!(back.opt.v, state.opt.v);
+        assert_eq!(back.opt.t, state.opt.t);
+        assert_eq!(back.next_epoch, state.next_epoch);
+        assert_eq!(back.step, state.step);
+        assert_eq!(back.epoch_rng, state.epoch_rng);
+        assert_eq!(back.ctx_rng, state.ctx_rng);
+        assert_eq!(back.aug_rng, state.aug_rng);
+        assert_eq!(back.report.total, state.report.total);
+        assert_eq!(back.report.validation, state.report.validation);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn any_byte_flip_is_rejected() {
+        let dir = std::env::temp_dir().join("timedrl_trainstate_flip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.tdrl");
+        save_training_state(&path, &sample_state()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let corrupt_path = dir.join("corrupt.tdrl");
+        // Exhaustive over a small state: every byte position.
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            std::fs::write(&corrupt_path, &corrupt).unwrap();
+            assert!(
+                load_training_state(&corrupt_path).is_err(),
+                "flip at byte {i}/{} loaded successfully",
+                bytes.len()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn params_checkpoint_is_not_a_training_state() {
+        let dir = std::env::temp_dir().join("timedrl_trainstate_kind");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tdrl");
+        let p = timedrl_tensor::Var::parameter(Prng::new(0).randn(&[4]));
+        timedrl_tensor::save_parameters(&path, &[p]).unwrap();
+        let err = load_training_state(&path).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,6 +1,7 @@
 //! Configuration for the TimeDRL framework.
 
 use crate::pooling::Pooling;
+use std::path::PathBuf;
 use timedrl_data::{Augmentation, PatchConfig};
 
 /// Backbone encoder architecture (Table VIII ablation).
@@ -100,6 +101,19 @@ pub struct TimeDrlConfig {
     /// `TIMEDRL_THREADS` setting, but is a *different* (equally valid)
     /// dropout/augmentation stream than the whole-batch path.
     pub micro_batch: Option<usize>,
+    /// Write a full training-state snapshot every this many epochs (see
+    /// DESIGN.md §11). Requires [`TimeDrlConfig::checkpoint_path`]. `None`
+    /// disables periodic checkpointing.
+    pub checkpoint_every: Option<usize>,
+    /// Destination of the periodic training-state snapshot. Writes are
+    /// atomic (temp file + fsync + rename), so a crash mid-write leaves
+    /// the previous snapshot intact.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume pre-training from a training-state snapshot written by a
+    /// previous run with this same configuration. The resumed run replays
+    /// the remaining epochs bit-exactly: its final checkpoint is
+    /// byte-identical to an uninterrupted run's, at any `TIMEDRL_THREADS`.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl TimeDrlConfig {
@@ -127,6 +141,9 @@ impl TimeDrlConfig {
             epochs: 10,
             seed: 0,
             micro_batch: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume_from: None,
         }
     }
 
@@ -154,6 +171,9 @@ impl TimeDrlConfig {
             epochs: 10,
             seed: 0,
             micro_batch: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume_from: None,
         }
     }
 
@@ -167,19 +187,53 @@ impl TimeDrlConfig {
         self.n_features * self.patch.patch_len
     }
 
-    /// Validates internal consistency, panicking with a clear message on
-    /// misconfiguration.
-    pub fn validate(&self) {
-        assert!(self.input_len >= self.patch.patch_len, "window shorter than a patch");
-        assert!(self.d_model % self.n_heads == 0, "d_model must divide by n_heads");
-        assert!((0.0..1.0).contains(&self.dropout), "dropout in [0,1)");
-        assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        assert!(self.batch_size > 0 && self.epochs > 0, "degenerate training plan");
-        if let Some(m) = self.micro_batch {
-            assert!(m > 0, "micro_batch must be positive when set");
+    /// Checks internal consistency, returning a description of the first
+    /// problem found. This is the total (non-panicking) form used by the
+    /// training loop, which surfaces it as `TrainError::InvalidConfig`.
+    ///
+    /// `epochs == 0` is deliberately *not* rejected here: a zero-epoch
+    /// configuration builds a perfectly usable model for inference-only
+    /// workloads; `pretrain` is where an empty training plan is an error.
+    pub fn check(&self) -> Result<(), String> {
+        if self.input_len < self.patch.patch_len {
+            return Err("window shorter than a patch".into());
         }
-        if self.channel_independence {
-            assert_eq!(self.n_features, 1, "channel-independence implies n_features = 1");
+        if self.n_heads == 0 || self.d_model % self.n_heads != 0 {
+            return Err("d_model must divide by n_heads".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err("dropout in [0,1)".into());
+        }
+        if self.lambda < 0.0 {
+            return Err("lambda must be non-negative".into());
+        }
+        if self.batch_size == 0 {
+            return Err("degenerate training plan: batch_size is 0".into());
+        }
+        if self.micro_batch == Some(0) {
+            return Err("micro_batch must be positive when set".into());
+        }
+        if self.channel_independence && self.n_features != 1 {
+            return Err(format!(
+                "channel-independence implies n_features = 1, got {}",
+                self.n_features
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err("checkpoint_every must be positive when set".into());
+        }
+        if self.checkpoint_every.is_some() && self.checkpoint_path.is_none() {
+            return Err("checkpoint_every set without a checkpoint_path".into());
+        }
+        Ok(())
+    }
+
+    /// Validates internal consistency, panicking with a clear message on
+    /// misconfiguration (the constructor-time form of
+    /// [`TimeDrlConfig::check`]).
+    pub fn validate(&self) {
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
         }
     }
 }
@@ -228,6 +282,28 @@ mod tests {
         let mut cfg = TimeDrlConfig::forecasting(64);
         cfg.input_len = 4;
         cfg.validate();
+    }
+
+    #[test]
+    fn check_is_total_and_names_the_problem() {
+        let mut cfg = TimeDrlConfig::forecasting(64);
+        assert!(cfg.check().is_ok());
+        cfg.batch_size = 0;
+        assert!(cfg.check().unwrap_err().contains("batch_size"));
+        cfg.batch_size = 32;
+        cfg.checkpoint_every = Some(0);
+        assert!(cfg.check().unwrap_err().contains("checkpoint_every"));
+        cfg.checkpoint_every = Some(2);
+        assert!(cfg.check().unwrap_err().contains("checkpoint_path"));
+        cfg.checkpoint_path = Some(std::path::PathBuf::from("/tmp/state.tdrl"));
+        assert!(cfg.check().is_ok());
+    }
+
+    #[test]
+    fn zero_epochs_is_a_valid_inference_config() {
+        let mut cfg = TimeDrlConfig::forecasting(64);
+        cfg.epochs = 0;
+        cfg.check().expect("zero-epoch configs build inference-only models");
     }
 
     #[test]

@@ -138,7 +138,7 @@ pub fn forecast_linear_eval(
     assert_eq!(cfg.input_len, data.train_inputs.shape()[1], "config/task lookback mismatch");
     assert_eq!(cfg.n_features, 1, "forecasting pipeline is channel-independent");
     let model = TimeDrl::new(cfg.clone());
-    let report = pretrain(&model, &data.train_inputs);
+    let report = pretrain(&model, &data.train_inputs).expect("pre-training failed");
     let result = probe_forecast(&model, data, ridge_lambda);
     (model, result, report)
 }
@@ -166,7 +166,7 @@ pub fn classification_linear_eval(
     probe_cfg: &LogisticConfig,
 ) -> (TimeDrl, ClassificationReport) {
     let model = TimeDrl::new(cfg.clone());
-    pretrain(&model, &train.to_batch());
+    pretrain(&model, &train.to_batch()).expect("pre-training failed");
     let report = probe_classification(&model, train, test, probe_cfg);
     (model, report)
 }
@@ -381,7 +381,7 @@ mod tests {
         let (_, result, report) = forecast_linear_eval(&quick_cfg(32), &data, 1.0);
         assert!(result.mse.is_finite() && result.mse > 0.0);
         assert!(result.mae.is_finite() && result.mae > 0.0);
-        assert!(report.final_loss().is_finite());
+        assert!(report.final_loss().unwrap().is_finite());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Typed training failures.
+//!
+//! The pre-training loop used to fail by panicking (`assert!`, raw slice
+//! bounds, `expect`), which aborts a long run without a diagnosis and —
+//! worse — without telling the operator whether the last on-disk
+//! checkpoint is still good. Every failure mode now surfaces as a
+//! [`TrainError`] carrying enough context to act on: the offending epoch
+//! and optimizer step for a non-finite loss, the last known-good
+//! checkpoint path when one exists, and the underlying I/O error for
+//! checkpoint failures.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// A failure in the pre-training loop or its checkpoint machinery.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The configuration is internally inconsistent (same checks as
+    /// `TimeDrlConfig::validate`, surfaced as a value instead of a panic).
+    InvalidConfig(String),
+    /// The training tensor has the wrong rank for `[N, T, C]` windows.
+    BadWindows {
+        /// What the trainer expected.
+        expected: &'static str,
+        /// The shape actually supplied.
+        got: Vec<usize>,
+    },
+    /// The training set has zero windows — there is nothing to fit.
+    EmptyTrainingSet,
+    /// The joint loss became NaN/±inf. The optimizer step was aborted
+    /// *before* applying the poisoned gradients, so in-memory parameters
+    /// are the pre-step values and any checkpoint on disk is untouched.
+    NonFiniteLoss {
+        /// Epoch (0-based) of the offending batch.
+        epoch: usize,
+        /// Global optimizer step (0-based) of the offending batch.
+        step: u64,
+        /// Batch index within the epoch (0-based).
+        batch: usize,
+        /// The non-finite loss value (NaN or ±inf).
+        loss: f32,
+        /// The most recent training-state snapshot written by this run,
+        /// if checkpointing was enabled — a loadable last-good state.
+        last_checkpoint: Option<PathBuf>,
+    },
+    /// Reading or writing a checkpoint failed (I/O, corruption, or a
+    /// checksum mismatch).
+    Checkpoint(io::Error),
+    /// A resume checkpoint is well-formed but belongs to a different
+    /// model or training plan (parameter/shape/epoch mismatch).
+    ResumeMismatch(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            TrainError::BadWindows { expected, got } => {
+                write!(f, "bad training windows: expected {expected}, got shape {got:?}")
+            }
+            TrainError::EmptyTrainingSet => write!(f, "training set contains no windows"),
+            TrainError::NonFiniteLoss { epoch, step, batch, loss, last_checkpoint } => {
+                write!(
+                    f,
+                    "non-finite loss {loss} at epoch {epoch}, step {step} (batch {batch}); \
+                     optimizer step aborted before applying gradients"
+                )?;
+                match last_checkpoint {
+                    Some(p) => write!(f, "; last good checkpoint: {}", p.display()),
+                    None => write!(f, "; no checkpoint was written this run"),
+                }
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            TrainError::ResumeMismatch(msg) => write!(f, "resume mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TrainError {
+    fn from(e: io::Error) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_step_and_checkpoint() {
+        let e = TrainError::NonFiniteLoss {
+            epoch: 3,
+            step: 97,
+            batch: 5,
+            loss: f32::NAN,
+            last_checkpoint: Some(PathBuf::from("/tmp/run/state.tdrl")),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("epoch 3"), "{msg}");
+        assert!(msg.contains("step 97"), "{msg}");
+        assert!(msg.contains("batch 5"), "{msg}");
+        assert!(msg.contains("state.tdrl"), "{msg}");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: TrainError = io::Error::new(io::ErrorKind::InvalidData, "bad crc").into();
+        assert!(matches!(e, TrainError::Checkpoint(_)));
+        assert!(e.to_string().contains("bad crc"));
+    }
+}

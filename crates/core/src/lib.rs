@@ -22,8 +22,10 @@
 //! let cfg = TimeDrlConfig::forecasting(64);
 //! let model = TimeDrl::new(cfg);
 //! let windows = Prng::new(0).randn(&[128, 64, 1]); // your unlabeled data
-//! let report = pretrain(&model, &windows);
-//! println!("final pretext loss: {}", report.final_loss());
+//! let report = pretrain(&model, &windows).expect("training failed");
+//! if let Some(loss) = report.final_loss() {
+//!     println!("final pretext loss: {loss}");
+//! }
 //! let embeddings = model.embed_instances(&windows); // [128, D]
 //! # let _ = embeddings;
 //! ```
@@ -31,16 +33,20 @@
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod checkpoint;
 pub mod config;
 pub mod downstream;
 pub mod encoder;
+pub mod error;
 pub mod model;
 pub mod pooling;
 pub mod pretext;
 pub mod trainer;
 
 pub use anomaly::{anomaly_scores, AnomalyDetector, AnomalyScores};
+pub use checkpoint::{load_training_state, save_training_state, TrainingState};
 pub use config::{EncoderKind, TimeDrlConfig};
+pub use error::TrainError;
 pub use downstream::{
     classification_linear_eval, finetune_classification, finetune_forecast, forecast_linear_eval,
     prepare_forecast_data, probe_classification, probe_forecast, FinetuneConfig, ForecastData,

@@ -117,7 +117,8 @@ impl TimeDrl {
         assert_eq!(x.rank(), 3, "prepare expects [B, T, C]");
         assert_eq!(x.shape()[1], self.cfg.input_len, "window length mismatch");
         assert_eq!(x.shape()[2], self.cfg.n_features, "feature count mismatch");
-        patch_batch(&instance_normalize(x), &self.cfg.patch)
+        let normalized = instance_normalize(x).expect("rank validated above");
+        patch_batch(&normalized, &self.cfg.patch)
     }
 
     /// One encoder pass over an already-patched batch (Eqs. 2–3): prepend

@@ -16,10 +16,26 @@
 //! The autograd graph (`Var`) is `Rc`-based and deliberately not `Send`;
 //! replicas are rebuilt inside each worker from a parameter snapshot, which
 //! is what keeps the parallel path safe without locks.
+//!
+//! # Fault tolerance (DESIGN.md §11)
+//!
+//! The loop is panic-free: every failure — bad config, empty data, a
+//! non-finite loss, a checkpoint I/O problem — surfaces as a typed
+//! [`TrainError`]. With `checkpoint_every`/`checkpoint_path` set, a full
+//! [`TrainingState`](crate::checkpoint::TrainingState) snapshot is written
+//! atomically at the configured epoch cadence; `resume_from` restores one
+//! and replays the remaining epochs *bit-exactly* — the resumed run's
+//! final checkpoint is byte-identical to an uninterrupted run's, at any
+//! `TIMEDRL_THREADS`. A NaN/inf loss aborts the optimizer step before the
+//! poisoned gradients are applied, so the last snapshot on disk stays a
+//! loadable last-good state.
 
+use crate::checkpoint::{load_training_state, save_training_state, TrainingState};
 use crate::config::TimeDrlConfig;
+use crate::error::TrainError;
 use crate::model::TimeDrl;
 use crate::pretext::{pretext_loss, PretextBreakdown};
+use std::path::PathBuf;
 use testkit::pool;
 use timedrl_data::BatchIndices;
 use timedrl_nn::{clip_grad_norm, AdamW, Ctx, Module, Optimizer};
@@ -40,9 +56,11 @@ pub struct PretrainReport {
 }
 
 impl PretrainReport {
-    /// Final-epoch joint loss.
-    pub fn final_loss(&self) -> f32 {
-        *self.total.last().expect("empty report")
+    /// Final-epoch joint loss, or `None` for a report with no completed
+    /// epochs. (Total by construction — the old `expect`-based accessor
+    /// aborted zero-epoch runs.)
+    pub fn final_loss(&self) -> Option<f32> {
+        self.total.last().copied()
     }
 
     /// Epoch index with the lowest validation loss, if tracked.
@@ -60,7 +78,11 @@ impl PretrainReport {
 ///
 /// The caller applies channel-independence (if configured) *before* calling
 /// this: windows must already match the model's `n_features`.
-pub fn pretrain(model: &TimeDrl, windows: &NdArray) -> PretrainReport {
+///
+/// # Errors
+/// [`TrainError`] on an invalid training plan, malformed/empty windows, a
+/// non-finite loss (the step is aborted first), or a checkpoint failure.
+pub fn pretrain(model: &TimeDrl, windows: &NdArray) -> Result<PretrainReport, TrainError> {
     pretrain_impl(model, windows, None)
 }
 
@@ -69,18 +91,33 @@ pub fn pretrain(model: &TimeDrl, windows: &NdArray) -> PretrainReport {
 /// reserves 20% for validation). Validation uses a fixed dropout stream
 /// per epoch so the two-view loss is comparable across epochs, and takes
 /// no gradient steps.
+///
+/// # Errors
+/// Same failure modes as [`pretrain`].
 pub fn pretrain_with_validation(
     model: &TimeDrl,
     windows: &NdArray,
     val_windows: &NdArray,
-) -> PretrainReport {
+) -> Result<PretrainReport, TrainError> {
     pretrain_impl(model, windows, Some(val_windows))
 }
 
-fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArray>) -> PretrainReport {
+fn pretrain_impl(
+    model: &TimeDrl,
+    windows: &NdArray,
+    val_windows: Option<&NdArray>,
+) -> Result<PretrainReport, TrainError> {
     let cfg = model.config().clone();
-    assert_eq!(windows.rank(), 3, "pretrain expects [N, T, C]");
-    assert!(windows.shape()[0] > 0, "no training windows");
+    cfg.check().map_err(TrainError::InvalidConfig)?;
+    if cfg.epochs == 0 {
+        return Err(TrainError::InvalidConfig("epochs is 0 — no training planned".into()));
+    }
+    if windows.rank() != 3 {
+        return Err(TrainError::BadWindows { expected: "[N, T, C]", got: windows.shape().to_vec() });
+    }
+    if windows.shape()[0] == 0 {
+        return Err(TrainError::EmptyTrainingSet);
+    }
     let mut opt = AdamW::new(model.parameters(), cfg.lr, cfg.weight_decay);
     let mut epoch_rng = Prng::new(cfg.seed ^ 0x5eed_0001);
     let mut ctx = Ctx::train(cfg.seed ^ 0x5eed_0002);
@@ -89,7 +126,16 @@ fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArra
 
     let mut report = PretrainReport::default();
     let mut step = 0u64;
-    for _epoch in 0..cfg.epochs {
+    let mut start_epoch = 0usize;
+    let mut last_checkpoint: Option<PathBuf> = None;
+
+    if let Some(path) = &cfg.resume_from {
+        let state = load_training_state(path)?;
+        restore_state(model, &mut opt, &cfg, state, &mut epoch_rng, &mut ctx, &mut aug_rng, &mut report, &mut step, &mut start_epoch)?;
+        last_checkpoint = Some(path.clone());
+    }
+
+    for epoch in start_epoch..cfg.epochs {
         let mut sums = (0.0f64, 0.0f64, 0.0f64);
         let mut batches = 0usize;
         for idx in BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng)) {
@@ -99,22 +145,38 @@ fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArra
                     let batch = gather_rows(windows, &idx);
                     opt.zero_grad();
                     let (loss, breakdown) = pretext_loss(model, &batch, &mut ctx, &mut aug_rng);
-                    loss.backward();
-                    clip_grad_norm(opt.parameters(), 5.0);
-                    opt.step();
-                    breakdown
+                    if breakdown.total.is_finite() {
+                        loss.backward();
+                        clip_grad_norm(opt.parameters(), 5.0);
+                        opt.step();
+                        Ok(breakdown)
+                    } else {
+                        Err(breakdown.total)
+                    }
                 }
             };
+            // The non-finite guard: the offending step was aborted before
+            // `opt.step()`, so parameters and any on-disk snapshot hold
+            // the last good state.
+            let breakdown = breakdown.map_err(|loss| TrainError::NonFiniteLoss {
+                epoch,
+                step,
+                batch: batches,
+                loss,
+                last_checkpoint: last_checkpoint.clone(),
+            })?;
             sums.0 += breakdown.total as f64;
             sums.1 += breakdown.predictive as f64;
             sums.2 += breakdown.contrastive as f64;
             batches += 1;
             step += 1;
         }
-        let b = batches as f64;
-        report.total.push((sums.0 / b) as f32);
-        report.predictive.push((sums.1 / b) as f32);
-        report.contrastive.push((sums.2 / b) as f32);
+        if batches > 0 {
+            let b = batches as f64;
+            report.total.push((sums.0 / b) as f32);
+            report.predictive.push((sums.1 / b) as f32);
+            report.contrastive.push((sums.2 / b) as f32);
+        }
 
         if let Some(val) = val_windows {
             // Fixed seed per evaluation: the dropout views (which the
@@ -132,8 +194,95 @@ fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArra
             }
             report.validation.push((sum / count.max(1) as f64) as f32);
         }
+
+        if let (Some(every), Some(path)) = (cfg.checkpoint_every, &cfg.checkpoint_path) {
+            if (epoch + 1) % every == 0 {
+                let state = capture_state(model, &opt, epoch + 1, step, &epoch_rng, &ctx, &aug_rng, &report);
+                save_training_state(path, &state)?;
+                last_checkpoint = Some(path.clone());
+            }
+        }
     }
-    report
+    Ok(report)
+}
+
+/// Snapshots the complete loop state as of the end of epoch `next_epoch -
+/// 1` — exactly what [`restore_state`] needs to continue bit-exactly.
+#[allow(clippy::too_many_arguments)]
+fn capture_state(
+    model: &TimeDrl,
+    opt: &AdamW,
+    next_epoch: usize,
+    step: u64,
+    epoch_rng: &Prng,
+    ctx: &Ctx,
+    aug_rng: &Prng,
+    report: &PretrainReport,
+) -> TrainingState {
+    TrainingState {
+        params: model.parameters().iter().map(|p| p.to_array()).collect(),
+        opt: opt.export_state(),
+        next_epoch: next_epoch as u64,
+        step,
+        epoch_rng: epoch_rng.state(),
+        ctx_rng: ctx.rng.state(),
+        aug_rng: aug_rng.state(),
+        report: report.clone(),
+    }
+}
+
+/// Installs a loaded snapshot into the live training loop, validating it
+/// against the model and plan first.
+#[allow(clippy::too_many_arguments)]
+fn restore_state(
+    model: &TimeDrl,
+    opt: &mut AdamW,
+    cfg: &TimeDrlConfig,
+    state: TrainingState,
+    epoch_rng: &mut Prng,
+    ctx: &mut Ctx,
+    aug_rng: &mut Prng,
+    report: &mut PretrainReport,
+    step: &mut u64,
+    start_epoch: &mut usize,
+) -> Result<(), TrainError> {
+    let params = model.parameters();
+    if state.params.len() != params.len() {
+        return Err(TrainError::ResumeMismatch(format!(
+            "checkpoint has {} parameters, model has {}",
+            state.params.len(),
+            params.len()
+        )));
+    }
+    for (i, (p, a)) in params.iter().zip(&state.params).enumerate() {
+        if p.shape() != a.shape() {
+            return Err(TrainError::ResumeMismatch(format!(
+                "parameter {i}: model shape {:?} vs checkpoint {:?}",
+                p.shape(),
+                a.shape()
+            )));
+        }
+    }
+    if state.next_epoch > cfg.epochs as u64 {
+        return Err(TrainError::ResumeMismatch(format!(
+            "checkpoint is at epoch {} of a {}-epoch plan",
+            state.next_epoch, cfg.epochs
+        )));
+    }
+    opt.import_state(state.opt).map_err(TrainError::ResumeMismatch)?;
+    *epoch_rng = Prng::from_state(state.epoch_rng)
+        .map_err(|e| TrainError::ResumeMismatch(e.into()))?;
+    ctx.rng = Prng::from_state(state.ctx_rng)
+        .map_err(|e| TrainError::ResumeMismatch(e.into()))?;
+    *aug_rng = Prng::from_state(state.aug_rng)
+        .map_err(|e| TrainError::ResumeMismatch(e.into()))?;
+    for (p, a) in params.iter().zip(state.params) {
+        p.set_value(a);
+    }
+    *report = state.report;
+    *step = state.step;
+    *start_epoch = state.next_epoch as usize;
+    Ok(())
 }
 
 /// One data-parallel optimizer step: fan the batch out as micro-batches on
@@ -150,6 +299,9 @@ fn pretrain_impl(model: &TimeDrl, windows: &NdArray, val_windows: Option<&NdArra
 /// The replicas' BatchNorm running statistics are discarded with the
 /// replicas (only trainable parameters round-trip), matching what
 /// [`TimeDrl::save`] checkpoints.
+///
+/// `Err(loss)` reports a non-finite reduced loss; the optimizer step is
+/// skipped, so the caller's parameters stay at their pre-batch values.
 fn micro_batch_step(
     model: &TimeDrl,
     cfg: &TimeDrlConfig,
@@ -158,7 +310,7 @@ fn micro_batch_step(
     micro: usize,
     step: u64,
     opt: &mut AdamW,
-) -> PretextBreakdown {
+) -> Result<PretextBreakdown, f32> {
     assert!(micro > 0, "micro_batch must be positive");
     let params = model.parameters();
     let snapshot: Vec<NdArray> = params.iter().map(|p| p.to_array()).collect();
@@ -198,12 +350,15 @@ fn micro_batch_step(
         agg.predictive += w * breakdown.predictive;
         agg.contrastive += w * breakdown.contrastive;
     }
+    if !agg.total.is_finite() {
+        return Err(agg.total);
+    }
     for (p, g) in params.iter().zip(reduced) {
         p.backward_with(g);
     }
     clip_grad_norm(opt.parameters(), 5.0);
     opt.step();
-    agg
+    Ok(agg)
 }
 
 /// SplitMix64-style seed mixer: decorrelates the per-micro-batch RNG
@@ -219,11 +374,24 @@ fn mix_seed(base: u64, step: u64, j: u64) -> u64 {
 }
 
 /// Gathers rows of a `[N, T, C]` tensor into a `[B, T, C]` batch.
+///
+/// # Panics
+/// With a message naming the offending index and the window count if any
+/// index is out of range, or if `x` is not rank 3 — instead of the raw
+/// slice-bounds abort this used to produce.
 pub fn gather_rows(x: &NdArray, indices: &[usize]) -> NdArray {
+    assert_eq!(
+        x.rank(),
+        3,
+        "gather_rows expects a [N, T, C] tensor, got shape {:?}",
+        x.shape()
+    );
+    let n = x.shape()[0];
     let (t, c) = (x.shape()[1], x.shape()[2]);
     let row = t * c;
     let mut data = Vec::with_capacity(indices.len() * row);
     for &i in indices {
+        assert!(i < n, "gather_rows: index {i} out of range for {n} windows");
         data.extend_from_slice(&x.data()[i * row..(i + 1) * row]);
     }
     NdArray::from_vec(&[indices.len(), t, c], data).expect("batch shape")
@@ -260,10 +428,10 @@ mod tests {
     fn loss_decreases_over_training() {
         let m = tiny_model(0);
         let windows = structured_windows(48, 32, 1);
-        let report = pretrain(&m, &windows);
+        let report = pretrain(&m, &windows).unwrap();
         assert_eq!(report.total.len(), 3);
         assert!(
-            report.final_loss() < report.total[0],
+            report.final_loss().unwrap() < report.total[0],
             "loss must decrease: {:?}",
             report.total
         );
@@ -273,7 +441,7 @@ mod tests {
     fn predictive_component_decreases() {
         let m = tiny_model(1);
         let windows = structured_windows(48, 32, 2);
-        let report = pretrain(&m, &windows);
+        let report = pretrain(&m, &windows).unwrap();
         assert!(report.predictive.last().unwrap() < &report.predictive[0]);
     }
 
@@ -284,7 +452,7 @@ mod tests {
         // prevents the trivial constant solution.
         let m = tiny_model(2);
         let windows = structured_windows(48, 32, 3);
-        pretrain(&m, &windows);
+        pretrain(&m, &windows).unwrap();
         let z = m.embed_instances(&windows);
         let std = z.var_axis(0, false).mean().sqrt();
         assert!(std > 1e-3, "embedding std {std} indicates collapse");
@@ -293,8 +461,8 @@ mod tests {
     #[test]
     fn training_is_reproducible_per_seed() {
         let w = structured_windows(24, 32, 4);
-        let r1 = pretrain(&tiny_model(7), &w);
-        let r2 = pretrain(&tiny_model(7), &w);
+        let r1 = pretrain(&tiny_model(7), &w).unwrap();
+        let r2 = pretrain(&tiny_model(7), &w).unwrap();
         assert_eq!(r1.total, r2.total);
     }
 
@@ -309,8 +477,112 @@ mod tests {
         cfg.micro_batch = Some(3);
         let m = TimeDrl::new(cfg);
         let windows = structured_windows(24, 32, 5);
-        let report = pretrain(&m, &windows);
-        assert!(report.final_loss() < report.total[0], "loss: {:?}", report.total);
+        let report = pretrain(&m, &windows).unwrap();
+        assert!(report.final_loss().unwrap() < report.total[0], "loss: {:?}", report.total);
+    }
+
+    #[test]
+    fn bad_windows_and_empty_sets_are_typed_errors() {
+        let m = tiny_model(3);
+        let rank2 = NdArray::from_fn(&[4, 32], |i| i as f32);
+        assert!(matches!(
+            pretrain(&m, &rank2),
+            Err(TrainError::BadWindows { .. })
+        ));
+        let empty = NdArray::zeros(&[0, 32, 1]);
+        assert!(matches!(pretrain(&m, &empty), Err(TrainError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn zero_epoch_plan_is_an_invalid_config_not_a_panic() {
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 0;
+        let m = TimeDrl::new(cfg);
+        let windows = structured_windows(8, 32, 9);
+        let err = pretrain(&m, &windows).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+        // And the empty report stays total: no panic, no NaN.
+        assert_eq!(PretrainReport::default().final_loss(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "index 5 out of range for 3 windows")]
+    fn gather_rows_names_the_bad_index() {
+        let x = NdArray::from_fn(&[3, 2, 2], |i| i as f32);
+        gather_rows(&x, &[5]);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run_bit_for_bit() {
+        let dir = std::env::temp_dir().join("timedrl_trainer_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state.tdrl");
+        let windows = structured_windows(24, 32, 8);
+        let base = || {
+            let mut cfg = TimeDrlConfig::forecasting(32);
+            cfg.d_model = 16;
+            cfg.d_ff = 32;
+            cfg.n_heads = 2;
+            cfg.batch_size = 8;
+            cfg.seed = 13;
+            cfg
+        };
+
+        // Uninterrupted: 4 epochs straight.
+        let mut cfg = base();
+        cfg.epochs = 4;
+        let straight = TimeDrl::new(cfg);
+        let straight_report = pretrain(&straight, &windows).unwrap();
+
+        // Interrupted: 2 epochs + snapshot, then a fresh process resumes.
+        let mut cfg = base();
+        cfg.epochs = 2;
+        cfg.checkpoint_every = Some(2);
+        cfg.checkpoint_path = Some(ckpt.clone());
+        pretrain(&TimeDrl::new(cfg), &windows).unwrap();
+
+        let mut cfg = base();
+        cfg.epochs = 4;
+        cfg.resume_from = Some(ckpt.clone());
+        let resumed = TimeDrl::new(cfg);
+        let resumed_report = pretrain(&resumed, &windows).unwrap();
+
+        assert_eq!(straight_report.total, resumed_report.total);
+        let a: Vec<_> = straight.parameters().iter().map(|p| p.to_array()).collect();
+        let b: Vec<_> = resumed.parameters().iter().map(|p| p.to_array()).collect();
+        assert_eq!(a, b, "resumed parameters diverged from the straight run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_model() {
+        let dir = std::env::temp_dir().join("timedrl_trainer_resume_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state.tdrl");
+        let windows = structured_windows(16, 32, 10);
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        cfg.epochs = 1;
+        cfg.batch_size = 8;
+        cfg.checkpoint_every = Some(1);
+        cfg.checkpoint_path = Some(ckpt.clone());
+        pretrain(&TimeDrl::new(cfg), &windows).unwrap();
+
+        // A differently-sized model must refuse the snapshot.
+        let mut other = TimeDrlConfig::forecasting(32);
+        other.d_model = 32;
+        other.d_ff = 64;
+        other.n_heads = 4;
+        other.epochs = 2;
+        other.resume_from = Some(ckpt.clone());
+        let err = pretrain(&TimeDrl::new(other), &windows).unwrap_err();
+        assert!(matches!(err, TrainError::ResumeMismatch(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -330,7 +602,7 @@ mod tests {
         let run = |threads: usize| {
             testkit::pool::with_threads(threads, || {
                 let m = make();
-                let report = pretrain(&m, &windows);
+                let report = pretrain(&m, &windows).unwrap();
                 let params: Vec<_> = m.parameters().iter().map(|p| p.to_array()).collect();
                 (report.total, params)
             })
@@ -373,7 +645,7 @@ mod validation_tests {
         cfg.n_heads = 2;
         cfg.epochs = 4;
         let model = crate::model::TimeDrl::new(cfg);
-        let report = pretrain_with_validation(&model, &windows(48, 0), &windows(16, 1));
+        let report = pretrain_with_validation(&model, &windows(48, 0), &windows(16, 1)).unwrap();
         assert_eq!(report.validation.len(), 4);
         assert!(report.validation.last().unwrap() < &report.validation[0]);
         assert!(report.best_validation_epoch().is_some());
@@ -387,7 +659,7 @@ mod validation_tests {
         cfg.n_heads = 2;
         cfg.epochs = 1;
         let model = crate::model::TimeDrl::new(cfg);
-        let report = pretrain(&model, &windows(16, 2));
+        let report = pretrain(&model, &windows(16, 2)).unwrap();
         assert!(report.validation.is_empty());
         assert!(report.best_validation_epoch().is_none());
     }

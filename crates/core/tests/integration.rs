@@ -52,7 +52,7 @@ fn pretraining_improves_low_label_probe_over_random_encoder() {
     let random = timedrl::probe_classification(&random_model, &labelled, &test, &probe);
 
     let trained_model = TimeDrl::new(cfg);
-    pretrain(&trained_model, &train.to_batch()); // unlabeled pre-training
+    pretrain(&trained_model, &train.to_batch()).unwrap(); // unlabeled pre-training
     let trained = timedrl::probe_classification(&trained_model, &labelled, &test, &probe);
 
     assert!(
@@ -70,7 +70,7 @@ fn dual_level_embeddings_are_disentangled() {
     // instance views differ substantially.
     let model = TimeDrl::new(tiny_cfg(32));
     let windows = sine_windows(48, 32, 0);
-    pretrain(&model, &windows);
+    pretrain(&model, &windows).unwrap();
     let mut ctx = Ctx::eval();
     let enc = model.encode(&windows.slice(0, 0, 8).unwrap(), &mut ctx);
     let cls = enc.instance(Pooling::Cls).to_array();
@@ -82,7 +82,7 @@ fn dual_level_embeddings_are_disentangled() {
 fn instance_embeddings_do_not_collapse() {
     let model = TimeDrl::new(tiny_cfg(32));
     let windows = sine_windows(64, 32, 1);
-    pretrain(&model, &windows);
+    pretrain(&model, &windows).unwrap();
     let z = model.embed_instances(&windows);
     // Across-batch variance of every dimension must not vanish.
     let std = z.var_axis(0, false).sqrt();
@@ -96,7 +96,7 @@ fn lambda_zero_still_learns_reconstruction() {
     let mut cfg = tiny_cfg(32);
     cfg.lambda = 0.0;
     let model = TimeDrl::new(cfg);
-    let report = pretrain(&model, &sine_windows(48, 32, 2));
+    let report = pretrain(&model, &sine_windows(48, 32, 2)).unwrap();
     assert!(report.predictive.last().unwrap() < &report.predictive[0]);
     // And the contrastive loss (tracked but unweighted) stays in range.
     assert!(report.contrastive.iter().all(|c| (-1.0..=1.0).contains(c)));
@@ -138,9 +138,9 @@ fn every_encoder_kind_pretrains() {
         cfg.encoder = kind;
         cfg.epochs = 1;
         let model = TimeDrl::new(cfg);
-        let report = pretrain(&model, &sine_windows(16, 32, 3));
+        let report = pretrain(&model, &sine_windows(16, 32, 3)).unwrap();
         assert!(
-            report.final_loss().is_finite(),
+            report.final_loss().unwrap().is_finite(),
             "{} produced non-finite loss",
             kind.name()
         );
@@ -155,8 +155,8 @@ fn every_augmentation_pretrains() {
         cfg.augmentation = aug;
         cfg.epochs = 1;
         let model = TimeDrl::new(cfg);
-        let report = pretrain(&model, &sine_windows(16, 32, 4));
-        assert!(report.final_loss().is_finite(), "{} failed", aug.name());
+        let report = pretrain(&model, &sine_windows(16, 32, 4)).unwrap();
+        assert!(report.final_loss().unwrap().is_finite(), "{} failed", aug.name());
     }
 }
 
@@ -172,7 +172,7 @@ fn without_stop_gradient_embeddings_shrink_toward_collapse() {
         cfg.epochs = 6;
         let model = TimeDrl::new(cfg);
         let windows = sine_windows(48, 32, 5);
-        pretrain(&model, &windows);
+        pretrain(&model, &windows).unwrap();
         let z = model.embed_instances(&windows);
         // Dispersion of normalized embeddings (collapse-sensitive).
         
@@ -204,7 +204,7 @@ fn checkpoint_roundtrip_preserves_behaviour() {
     // originals bit-for-bit.
     let model = TimeDrl::new(tiny_cfg(32));
     let windows = sine_windows(24, 32, 9);
-    pretrain(&model, &windows);
+    pretrain(&model, &windows).unwrap();
     let before = model.embed_instances(&windows);
 
     let dir = std::env::temp_dir().join("timedrl_integration_ckpt");

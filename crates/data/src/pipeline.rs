@@ -1,24 +1,59 @@
 //! Normalization: per-sample instance normalization (Eq. 1's `IN(x)`) and
 //! train-statistics standardization.
 
+use std::fmt;
 use timedrl_tensor::NdArray;
+
+/// A shape problem in the normalization pipeline, surfaced as a value
+/// instead of the raw panic this module used to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The input tensor's rank is outside what the operation accepts.
+    BadRank {
+        /// The operation that rejected the input.
+        op: &'static str,
+        /// Human-readable description of the accepted ranks.
+        expected: &'static str,
+        /// The shape actually supplied.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BadRank { op, expected, got } => {
+                write!(f, "{op} expects {expected}, got rank-{} shape {got:?}", got.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Per-sample, per-channel z-scoring over the time axis: the instance
 /// normalization TimeDRL applies before patching (Eq. 1, following RevIN).
 ///
 /// Input `[T, C]` (a single sample) or `[B, T, C]` (a batch); each
 /// (sample, channel) pair is normalized by its own temporal mean/std.
-pub fn instance_normalize(x: &NdArray) -> NdArray {
+///
+/// # Errors
+/// [`PipelineError::BadRank`] for any other rank.
+pub fn instance_normalize(x: &NdArray) -> Result<NdArray, PipelineError> {
     match x.rank() {
-        2 => instance_normalize_sample(x),
+        2 => Ok(instance_normalize_sample(x)),
         3 => {
             let b = x.shape()[0];
             let parts: Vec<NdArray> =
                 (0..b).map(|i| instance_normalize_sample(&x.index_axis0(i))).collect();
             let refs: Vec<&NdArray> = parts.iter().collect();
-            NdArray::stack(&refs)
+            Ok(NdArray::stack(&refs))
         }
-        r => panic!("instance_normalize expects rank 2 or 3, got {r}"),
+        _ => Err(PipelineError::BadRank {
+            op: "instance_normalize",
+            expected: "rank 2 [T, C] or rank 3 [B, T, C]",
+            got: x.shape().to_vec(),
+        }),
     }
 }
 
@@ -65,7 +100,7 @@ mod tests {
     fn instance_norm_zero_mean_unit_var() {
         let mut rng = Prng::new(0);
         let x = rng.randn(&[50, 3]).scale(4.0).add_scalar(7.0);
-        let y = instance_normalize(&x);
+        let y = instance_normalize(&x).unwrap();
         let m = y.mean_axis(0, false);
         let v = y.var_axis(0, false);
         for c in 0..3 {
@@ -81,11 +116,20 @@ mod tests {
         let a = rng.randn(&[20, 2]).add_scalar(100.0);
         let b = rng.randn(&[20, 2]).add_scalar(-100.0);
         let batch = NdArray::stack(&[&a, &b]);
-        let y = instance_normalize(&batch);
+        let y = instance_normalize(&batch).unwrap();
         for i in 0..2 {
             let m = y.index_axis0(i).mean();
             assert!(m.abs() < 1e-3, "sample {i} mean {m}");
         }
+    }
+
+    #[test]
+    fn instance_norm_rejects_other_ranks_by_value() {
+        let x = NdArray::from_fn(&[6], |i| i as f32);
+        let err = instance_normalize(&x).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("instance_normalize"), "{msg}");
+        assert!(msg.contains("rank-1"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Crash-safety properties of the v2 checkpoint format (DESIGN.md §11):
+//! any corruption — a single flipped byte, truncation at any offset — must
+//! surface as `Err`, never a panic, and loading a corrupt file must never
+//! allocate more than a small bound regardless of what the mangled header
+//! claims. Plus the resume contract: optimizer + PRNG state round-trip
+//! losslessly, and a resumed run's final state is bit-identical to an
+//! uninterrupted run's on both gradient paths.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use testkit::{prop, prop_assert, prop_assume};
+use timedrl::{
+    load_training_state, pretrain, save_training_state, TimeDrl, TimeDrlConfig, TrainingState,
+};
+use timedrl_nn::Module;
+use timedrl_tensor::{load_parameters, NdArray, Prng, Var};
+
+/// Fresh parameter `Var`s shaped like the master params checkpoint, for
+/// `load_parameters` to (fail to) fill.
+fn params_targets() -> Vec<Var> {
+    let mut rng = Prng::new(77);
+    vec![Var::parameter(rng.randn(&[4, 3])), Var::parameter(rng.randn(&[6]))]
+}
+
+/// Corrupt loads of tiny (< a few KiB) files must stay well under this
+/// allocation bound even when a mangled header claims gigabytes.
+const ALLOC_BOUND: u64 = 1 << 20;
+
+fn unique_path(tag: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("timedrl_it_ckpt_{tag}_{case}.tdrl"))
+}
+
+fn tiny_cfg() -> TimeDrlConfig {
+    let mut cfg = TimeDrlConfig::forecasting(32);
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.batch_size = 8;
+    cfg.seed = 21;
+    cfg
+}
+
+fn sine_windows(n: usize) -> NdArray {
+    NdArray::from_fn(&[n, 32, 1], |flat| {
+        let (i, step) = (flat / 32, flat % 32);
+        (step as f32 * 0.4 + i as f32 * 0.3).sin()
+    })
+}
+
+/// The bytes of a valid parameter checkpoint, built once.
+fn params_file_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = unique_path("params_master", 0);
+        let mut rng = Prng::new(7);
+        let params = vec![
+            Var::parameter(rng.randn(&[4, 3])),
+            Var::parameter(rng.randn(&[6])),
+        ];
+        timedrl_tensor::save_parameters(&path, &params).expect("write params");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+/// The bytes of a valid training-state snapshot, built once.
+fn state_file_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = unique_path("state_master", 0);
+        let mut rng = Prng::new(8);
+        let params = vec![rng.randn(&[3, 2]), rng.randn(&[4])];
+        let state = TrainingState {
+            opt: timedrl_nn::OptimState {
+                m: vec![rng.randn(&[3, 2]), rng.randn(&[4])],
+                v: vec![rng.randn(&[3, 2]), rng.randn(&[4])],
+                t: 9,
+            },
+            params,
+            next_epoch: 3,
+            step: 12,
+            epoch_rng: [1, 2, 3, 4],
+            ctx_rng: [5, 6, 7, 8],
+            aug_rng: [9, 10, 11, 12],
+            report: timedrl::PretrainReport {
+                total: vec![2.0, 1.5, 1.2],
+                predictive: vec![1.4, 1.0, 0.9],
+                contrastive: vec![0.6, 0.5, 0.3],
+                validation: vec![],
+            },
+        };
+        save_training_state(&path, &state).expect("write state");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+prop! {
+    #![config(cases = 128)]
+
+    /// Flipping any byte of a parameter checkpoint yields `Err`, never a
+    /// panic, and loading never balloons past the allocation bound.
+    fn flipped_byte_in_params_is_err(pos in 0u64..1_000_000, bit in 0u32..8, case in 0u64..u64::MAX) {
+        let master = params_file_bytes();
+        let mut bytes = master.to_vec();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        prop_assume!(bytes != master); // (never true after a real flip, but keeps the intent explicit)
+        let path = unique_path("params_flip", case);
+        std::fs::write(&path, &bytes).unwrap();
+        let targets = params_targets();
+        let before = testkit::alloc::allocated_bytes();
+        let result = load_parameters(&path, &targets);
+        let grew = testkit::alloc::allocated_bytes() - before;
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "flip at byte {i} bit {bit} loaded successfully");
+        prop_assert!(grew < ALLOC_BOUND, "corrupt load allocated {grew} bytes");
+    }
+
+    /// Same property for full training-state snapshots.
+    fn flipped_byte_in_state_is_err(pos in 0u64..1_000_000, bit in 0u32..8, case in 0u64..u64::MAX) {
+        let master = state_file_bytes();
+        let mut bytes = master.to_vec();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        let path = unique_path("state_flip", case);
+        std::fs::write(&path, &bytes).unwrap();
+        let before = testkit::alloc::allocated_bytes();
+        let result = load_training_state(&path);
+        let grew = testkit::alloc::allocated_bytes() - before;
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "flip at byte {i} bit {bit} loaded successfully");
+        prop_assert!(grew < ALLOC_BOUND, "corrupt load allocated {grew} bytes");
+    }
+
+    /// Truncating either kind of checkpoint at any prefix length yields
+    /// `Err` within the allocation bound.
+    fn truncation_at_any_offset_is_err(pos in 0u64..1_000_000, which in 0u32..2, case in 0u64..u64::MAX) {
+        let master = if which == 0 { params_file_bytes() } else { state_file_bytes() };
+        let cut = (pos % master.len() as u64) as usize; // strictly shorter than the file
+        let path = unique_path("trunc", case);
+        std::fs::write(&path, &master[..cut]).unwrap();
+        let targets = params_targets();
+        let before = testkit::alloc::allocated_bytes();
+        let result = if which == 0 {
+            load_parameters(&path, &targets)
+        } else {
+            load_training_state(&path).map(|_| ())
+        };
+        let grew = testkit::alloc::allocated_bytes() - before;
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "truncation to {cut} bytes loaded successfully");
+        prop_assert!(grew < ALLOC_BOUND, "truncated load allocated {grew} bytes");
+    }
+}
+
+/// Optimizer moments, counters, and all three PRNG streams survive a disk
+/// round-trip exactly (the foundation of the bit-exact resume contract).
+#[test]
+fn optimizer_and_prng_state_roundtrip_exactly() {
+    let path = unique_path("roundtrip", 0);
+    let mut cfg = tiny_cfg();
+    cfg.epochs = 2;
+    cfg.checkpoint_every = Some(2);
+    cfg.checkpoint_path = Some(path.clone());
+    pretrain(&TimeDrl::new(cfg), &sine_windows(16)).unwrap();
+
+    let state = load_training_state(&path).unwrap();
+    assert_eq!(state.next_epoch, 2);
+    assert!(state.step > 0);
+    assert_eq!(state.opt.m.len(), state.params.len());
+    assert_eq!(state.opt.v.len(), state.params.len());
+    assert_eq!(state.opt.t as u64, state.step);
+    for rng in [state.epoch_rng, state.ctx_rng, state.aug_rng] {
+        assert_ne!(rng, [0; 4], "PRNG stream not captured");
+    }
+
+    // Re-saving the loaded state reproduces the file byte-for-byte.
+    let copy = unique_path("roundtrip", 1);
+    save_training_state(&copy, &state).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&copy).unwrap());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&copy).ok();
+}
+
+fn run_straight(cfg_base: &TimeDrlConfig, windows: &NdArray) -> (Vec<f32>, Vec<NdArray>) {
+    let mut cfg = cfg_base.clone();
+    cfg.epochs = 4;
+    let model = TimeDrl::new(cfg);
+    let report = pretrain(&model, windows).unwrap();
+    (report.total, model.parameters().iter().map(|p| p.to_array()).collect())
+}
+
+fn run_interrupted(cfg_base: &TimeDrlConfig, windows: &NdArray, tag: &str) -> (Vec<f32>, Vec<NdArray>) {
+    let ckpt = unique_path(tag, 0);
+    let mut cfg = cfg_base.clone();
+    cfg.epochs = 2;
+    cfg.checkpoint_every = Some(2);
+    cfg.checkpoint_path = Some(ckpt.clone());
+    pretrain(&TimeDrl::new(cfg), windows).unwrap();
+
+    let mut cfg = cfg_base.clone();
+    cfg.epochs = 4;
+    cfg.resume_from = Some(ckpt.clone());
+    let model = TimeDrl::new(cfg);
+    let report = pretrain(&model, windows).unwrap();
+    std::fs::remove_file(&ckpt).ok();
+    (report.total, model.parameters().iter().map(|p| p.to_array()).collect())
+}
+
+#[test]
+fn whole_batch_resume_is_bit_exact() {
+    let windows = sine_windows(24);
+    let cfg = tiny_cfg();
+    let (loss_a, params_a) = run_straight(&cfg, &windows);
+    let (loss_b, params_b) = run_interrupted(&cfg, &windows, "resume_whole");
+    assert_eq!(loss_a, loss_b, "loss history diverged after resume");
+    assert_eq!(params_a, params_b, "parameters diverged after resume");
+}
+
+#[test]
+fn micro_batch_resume_is_bit_exact() {
+    let windows = sine_windows(24);
+    let mut cfg = tiny_cfg();
+    cfg.micro_batch = Some(3);
+    let (loss_a, params_a) = run_straight(&cfg, &windows);
+    let (loss_b, params_b) = run_interrupted(&cfg, &windows, "resume_micro");
+    assert_eq!(loss_a, loss_b, "loss history diverged after resume");
+    assert_eq!(params_a, params_b, "parameters diverged after resume");
+}

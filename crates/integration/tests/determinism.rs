@@ -133,7 +133,7 @@ fn pretrain_checkpoint_bytes(threads: usize) -> (Vec<f32>, Vec<u8>) {
             let (i, step) = (flat / 32, flat % 32);
             (step as f32 * 0.4 + i as f32 * 0.3).sin()
         });
-        let report = pretrain(&model, &windows);
+        let report = pretrain(&model, &windows).expect("pre-training failed");
         let params: Vec<NdArray> = model.parameters().iter().map(|p| p.to_array()).collect();
         let refs: Vec<&NdArray> = params.iter().collect();
         let mut bytes = Vec::new();

@@ -147,7 +147,7 @@ fn anomaly_pipeline_with_lr_schedule() {
     cfg.n_heads = 2;
     cfg.epochs = 2;
     let model = TimeDrl::new(cfg);
-    pretrain(&model, &windows);
+    pretrain(&model, &windows).expect("pre-training failed");
     let scores = timedrl::anomaly_scores(&model, &windows);
     assert_eq!(scores.per_window.len(), 32);
     assert!(scores.per_window.iter().all(|s| s.is_finite() && *s >= 0.0));

@@ -27,7 +27,7 @@ fn three_epoch_pretrain_learns_and_embeds() {
     cfg.epochs = 3;
     let model = TimeDrl::new(cfg);
 
-    let report = pretrain(&model, &w);
+    let report = pretrain(&model, &w).expect("pre-training failed");
     assert_eq!(report.total.len(), 3, "one total-loss entry per epoch");
     assert!(
         report.total.iter().all(|l| l.is_finite()),
@@ -35,7 +35,7 @@ fn three_epoch_pretrain_learns_and_embeds() {
         report.total
     );
     assert!(
-        report.final_loss() < report.total[0],
+        report.final_loss().unwrap() < report.total[0],
         "3 epochs must reduce the pretext loss: {:?}",
         report.total
     );

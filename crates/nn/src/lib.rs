@@ -34,7 +34,7 @@ pub use linear::{Dropout, Linear};
 pub use lstm::{BiLstm, Lstm};
 pub use module::{clip_grad_norm, Ctx, Module};
 pub use norm::{BatchNorm1d, LayerNorm};
-pub use optim::{Adam, AdamW, Optimizer, Sgd};
+pub use optim::{Adam, AdamW, OptimState, Optimizer, Sgd};
 pub use resnet::{BasicBlock1d, ResNet1d};
 pub use schedule::{ConstantLr, LrSchedule, StepDecay, WarmupCosine};
 pub use tcn::{CausalConv1d, Tcn, TemporalBlock};

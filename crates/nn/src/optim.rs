@@ -82,6 +82,23 @@ impl Optimizer for Sgd {
     }
 }
 
+/// A snapshot of Adam-family optimizer state — the first (`m`) and second
+/// (`v`) moment estimates plus the bias-correction step count `t` — in the
+/// optimizer's parameter order. This is what a resumable training
+/// checkpoint must carry in addition to the weights: restarting AdamW with
+/// zeroed moments changes every subsequent update, so bit-exact resume
+/// (DESIGN.md §11) round-trips this through
+/// `timedrl-core`'s training-state checkpoint.
+#[derive(Debug, Clone)]
+pub struct OptimState {
+    /// First-moment (mean) estimates, one per parameter.
+    pub m: Vec<NdArray>,
+    /// Second-moment (uncentered variance) estimates, one per parameter.
+    pub v: Vec<NdArray>,
+    /// Completed optimizer steps (drives bias correction).
+    pub t: u32,
+}
+
 /// Shared Adam machinery; `decoupled` selects AdamW's weight decay.
 struct AdamState {
     params: Vec<Var>,
@@ -200,6 +217,44 @@ impl AdamW {
     pub fn new(params: Vec<Var>, lr: f32, weight_decay: f32) -> Self {
         Self(AdamState::new(params, lr, weight_decay, true))
     }
+
+    /// Copies out the optimizer state (moments + step count) for a
+    /// training checkpoint.
+    pub fn export_state(&self) -> OptimState {
+        OptimState { m: self.0.m.clone(), v: self.0.v.clone(), t: self.0.t }
+    }
+
+    /// Restores state exported by [`AdamW::export_state`]. Counts and
+    /// shapes must match this optimizer's parameters exactly.
+    ///
+    /// # Errors
+    /// Returns a description of the first mismatch; on error the optimizer
+    /// is left unchanged.
+    pub fn import_state(&mut self, state: OptimState) -> Result<(), String> {
+        let n = self.0.params.len();
+        if state.m.len() != n || state.v.len() != n {
+            return Err(format!(
+                "optimizer state has {} m / {} v arrays, expected {n}",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        for (i, p) in self.0.params.iter().enumerate() {
+            let shape = p.shape();
+            if state.m[i].shape() != shape.as_slice() || state.v[i].shape() != shape.as_slice() {
+                return Err(format!(
+                    "optimizer state {i}: moment shapes m {:?} / v {:?} vs parameter {:?}",
+                    state.m[i].shape(),
+                    state.v[i].shape(),
+                    shape
+                ));
+            }
+        }
+        self.0.m = state.m;
+        self.0.v = state.v;
+        self.0.t = state.t;
+        Ok(())
+    }
 }
 
 impl Optimizer for AdamW {
@@ -307,6 +362,38 @@ mod tests {
             opt.step();
         }
         assert!(w.to_array().max_abs_diff(&w_true) < 0.05);
+    }
+
+    #[test]
+    fn adamw_state_roundtrip_resumes_identically() {
+        // Train 5 steps, snapshot, train 5 more; vs. restore the snapshot
+        // into a fresh optimizer over the same weights and train 5 — the
+        // trajectories must agree bit-for-bit.
+        let target = NdArray::from_slice(&[1.0, -2.0, 3.0]);
+        let w = Var::parameter(NdArray::zeros(&[3]));
+        let mut opt = AdamW::new(vec![w.clone()], 0.1, 0.01);
+        optimize(&mut opt, &w, &target, 5);
+        let snapshot = opt.export_state();
+        let w_at_snapshot = w.to_array();
+
+        optimize(&mut opt, &w, &target, 5);
+        let reference = w.to_array();
+
+        let w2 = Var::parameter(w_at_snapshot);
+        let mut opt2 = AdamW::new(vec![w2.clone()], 0.1, 0.01);
+        opt2.import_state(snapshot).unwrap();
+        optimize(&mut opt2, &w2, &target, 5);
+        assert_eq!(w2.to_array(), reference, "resumed AdamW diverged");
+    }
+
+    #[test]
+    fn adamw_import_rejects_mismatched_state() {
+        let w = Var::parameter(NdArray::zeros(&[3]));
+        let mut opt = AdamW::new(vec![w], 0.1, 0.0);
+        let bad = OptimState { m: vec![NdArray::zeros(&[2])], v: vec![NdArray::zeros(&[3])], t: 1 };
+        assert!(opt.import_state(bad).is_err());
+        let wrong_count = OptimState { m: vec![], v: vec![], t: 0 };
+        assert!(opt.import_state(wrong_count).is_err());
     }
 
     #[test]

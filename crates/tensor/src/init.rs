@@ -77,6 +77,21 @@ impl Prng {
         Self { rng: self.rng.fork() }
     }
 
+    /// The raw 256-bit xoshiro state, for checkpointing this stream
+    /// mid-run (see `timedrl-tensor::serialize` / DESIGN.md §11).
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a generator from a state captured by [`Prng::state`],
+    /// resuming the sample sequence at exactly the next draw.
+    ///
+    /// # Errors
+    /// Rejects the degenerate all-zero state (a corrupt checkpoint).
+    pub fn from_state(state: [u64; 4]) -> Result<Self, &'static str> {
+        Ok(Self { rng: TestRng::from_state(state)? })
+    }
+
     /// Array of iid standard-normal samples.
     pub fn randn(&mut self, shape: &[usize]) -> NdArray {
         NdArray::from_fn(shape, |_| self.normal())
@@ -190,6 +205,17 @@ mod tests {
         let std = w.var_axis(0, false).mean().sqrt();
         let expected = (2.0f32 / 512.0).sqrt();
         assert!((std - expected).abs() < expected * 0.5);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_sampling_exactly() {
+        let mut a = Prng::new(77);
+        let _ = a.randn(&[13]); // advance mid-stream
+        let mut b = Prng::from_state(a.state()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
     }
 
     #[test]

@@ -38,5 +38,8 @@ pub use array::NdArray;
 pub use error::{Result, TensorError};
 pub use init::Prng;
 pub use matmul::{matmul, matmul_reference};
-pub use serialize::{load_parameters, read_arrays, save_parameters, write_arrays};
+pub use serialize::{
+    decode_arrays, encode_arrays, load_parameters, read_arrays, read_file, save_parameters,
+    write_arrays, write_file_atomic, ByteReader, KIND_ARRAYS, KIND_TRAIN_STATE,
+};
 pub use var::Var;

@@ -1,0 +1,110 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) on pure `std`.
+//!
+//! The checkpoint container in `timedrl-tensor` frames every payload with
+//! this checksum so a torn write, bit rot, or a truncated copy is detected
+//! *before* any bytes are interpreted as tensor data. CRC-32 is not a
+//! cryptographic digest — it guards against accidental corruption, which
+//! is the checkpoint failure model (see DESIGN.md §11) — and it is
+//! byte-order independent here because the input is already a defined
+//! little-endian byte stream.
+//!
+//! The lookup table is computed in a `const` context, so the module stays
+//! within the workspace's zero-dependency policy at zero runtime setup
+//! cost.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 state: feed bytes with [`Crc32::update`], read the
+/// digest with [`Crc32::finish`].
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum (all-ones initial state, per the standard).
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest over everything absorbed so far (does not consume the
+    /// state; more bytes may still be fed afterwards).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Standard check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // IEEE test vector: 32 zero bytes.
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(17) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit} undetected");
+            }
+        }
+    }
+}

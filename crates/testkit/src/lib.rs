@@ -17,6 +17,8 @@
 //!   for `#[derive(Serialize)]` on result-record structs.
 //! - [`bench`] — a wall-clock benchmark runner (warmup + N samples +
 //!   min/median/p95 report) that replaces the `criterion` benches.
+//! - [`crc32`] — CRC-32 (IEEE) checksums guarding the checkpoint container
+//!   format in `timedrl-tensor::serialize` against torn writes and bit rot.
 //! - [`pool`] — a scoped thread pool with deterministic chunked fan-out
 //!   (replaces `rayon`): fixed, index-ordered chunks writing to disjoint
 //!   output slices, so parallel results are bit-identical to serial ones
@@ -32,12 +34,14 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod crc32;
 pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{Bench, BenchConfig};
+pub use crc32::{crc32, Crc32};
 pub use json::{Json, ToJson};
 pub use rng::{SplitMix64, TestRng};
 
