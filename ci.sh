@@ -77,10 +77,12 @@ echo "ok: resumed runs byte-identical to uninterrupted runs (threads 1 and 4)"
 echo "== allocation budget: steady-state training step =="
 # The tensor buffer pool and the inline autograd tape keep a steady-state
 # whole-batch training step near-allocation-free (DESIGN.md §10). The seed
-# code performed 8944 heap allocations per step; the budget below holds the
-# regression line at >= 10x better than that. Measured at TIMEDRL_THREADS=1
-# so pool-worker allocations cannot pollute the process-global counter.
-ALLOC_BUDGET=800
+# code performed 8944 heap allocations per step; the transpose-aware
+# backward (DESIGN.md §12) brought the steady state down to 416, and the
+# budget below is that measurement plus ~10% headroom. Measured at
+# TIMEDRL_THREADS=1 so pool-worker allocations cannot pollute the
+# process-global counter.
+ALLOC_BUDGET=460
 cargo build --release --offline -p timedrl-bench --bin step_alloc_probe
 alloc_line=$(TIMEDRL_THREADS=1 ./target/release/step_alloc_probe)
 allocs=${alloc_line#allocs_per_step=}

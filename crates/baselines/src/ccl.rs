@@ -41,7 +41,7 @@ impl Ccl {
         let clustering = kmeans(&z_norm.to_array(), k, 10, rng);
         let centroids = normalize_rows_nd(&clustering.centroids);
         let logits = z_norm
-            .matmul(&Var::constant(centroids.transpose()))
+            .matmul_t(&Var::constant(centroids.clone()))
             .scale(1.0 / temperature);
         logits.cross_entropy(&clustering.assignments)
     }

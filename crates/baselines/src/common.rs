@@ -160,6 +160,9 @@ pub fn fit_ssl(
             opt.zero_grad();
             let loss = loss_fn(&batch, &mut ctx, &mut aux_rng);
             sum += loss.item() as f64;
+            // Every matmul node below this call differentiates through the
+            // transpose-aware kernels (DESIGN.md §12): dA = G·Bᵀ and
+            // dB = Aᵀ·G read their transposed operand in place.
             loss.backward();
             clip_grad_norm(opt.parameters(), 5.0);
             opt.step();

@@ -13,7 +13,7 @@ use testkit::bench::BenchReport;
 use testkit::pool;
 use testkit::{Bench, Json};
 use timedrl_nn::Conv1d;
-use timedrl_tensor::{matmul, Prng, Var};
+use timedrl_tensor::{matmul, matmul_nt, matmul_tn, Prng, Var};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -37,6 +37,33 @@ fn bench_matmul_threads(b: &mut Bench, records: &mut Vec<Record>) {
         let report =
             group.bench(format!("t{threads}"), || pool::with_threads(threads, || matmul(&a, &bm).unwrap()));
         record(records, "matmul_256", "256x256x256", threads, report);
+    }
+    group.finish();
+}
+
+/// The transpose-aware variants at the same scale as `matmul_256`: both
+/// read their logically-transposed operand in place, so parity with the
+/// plain product here means the backward pass pays no transpose tax.
+fn bench_matmul_transposed_threads(b: &mut Bench, records: &mut Vec<Record>) {
+    let mut rng = Prng::new(3);
+    let a = rng.randn(&[256, 256]);
+    let bm = rng.randn(&[256, 256]);
+
+    let mut group = b.group("matmul_nt_256");
+    for &threads in &THREAD_COUNTS {
+        let report = group.bench(format!("t{threads}"), || {
+            pool::with_threads(threads, || matmul_nt(&a, &bm).unwrap())
+        });
+        record(records, "matmul_nt_256", "256x256x256", threads, report);
+    }
+    group.finish();
+
+    let mut group = b.group("matmul_tn_256");
+    for &threads in &THREAD_COUNTS {
+        let report = group.bench(format!("t{threads}"), || {
+            pool::with_threads(threads, || matmul_tn(&a, &bm).unwrap())
+        });
+        record(records, "matmul_tn_256", "256x256x256", threads, report);
     }
     group.finish();
 }
@@ -88,6 +115,7 @@ fn main() {
     let mut b = Bench::from_env("kernels_parallel");
     let mut records = Vec::new();
     bench_matmul_threads(&mut b, &mut records);
+    bench_matmul_transposed_threads(&mut b, &mut records);
     bench_conv1d_threads(&mut b, &mut records);
     bench_elementwise_threads(&mut b, &mut records);
 

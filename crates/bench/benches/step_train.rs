@@ -19,6 +19,17 @@ fn out_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_step.json")
 }
 
+fn result_obj(group: &str, id: &str, report: &testkit::bench::BenchReport) -> Vec<(String, Json)> {
+    vec![
+        ("group".to_string(), Json::Str(group.to_string())),
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("median_s".to_string(), Json::Num(report.median)),
+        ("min_s".to_string(), Json::Num(report.min)),
+        ("p95_s".to_string(), Json::Num(report.p95)),
+        ("samples".to_string(), Json::Num(report.samples as f64)),
+    ]
+}
+
 fn main() {
     let mut b = Bench::from_env("step_train");
     let mut group = b.group("pretrain_step");
@@ -28,24 +39,37 @@ fn main() {
     let report = group.bench("whole_batch_b8_d16", || harness.step());
     group.finish();
 
+    // Phase split: forward alone (graph built and dropped), then repeated
+    // backward over one retained graph. Together they show which side of
+    // the step the transpose-aware kernels are paying off on.
+    let mut group = b.group("pretrain_phases");
+    let fwd = group.bench("forward_b8_d16", || harness.forward_only());
+    let loss = harness.build_loss();
+    let bwd = group.bench("backward_b8_d16", || harness.backward_only(&loss));
+    drop(loss);
+    group.finish();
+
     // Allocation metric, measured after the timing loop: thousands of
     // steps in, every transient buffer should come from the pool.
     let allocs_per_step = harness.allocations_per_step(2, 8);
     println!("allocs/step (steady state): {allocs_per_step}");
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_env = std::env::var("TIMEDRL_THREADS").unwrap_or_default();
+
+    let mut whole = result_obj("pretrain_step", "whole_batch_b8_d16", &report);
+    whole.push(("allocs_per_step".to_string(), Json::Num(allocs_per_step as f64)));
     let doc = Json::Obj(vec![
         ("suite".to_string(), Json::Str("step_train".to_string())),
+        ("host_cores".to_string(), Json::Num(host_cores as f64)),
+        ("timedrl_threads".to_string(), Json::Str(threads_env)),
         (
             "results".to_string(),
-            Json::Arr(vec![Json::Obj(vec![
-                ("group".to_string(), Json::Str("pretrain_step".to_string())),
-                ("id".to_string(), Json::Str("whole_batch_b8_d16".to_string())),
-                ("median_s".to_string(), Json::Num(report.median)),
-                ("min_s".to_string(), Json::Num(report.min)),
-                ("p95_s".to_string(), Json::Num(report.p95)),
-                ("samples".to_string(), Json::Num(report.samples as f64)),
-                ("allocs_per_step".to_string(), Json::Num(allocs_per_step as f64)),
-            ])]),
+            Json::Arr(vec![
+                Json::Obj(whole),
+                Json::Obj(result_obj("pretrain_phases", "forward_b8_d16", &fwd)),
+                Json::Obj(result_obj("pretrain_phases", "backward_b8_d16", &bwd)),
+            ]),
         ),
     ]);
     let path = out_path();

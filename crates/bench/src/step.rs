@@ -8,7 +8,7 @@
 
 use timedrl::{gather_rows, pretext_loss, TimeDrl, TimeDrlConfig};
 use timedrl_nn::{clip_grad_norm, AdamW, Ctx, Module, Optimizer};
-use timedrl_tensor::{NdArray, Prng};
+use timedrl_tensor::{NdArray, Prng, Var};
 
 /// A live whole-batch training step, mirroring the `micro_batch: None`
 /// path of `timedrl::trainer::pretrain_impl` exactly: zero_grad →
@@ -57,6 +57,28 @@ impl StepHarness {
         clip_grad_norm(self.opt.parameters(), 5.0);
         self.opt.step();
         breakdown.total
+    }
+
+    /// Runs the forward pass alone — builds the full pretext-loss graph
+    /// and drops it without differentiating. Subtracting this from
+    /// [`StepHarness::step`] isolates what backward + clip + AdamW cost.
+    pub fn forward_only(&mut self) -> f32 {
+        let (_loss, breakdown) =
+            pretext_loss(&self.model, &self.batch, &mut self.ctx, &mut self.aug_rng);
+        breakdown.total
+    }
+
+    /// Builds and returns one retained loss graph for repeated backward
+    /// timing.
+    pub fn build_loss(&mut self) -> Var {
+        pretext_loss(&self.model, &self.batch, &mut self.ctx, &mut self.aug_rng).0
+    }
+
+    /// One backward pass over a retained graph. Gradients are zeroed first
+    /// so every call does identical accumulation work.
+    pub fn backward_only(&mut self, loss: &Var) {
+        self.opt.zero_grad();
+        loss.backward();
     }
 
     /// Steady-state heap allocations per step: runs `warmup` steps so every

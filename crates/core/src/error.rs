@@ -13,6 +13,8 @@ use std::fmt;
 use std::io;
 use std::path::PathBuf;
 
+use timedrl_tensor::TensorError;
+
 /// A failure in the pre-training loop or its checkpoint machinery.
 #[derive(Debug)]
 pub enum TrainError {
@@ -44,6 +46,11 @@ pub enum TrainError {
         /// if checkpointing was enabled — a loadable last-good state.
         last_checkpoint: Option<PathBuf>,
     },
+    /// A backward rule failed (e.g. a matmul gradient hit incompatible
+    /// shapes). Surfaced as a value instead of panicking mid-backward; the
+    /// optimizer step for the offending batch never ran, so parameters
+    /// hold their pre-step values.
+    Backward(TensorError),
     /// Reading or writing a checkpoint failed (I/O, corruption, or a
     /// checksum mismatch).
     Checkpoint(io::Error),
@@ -71,6 +78,9 @@ impl fmt::Display for TrainError {
                     None => write!(f, "; no checkpoint was written this run"),
                 }
             }
+            TrainError::Backward(e) => {
+                write!(f, "backward pass failed: {e}; optimizer step not applied")
+            }
             TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             TrainError::ResumeMismatch(msg) => write!(f, "resume mismatch: {msg}"),
         }
@@ -80,6 +90,7 @@ impl fmt::Display for TrainError {
 impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            TrainError::Backward(e) => Some(e),
             TrainError::Checkpoint(e) => Some(e),
             _ => None,
         }
@@ -89,6 +100,12 @@ impl std::error::Error for TrainError {
 impl From<io::Error> for TrainError {
     fn from(e: io::Error) -> Self {
         TrainError::Checkpoint(e)
+    }
+}
+
+impl From<TensorError> for TrainError {
+    fn from(e: TensorError) -> Self {
+        TrainError::Backward(e)
     }
 }
 

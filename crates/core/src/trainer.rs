@@ -146,24 +146,27 @@ fn pretrain_impl(
                     opt.zero_grad();
                     let (loss, breakdown) = pretext_loss(model, &batch, &mut ctx, &mut aug_rng);
                     if breakdown.total.is_finite() {
-                        loss.backward();
-                        clip_grad_norm(opt.parameters(), 5.0);
-                        opt.step();
-                        Ok(breakdown)
+                        loss.try_backward().map_err(StepError::Backward).map(|()| {
+                            clip_grad_norm(opt.parameters(), 5.0);
+                            opt.step();
+                            breakdown
+                        })
                     } else {
-                        Err(breakdown.total)
+                        Err(StepError::NonFinite(breakdown.total))
                     }
                 }
             };
-            // The non-finite guard: the offending step was aborted before
-            // `opt.step()`, so parameters and any on-disk snapshot hold
-            // the last good state.
-            let breakdown = breakdown.map_err(|loss| TrainError::NonFiniteLoss {
-                epoch,
-                step,
-                batch: batches,
-                loss,
-                last_checkpoint: last_checkpoint.clone(),
+            // Either guard aborts the step before `opt.step()`, so
+            // parameters and any on-disk snapshot hold the last good state.
+            let breakdown = breakdown.map_err(|e| match e {
+                StepError::NonFinite(loss) => TrainError::NonFiniteLoss {
+                    epoch,
+                    step,
+                    batch: batches,
+                    loss,
+                    last_checkpoint: last_checkpoint.clone(),
+                },
+                StepError::Backward(e) => TrainError::Backward(e),
             })?;
             sums.0 += breakdown.total as f64;
             sums.1 += breakdown.predictive as f64;
@@ -300,8 +303,19 @@ fn restore_state(
 /// replicas (only trainable parameters round-trip), matching what
 /// [`TimeDrl::save`] checkpoints.
 ///
-/// `Err(loss)` reports a non-finite reduced loss; the optimizer step is
-/// skipped, so the caller's parameters stay at their pre-batch values.
+/// Why a single optimizer step was aborted (before `opt.step()` ran).
+/// Mapped to the matching [`TrainError`] by the epoch loop, which owns the
+/// context (epoch/step/batch indices, last checkpoint) the error reports.
+enum StepError {
+    /// The reduced loss came back NaN/±inf.
+    NonFinite(f32),
+    /// A backward rule failed with a typed tensor error.
+    Backward(timedrl_tensor::TensorError),
+}
+
+/// `Err` reports an aborted step — a non-finite reduced loss or a failed
+/// backward rule; the optimizer step is skipped either way, so the caller's
+/// parameters stay at their pre-batch values.
 fn micro_batch_step(
     model: &TimeDrl,
     cfg: &TimeDrlConfig,
@@ -310,7 +324,7 @@ fn micro_batch_step(
     micro: usize,
     step: u64,
     opt: &mut AdamW,
-) -> Result<PretextBreakdown, f32> {
+) -> Result<PretextBreakdown, StepError> {
     assert!(micro > 0, "micro_batch must be positive");
     let params = model.parameters();
     let snapshot: Vec<NdArray> = params.iter().map(|p| p.to_array()).collect();
@@ -325,19 +339,19 @@ fn micro_batch_step(
         let mut aug = Prng::new(mix_seed(cfg.seed ^ 0x5eed_0003, step, j as u64));
         let batch = gather_rows(windows, chunk);
         let (loss, breakdown) = pretext_loss(&replica, &batch, &mut ctx, &mut aug);
-        loss.backward();
+        loss.try_backward()?;
         let grads: Vec<NdArray> = replica
             .parameters()
             .iter()
             .map(|p| p.grad().unwrap_or_else(|| NdArray::zeros(&p.shape())))
             .collect();
-        (grads, breakdown, chunk.len() as f32 / b_total)
+        Ok((grads, breakdown, chunk.len() as f32 / b_total))
     });
     opt.zero_grad();
     let mut reduced: Vec<NdArray> = snapshot.iter().map(|p| NdArray::zeros(p.shape())).collect();
     let mut agg = PretextBreakdown { total: 0.0, predictive: 0.0, contrastive: 0.0 };
-    for (grads, breakdown, w) in &results {
-        let w = *w;
+    for result in results {
+        let (grads, breakdown, w) = result.map_err(StepError::Backward)?;
         for (acc, g) in reduced.iter_mut().zip(grads.iter()) {
             // In-place axpy, still ascending-`j`: each element accumulates
             // `acc + g*w` exactly as the old `acc.add(&g.scale(w))` did,
@@ -351,10 +365,10 @@ fn micro_batch_step(
         agg.contrastive += w * breakdown.contrastive;
     }
     if !agg.total.is_finite() {
-        return Err(agg.total);
+        return Err(StepError::NonFinite(agg.total));
     }
     for (p, g) in params.iter().zip(reduced) {
-        p.backward_with(g);
+        p.try_backward_with(g).map_err(StepError::Backward)?;
     }
     clip_grad_norm(opt.parameters(), 5.0);
     opt.step();

@@ -61,7 +61,7 @@ pub fn cholesky_solve(a: &NdArray, b: &NdArray) -> NdArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use timedrl_tensor::{matmul, Prng};
+    use timedrl_tensor::{matmul, matmul_nt, Prng};
 
     #[test]
     fn solves_identity() {
@@ -75,7 +75,7 @@ mod tests {
         let mut rng = Prng::new(0);
         let g = rng.randn(&[5, 5]);
         // A = G G^T + I is SPD.
-        let a = matmul(&g, &g.transpose()).unwrap().add(&NdArray::eye(5));
+        let a = matmul_nt(&g, &g).unwrap().add(&NdArray::eye(5));
         let x_true = rng.randn(&[5, 3]);
         let b = matmul(&a, &x_true).unwrap();
         let x = cholesky_solve(&a, &b);
@@ -86,7 +86,7 @@ mod tests {
     fn residual_is_small() {
         let mut rng = Prng::new(1);
         let g = rng.randn(&[8, 8]);
-        let a = matmul(&g, &g.transpose()).unwrap().add(&NdArray::eye(8).scale(0.5));
+        let a = matmul_nt(&g, &g).unwrap().add(&NdArray::eye(8).scale(0.5));
         let b = rng.randn(&[8, 4]);
         let x = cholesky_solve(&a, &b);
         let residual = matmul(&a, &x).unwrap().max_abs_diff(&b);

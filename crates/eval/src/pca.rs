@@ -3,7 +3,7 @@
 //! `[CLS]` embeddings to 2-D and plotting with the bench crate's terminal
 //! charts).
 
-use timedrl_tensor::{matmul, NdArray, Prng};
+use timedrl_tensor::{matmul, matmul_nt, matmul_tn, NdArray, Prng};
 
 /// A fitted PCA projection.
 #[derive(Debug, Clone)]
@@ -39,7 +39,7 @@ impl Pca {
             for _ in 0..60 {
                 // w = Xᵀ (X v) / n  ∝ covariance times v
                 let xv = matmul(&residual, &v).expect("xv");
-                let mut w = matmul(&residual.transpose(), &xv).expect("xtxv");
+                let mut w = matmul_tn(&residual, &xv).expect("xtxv");
                 normalize(&mut w);
                 v = w;
             }
@@ -52,14 +52,14 @@ impl Pca {
             }
             // Deflate: remove the component from the residual.
             let coef = matmul(&residual, &v).expect("coef"); // [N, 1]
-            residual = residual.sub(&matmul(&coef, &v.transpose()).expect("outer"));
+            residual = residual.sub(&matmul_nt(&coef, &v).expect("outer"));
         }
         Self { mean: mean.clone(), components, explained }
     }
 
     /// Projects `[N, D]` data to `[N, k]` component scores.
     pub fn transform(&self, x: &NdArray) -> NdArray {
-        matmul(&x.sub(&self.mean), &self.components.transpose()).expect("pca transform")
+        matmul_nt(&x.sub(&self.mean), &self.components).expect("pca transform")
     }
 
     /// Variance explained per component.
@@ -116,7 +116,7 @@ mod tests {
         let x = Prng::new(2).randn(&[100, 5]);
         let pca = Pca::fit(&x, 3, &mut Prng::new(3));
         let c = pca.components();
-        let gram = matmul(c, &c.transpose()).unwrap();
+        let gram = matmul_nt(c, c).unwrap();
         assert!(gram.max_abs_diff(&NdArray::eye(3)) < 0.05, "gram {:?}", gram.data());
     }
 

@@ -10,7 +10,7 @@
 
 use crate::linalg::cholesky_solve;
 use timedrl_nn::{AdamW, Linear, Module, Optimizer};
-use timedrl_tensor::{matmul, NdArray, Prng, Var};
+use timedrl_tensor::{matmul, matmul_tn, NdArray, Prng, Var};
 
 /// A fitted ridge-regression readout `y ≈ x W + b`.
 #[derive(Debug, Clone)]
@@ -32,10 +32,11 @@ impl RidgeProbe {
         let y_mean = y.mean_axis(0, true);
         let xc = x.sub(&x_mean);
         let yc = y.sub(&y_mean);
-        // W = (Xc^T Xc + λ I)^{-1} Xc^T Yc
-        let gram = matmul(&xc.transpose(), &xc).expect("gram");
+        // W = (Xc^T Xc + λ I)^{-1} Xc^T Yc — both Xᵀ· products read Xc
+        // through strided packing instead of materializing the transpose.
+        let gram = matmul_tn(&xc, &xc).expect("gram");
         let reg = NdArray::eye(d).scale(lambda.max(1e-6));
-        let rhs = matmul(&xc.transpose(), &yc).expect("xty");
+        let rhs = matmul_tn(&xc, &yc).expect("xty");
         let weight = cholesky_solve(&gram.add(&reg), &rhs);
         // b = y_mean - x_mean W
         let bias = y_mean.sub(&matmul(&x_mean, &weight).expect("bias"));

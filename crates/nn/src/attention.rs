@@ -70,9 +70,11 @@ impl MultiHeadAttention {
         let k = self.split_heads(&self.wk.forward(x), b, t);
         let v = self.split_heads(&self.wv.forward(x), b, t);
 
-        // [B*H, T, T]
+        // [B*H, T, T]. matmul_t reads Kᵀ through strided packing, so
+        // neither the forward scores nor their backward products ever
+        // materialize a transposed copy (or its graph node).
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut scores = q.matmul(&k.transpose()).scale(scale);
+        let mut scores = q.matmul_t(&k).scale(scale);
         if self.causal {
             scores = scores.add(&Var::constant(causal_mask(t)));
         }

@@ -6,7 +6,12 @@ use timedrl_tensor::{NdArray, Prng, Var};
 /// A dense affine layer `y = x W + b`.
 ///
 /// The weight is stored `[in, out]` so both `[N, in]` and `[B, T, in]`
-/// inputs multiply without a transpose.
+/// inputs multiply without a transpose. The backward pass is equally
+/// transpose-free: `dX = G·Wᵀ` and `dW = Xᵀ·G` run through the
+/// transpose-aware GEMM kernels (`matmul_nt`/`matmul_tn`, DESIGN.md §12),
+/// and for `[B, T, in]` inputs the weight gradient folds the batch
+/// directly over the contiguous `[B*T, ·]` data — no transposed or
+/// reshaped copies anywhere in the layer's hot path.
 pub struct Linear {
     weight: Var,
     bias: Option<Var>,

@@ -30,8 +30,9 @@ pub fn nt_xent(za: &Var, zb: &Var, temperature: f32) -> Var {
     assert!(n >= 2, "NT-Xent needs at least 2 instances for negatives");
     let z = Var::concat(&[za.clone(), zb.clone()], 0); // [2N, D]
     let z_norm = l2_normalize_rows(&z);
-    // Similarity matrix [2N, 2N], self-similarity masked out.
-    let sim = z_norm.matmul(&z_norm.transpose()).scale(1.0 / temperature);
+    // Similarity matrix [2N, 2N], self-similarity masked out. The Gram
+    // product reads the transposed operand in place (no copy, no node).
+    let sim = z_norm.matmul_t(&z_norm).scale(1.0 / temperature);
     let mask = NdArray::from_fn(&[2 * n, 2 * n], |flat| {
         let (i, j) = (flat / (2 * n), flat % (2 * n));
         if i == j {

@@ -200,17 +200,52 @@ impl NdArray {
         let new_shape: Dims = axes.iter().map(|&a| self.shape[a]).collect();
         let src_strides = row_major_strides(&self.shape);
         let perm_strides: Dims = axes.iter().map(|&a| src_strides[a]).collect();
-        let mut data = Buffer::with_capacity(self.numel());
-        let mut coords = Dims::zeros(self.rank());
-        for _ in 0..self.numel() {
-            data.push(self.data[ravel(&coords, &perm_strides)]);
-            // increment coords in row-major order of the *new* shape
-            for ax in (0..new_shape.len()).rev() {
-                coords[ax] += 1;
-                if coords[ax] < new_shape[ax] {
-                    break;
+        let n = self.numel();
+        let mut data = Buffer::zeroed(n);
+        // Walk the output row-major, gathering whole innermost-axis runs at
+        // a time: the run's source offsets form an arithmetic sequence with
+        // stride `perm_strides[last]`, and the run's base offset updates
+        // incrementally as the outer coordinates tick over — no per-element
+        // `ravel`. Pure data movement, so this is exactly the permutation
+        // the naive per-element walk produces.
+        if n > 0 && new_shape.is_empty() {
+            data[0] = self.data[0];
+        } else if n > 0 {
+            let r = new_shape.len();
+            let inner = new_shape[r - 1];
+            let inner_stride = perm_strides[r - 1];
+            let outer = r - 1;
+            let mut coords = Dims::zeros(outer);
+            let mut base = 0usize;
+            let mut written = 0usize;
+            'rows: loop {
+                let dst = &mut data[written..written + inner];
+                if inner_stride == 1 {
+                    dst.copy_from_slice(&self.data[base..base + inner]);
+                } else {
+                    let mut src = base;
+                    for d in dst {
+                        *d = self.data[src];
+                        src += inner_stride;
+                    }
                 }
-                coords[ax] = 0;
+                written += inner;
+                // Increment the outer coordinates (row-major order of the
+                // new shape), keeping `base` equal to their raveled offset.
+                let mut ax = outer;
+                loop {
+                    if ax == 0 {
+                        break 'rows;
+                    }
+                    ax -= 1;
+                    coords[ax] += 1;
+                    base += perm_strides[ax];
+                    if coords[ax] < new_shape[ax] {
+                        break;
+                    }
+                    base -= coords[ax] * perm_strides[ax];
+                    coords[ax] = 0;
+                }
             }
         }
         Self { shape: new_shape, data }

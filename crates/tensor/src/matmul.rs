@@ -26,6 +26,7 @@
 use crate::array::NdArray;
 use crate::bufpool::Buffer;
 use crate::error::{Result, TensorError};
+use std::cell::Cell;
 use testkit::pool;
 
 /// Work-per-chunk target for the parallel path, in multiply-adds. One grain
@@ -463,6 +464,516 @@ pub fn matmul_reference(a: &NdArray, b: &NdArray) -> Result<NdArray> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Transpose-aware variants (DESIGN.md §12).
+//
+// Every forward matmul spawns two backward products that read a *transposed*
+// operand (`dA = G·Bᵀ`, `dB = Aᵀ·G`). Because `NdArray` is strictly
+// contiguous row-major, computing those through [`matmul`] first materializes
+// the transposed copy and then packs it again — two redundant passes over
+// memory per matmul node. The packing stage already reorders memory, so it
+// can just as well read the *untransposed* operand with strides:
+//
+// * `Bᵀ` panels are packed by walking `B`'s rows ([`pack_bt_panels`]),
+// * `Aᵀ` row blocks are packed by walking `A`'s columns ([`pack_at_block`]),
+//
+// producing byte-identical packed buffers to the materialize-then-pack path.
+// From there the unchanged microkernel runs, so the §10 bit-exactness
+// contract (same f32 additions, ascending-k order, ±0.0 skip, thread-count
+// invariance) carries over verbatim: `matmul_nt(a, b)` is bit-equal to
+// `matmul(a, &b.transpose())` and `matmul_tn(a, b)` to
+// `matmul(&a.transpose(), b)` — property-tested below and provable on demand
+// via [`with_materialized_transposes`].
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Test hook: when set, the `matmul_nt`/`matmul_tn` entry points route
+    /// through explicit `transpose()` + [`matmul`] instead of the strided
+    /// packing paths.
+    static MATERIALIZE_TRANSPOSES: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the transpose-aware entry points forced through the
+/// materialize-then-[`matmul`] path on *this thread* (run under
+/// `pool::with_threads(1, ..)` to cover work that would otherwise fan out to
+/// workers). Exists so tests can prove the strided-packing fast paths change
+/// no bits: train or compute twice, once inside this closure, and
+/// byte-compare.
+pub fn with_materialized_transposes<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MATERIALIZE_TRANSPOSES.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(MATERIALIZE_TRANSPOSES.with(|c| c.replace(true)));
+    f()
+}
+
+fn materialize_transposes() -> bool {
+    MATERIALIZE_TRANSPOSES.with(Cell::get)
+}
+
+/// `shape` with its last two axes swapped — the shape the operand *would*
+/// have after `transpose()`, used so `matmul_nt`/`matmul_tn` errors name the
+/// same effective `(m,k) x (k',n)` dimensions as the equivalent [`matmul`].
+fn transposed_dims(shape: &[usize]) -> Vec<usize> {
+    let mut v = shape.to_vec();
+    let r = v.len();
+    if r >= 2 {
+        v.swap(r - 2, r - 1);
+    }
+    v
+}
+
+/// Packs `Bᵀ` into `NR`-wide column panels **directly from the untransposed**
+/// `b` (`n x k`, row-major): column `j0 + c` of `Bᵀ` is row `j0 + c` of `B`,
+/// so the packer walks `B`'s rows with contiguous reads and stride-`NR`
+/// writes. Writes the exact bytes [`pack_b_panels`] would produce from a
+/// materialized `b.transpose()`:
+/// `packed[p][kk][c] == Bᵀ[kk][p*NR + c] == b[(p*NR + c) * k + kk]`.
+fn pack_bt_panels(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(packed.len(), panel_count(n) * k * NR);
+    if k == 0 {
+        return; // zero-size inner axis: nothing to pack, output stays 0
+    }
+    for (p, panel) in packed.chunks_mut(k * NR).enumerate() {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        for c in 0..w {
+            let brow = &b[(j0 + c) * k..(j0 + c + 1) * k];
+            for (kk, &v) in brow.iter().enumerate() {
+                panel[kk * NR + c] = v;
+            }
+        }
+        // Right-edge panel: zero-pad the missing columns, as pack_b_panels
+        // does for a materialized transpose.
+        for c in w..NR {
+            for kk in 0..k {
+                panel[kk * NR + c] = 0.0;
+            }
+        }
+    }
+}
+
+/// Reference row-range core for `out = a · bᵀ` with `b` given untransposed
+/// (`n x k`, row-major): the exact operation sequence of
+/// [`matmul_rows_reference`] on a materialized `b.transpose()`, reading
+/// `bᵀ[kk][j]` as `b[j*k + kk]`. Serves tiny products and anchors the
+/// bitwise property tests for the packed `nt` path.
+pub(crate) fn matmul_nt_rows_reference(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    out_chunk.fill(0.0);
+    if n == 0 {
+        return; // zero-width rows: nothing to compute
+    }
+    for (li, orow) in out_chunk.chunks_mut(n).enumerate() {
+        let i = row0 + li;
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += av * b[j * k + kk];
+            }
+        }
+    }
+}
+
+/// Reference row-range core for the transposed-left product: computes rows
+/// `[row0, row0 + out_chunk.len()/n)` of the effective `[rows, kdim]` left
+/// matrix formed by stacking each batch entry's `aᵀ` (`a` is
+/// `[bs, kdim, m]` flattened; `bs == 1` gives the plain 2-D `aᵀ · b`). Row
+/// `i`'s element `kk` is read in place as `a[(i/m)·kdim·m + kk·m + i%m]` —
+/// the same value, consumed in the same ascending-`k` order with the same
+/// `0.0` skip, as [`matmul_rows_reference`] sees on a materialized
+/// transpose.
+pub(crate) fn matmul_tn_rows_reference(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    kdim: usize,
+    m: usize,
+    n: usize,
+) {
+    out_chunk.fill(0.0);
+    if n == 0 {
+        return; // zero-width rows: nothing to compute
+    }
+    for (li, orow) in out_chunk.chunks_mut(n).enumerate() {
+        let i = row0 + li;
+        let base = (i / m) * kdim * m + (i % m);
+        for kk in 0..kdim {
+            let av = a[base + kk * m];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Packs `mr` rows of the effective transposed-left matrix (row addressing
+/// as in [`matmul_tn_rows_reference`]) into a contiguous `mr x kdim` block
+/// by walking `a`'s columns. The strided column reads happen *once per row
+/// block* and amortize over every packed panel the block is multiplied
+/// against; the block holds the exact bytes of the materialized `aᵀ` rows.
+fn pack_at_block(a: &[f32], kdim: usize, m: usize, i0: usize, mr: usize, dst: &mut [f32]) {
+    for r in 0..mr {
+        let i = i0 + r;
+        let base = (i / m) * kdim * m + (i % m);
+        for (kk, o) in dst[r * kdim..(r + 1) * kdim].iter_mut().enumerate() {
+            *o = a[base + kk * m];
+        }
+    }
+}
+
+/// Packed row-range core for the transposed-left product: packs each
+/// `MR`-row block of `aᵀ` from `a`'s columns (pooled scratch, reused across
+/// blocks) and hands it to the unchanged [`matmul_rows_packed`] microkernel.
+/// Because the block holds byte-identical values to the materialized `aᵀ`
+/// rows and block boundaries fall at the same offsets (both paths restart
+/// `MR`-blocking at each chunk start), the dense-block dispatch and every
+/// f32 operation match the materialized path bit for bit.
+fn matmul_tn_rows_packed(
+    a: &[f32],
+    kdim: usize,
+    m: usize,
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    n: usize,
+) {
+    let m_chunk = out_chunk.len() / n.max(1);
+    let mut ablock = Buffer::zeroed(MR * kdim);
+    let mut i = 0;
+    while i < m_chunk {
+        let mr = MR.min(m_chunk - i);
+        pack_at_block(a, kdim, m, row0 + i, mr, &mut ablock[..mr * kdim]);
+        matmul_rows_packed(
+            &ablock[..mr * kdim],
+            packed,
+            &mut out_chunk[i * n..(i + mr) * n],
+            0,
+            kdim,
+            n,
+        );
+        i += mr;
+    }
+}
+
+/// Raw 2-D kernel for `out[m x n] = a[m x k] · bᵀ` with `b` given
+/// untransposed (`n x k`, row-major). Identical structure to
+/// [`matmul2d_kernel`] — pack once, row-chunk across the pool — except the
+/// panels come from [`pack_bt_panels`]; the microkernel itself is unchanged.
+pub(crate) fn matmul_nt2d_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if out.is_empty() {
+        return;
+    }
+    let rows_per_chunk = if pool::should_parallelize(m * k * n, MATMUL_GRAIN) {
+        (pool::grain(MATMUL_GRAIN) / (k * n).max(1)).clamp(1, m)
+    } else {
+        m
+    };
+    if !use_packed(m, n) {
+        pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+            matmul_nt_rows_reference(a, b, chunk, offset / n, k, n);
+        });
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * k * NR);
+    pack_bt_panels(b, k, n, &mut packed);
+    let packed = &packed[..];
+    pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+        matmul_rows_packed(a, packed, chunk, offset / n, k, n);
+    });
+}
+
+/// Raw kernel for the transposed-left product over `rows = bs * m` output
+/// rows: `a` is `[bs, kdim, m]` flattened (`bs == 1` gives the plain 2-D
+/// `aᵀ[m x kdim] · b[kdim x n]`), `b` is shared, `out` is `[rows, n]`.
+/// Packs `b` once with the ordinary [`pack_b_panels`] (the right operand is
+/// not transposed here) and row-chunks across the pool; each chunk packs its
+/// `MR`-row `aᵀ` blocks from `a`'s columns on the fly.
+pub(crate) fn matmul_tn_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    kdim: usize,
+    m: usize,
+    rows: usize,
+    n: usize,
+) {
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert!(m == 0 || rows % m == 0);
+    if out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(a.len(), (rows / m) * kdim * m);
+    let rows_per_chunk = if pool::should_parallelize(rows * kdim * n, MATMUL_GRAIN) {
+        (pool::grain(MATMUL_GRAIN) / (kdim * n).max(1)).clamp(1, rows)
+    } else {
+        rows
+    };
+    if !use_packed(rows, n) {
+        pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+            matmul_tn_rows_reference(a, b, chunk, offset / n, kdim, m, n);
+        });
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * kdim * NR);
+    pack_b_panels(b, kdim, n, &mut packed);
+    let packed = &packed[..];
+    pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+        matmul_tn_rows_packed(a, kdim, m, packed, chunk, offset / n, n);
+    });
+}
+
+/// Per-batch-entry core for `a · bᵀ` — the `nt` analogue of
+/// [`matmul_single`], used inside the batched fan-out.
+fn matmul_nt_single(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if !use_packed(m, n) {
+        matmul_nt_rows_reference(a, b, out, 0, k, n);
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * k * NR);
+    pack_bt_panels(b, k, n, &mut packed);
+    matmul_rows_packed(a, &packed, out, 0, k, n);
+}
+
+/// Per-batch-entry core for `aᵀ · b` — the `tn` analogue of
+/// [`matmul_single`], used inside the batched fan-out.
+fn matmul_tn_single(a: &[f32], b: &[f32], out: &mut [f32], kdim: usize, m: usize, n: usize) {
+    if !use_packed(m, n) {
+        matmul_tn_rows_reference(a, b, out, 0, kdim, m, n);
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * kdim * NR);
+    pack_b_panels(b, kdim, n, &mut packed);
+    matmul_tn_rows_packed(a, kdim, m, &packed, out, 0, n);
+}
+
+/// `a · bᵀ` with `b` passed **untransposed** — no transposed copy is ever
+/// materialized; the `Bᵀ` panels are packed straight from `B`'s rows.
+///
+/// Rank dispatch (shapes of the operands *as given*):
+///
+/// * `[m,k] x [n,k] -> [m,n]`
+/// * `[bs,m,k] x [bs,n,k] -> [bs,m,n]` (batched, parallel across entries)
+/// * `[bs,m,k] x [n,k] -> [bs,m,n]` (shared right operand, folded GEMM)
+///
+/// Bit-identical to `matmul(a, &b.transpose())` for every input, including
+/// signed zeros and non-finite values (property-tested;
+/// [`with_materialized_transposes`] forces that equivalent path at runtime).
+///
+/// # Errors
+/// Returns [`TensorError::MatmulMismatch`] for any other rank combination or
+/// inner-dimension disagreement. The error names the *effective* transposed
+/// right-operand shape, matching what the equivalent [`matmul`] would
+/// report.
+pub fn matmul_nt(a: &NdArray, b: &NdArray) -> Result<NdArray> {
+    if materialize_transposes() && b.rank() >= 2 {
+        return matmul(a, &b.transpose());
+    }
+    let err = || TensorError::MatmulMismatch {
+        lhs: a.shape().to_vec(),
+        rhs: transposed_dims(b.shape()),
+    };
+    match (a.rank(), b.rank()) {
+        (2, 2) => {
+            let (m, k) = (a.shape()[0], a.shape()[1]);
+            let (n, k2) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[m, n]);
+            matmul_nt2d_kernel(a.data(), b.data(), out.data_mut(), m, k, n);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (bs2, n, k2) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+            if k != k2 || bs != bs2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            let per = m * n;
+            if per > 0 {
+                let batches_per_chunk = if pool::should_parallelize(bs * m * k * n, MATMUL_GRAIN) {
+                    (pool::grain(MATMUL_GRAIN) / (m * k * n).max(1)).clamp(1, bs)
+                } else {
+                    bs
+                };
+                let (ad, bd) = (a.data(), b.data());
+                pool::for_each_chunk(out.data_mut(), batches_per_chunk * per, |offset, chunk| {
+                    let first = offset / per;
+                    for (j, o_sl) in chunk.chunks_mut(per).enumerate() {
+                        let i = first + j;
+                        matmul_nt_single(
+                            &ad[i * m * k..(i + 1) * m * k],
+                            &bd[i * n * k..(i + 1) * n * k],
+                            o_sl,
+                            m,
+                            k,
+                            n,
+                        );
+                    }
+                });
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (n, k2) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            // Fold the batch into the row dimension: one big GEMM sharing
+            // one packed Bᵀ.
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            matmul_nt2d_kernel(a.data(), b.data(), out.data_mut(), bs * m, k, n);
+            Ok(out)
+        }
+        _ => Err(err()),
+    }
+}
+
+/// `aᵀ · b` with `a` passed **untransposed** — no transposed copy is ever
+/// materialized; `MR`-row blocks of `Aᵀ` are packed straight from `A`'s
+/// columns.
+///
+/// Rank dispatch (shapes of the operands *as given*):
+///
+/// * `[k,m] x [k,n] -> [m,n]`
+/// * `[bs,k,m] x [bs,k,n] -> [bs,m,n]` (batched, parallel across entries)
+/// * `[bs,k,m] x [k,n] -> [bs,m,n]` (shared right operand, one packed `b`)
+///
+/// Bit-identical to `matmul(&a.transpose(), b)` for every input
+/// (property-tested; [`with_materialized_transposes`] forces that
+/// equivalent path at runtime).
+///
+/// # Errors
+/// Returns [`TensorError::MatmulMismatch`] for any other rank combination or
+/// inner-dimension disagreement. The error names the *effective* transposed
+/// left-operand shape, matching what the equivalent [`matmul`] would report.
+pub fn matmul_tn(a: &NdArray, b: &NdArray) -> Result<NdArray> {
+    if materialize_transposes() && a.rank() >= 2 {
+        return matmul(&a.transpose(), b);
+    }
+    let err = || TensorError::MatmulMismatch {
+        lhs: transposed_dims(a.shape()),
+        rhs: b.shape().to_vec(),
+    };
+    match (a.rank(), b.rank()) {
+        (2, 2) => {
+            let (k, m) = (a.shape()[0], a.shape()[1]);
+            let (k2, n) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[m, n]);
+            matmul_tn_kernel(a.data(), b.data(), out.data_mut(), k, m, m, n);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, k, m) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (bs2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+            if k != k2 || bs != bs2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            let per = m * n;
+            if per > 0 {
+                let batches_per_chunk = if pool::should_parallelize(bs * m * k * n, MATMUL_GRAIN) {
+                    (pool::grain(MATMUL_GRAIN) / (m * k * n).max(1)).clamp(1, bs)
+                } else {
+                    bs
+                };
+                let (ad, bd) = (a.data(), b.data());
+                pool::for_each_chunk(out.data_mut(), batches_per_chunk * per, |offset, chunk| {
+                    let first = offset / per;
+                    for (j, o_sl) in chunk.chunks_mut(per).enumerate() {
+                        let i = first + j;
+                        matmul_tn_single(
+                            &ad[i * k * m..(i + 1) * k * m],
+                            &bd[i * k * n..(i + 1) * k * n],
+                            o_sl,
+                            k,
+                            m,
+                            n,
+                        );
+                    }
+                });
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, k, m) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (k2, n) = (b.shape()[0], b.shape()[1]);
+            if k != k2 {
+                return Err(err());
+            }
+            // Shared right operand: pack b once, row-chunk all bs*m output
+            // rows; the row addressing in pack_at_block crosses entry
+            // boundaries exactly like the materialized batch fold.
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            matmul_tn_kernel(a.data(), b.data(), out.data_mut(), k, m, bs * m, n);
+            Ok(out)
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Batch-folded `Aᵀ·G` for the rank-3 × rank-2 backward of
+/// `[bs,m,k] x [k,n]`: `a` is `[bs,m,k]`, `g` is `[bs,m,n]`, result is
+/// `[k,n]`. Both folds are *already contiguous* `[bs*m, ·]` matrices, so
+/// this runs one 2-D transposed-left GEMM over the raw data — no reshape
+/// copies, no transpose. Bit-identical to
+/// `matmul(&a.reshape([bs*m,k]).transpose(), &g.reshape([bs*m,n]))`.
+pub(crate) fn matmul_tn_fold(a: &NdArray, g: &NdArray) -> Result<NdArray> {
+    debug_assert_eq!(a.rank(), 3);
+    debug_assert_eq!(g.rank(), 3);
+    let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let n = g.shape()[2];
+    if g.shape()[0] != bs || g.shape()[1] != m {
+        return Err(TensorError::MatmulMismatch {
+            lhs: vec![k, bs * m],
+            rhs: vec![g.shape()[0] * g.shape()[1], n],
+        });
+    }
+    if materialize_transposes() {
+        let a2 = a.reshape(&[bs * m, k])?;
+        let g2 = g.reshape(&[bs * m, n])?;
+        return matmul(&a2.transpose(), &g2);
+    }
+    let mut out = NdArray::zeros(&[k, n]);
+    matmul_tn_kernel(a.data(), g.data(), out.data_mut(), bs * m, k, k, n);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +1135,166 @@ mod tests {
             prop_assert!(fast.data().iter().zip(reference.data())
                 .all(|(x, y)| x.to_bits() == y.to_bits()));
         }
+    }
+
+    /// Shape grid for the transpose-aware variants: the ISSUE grid plus
+    /// both sides of the `MIN_PACKED_DIM` (= 4) packed/reference boundary.
+    const TDIMS: [usize; 9] = [0, 1, 3, 4, 5, 7, 17, 64, 129];
+
+    /// Bitwise equality helper for the nt/tn contract tests.
+    fn assert_bits_eq(fast: &NdArray, reference: &NdArray, ctx: &str) {
+        assert_eq!(fast.shape(), reference.shape(), "{ctx}: shapes differ");
+        for (i, (x, y)) in fast.data().iter().zip(reference.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: elem {i}: {x} vs {y}");
+        }
+    }
+
+    prop! {
+        #![config(cases = 48)]
+
+        /// Tentpole contract: `matmul_nt(a, b)` is byte-identical to
+        /// `matmul(a, b.transpose())` across shapes spanning zero-size,
+        /// `MIN_PACKED_DIM` boundaries, and multi-chunk sizes, at thread
+        /// counts 1/2/4 (with a tiny grain so small shapes still fan out).
+        fn nt_matches_materialized_bitwise(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            salt in 0u64..1000
+        ) {
+            let (m, k, n) = (TDIMS[mi], TDIMS[ki], TDIMS[ni]);
+            let a = grid_array(&[m, k], salt);
+            let b = grid_array(&[n, k], salt ^ 0xbeef);
+            let want = matmul(&a, &b.transpose()).unwrap();
+            for threads in [1usize, 2, 4] {
+                let got = pool::with_threads(threads, || {
+                    pool::with_grain(64, || matmul_nt(&a, &b).unwrap())
+                });
+                assert_bits_eq(&got, &want, &format!("nt {m}x{k}x{n} t{threads}"));
+            }
+        }
+
+        /// Tentpole contract: `matmul_tn(a, b)` is byte-identical to
+        /// `matmul(a.transpose(), b)` under the same shape/thread sweep.
+        fn tn_matches_materialized_bitwise(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            salt in 0u64..1000
+        ) {
+            let (m, k, n) = (TDIMS[mi], TDIMS[ki], TDIMS[ni]);
+            let a = grid_array(&[k, m], salt);
+            let b = grid_array(&[k, n], salt ^ 0xfeed);
+            let want = matmul(&a.transpose(), &b).unwrap();
+            for threads in [1usize, 2, 4] {
+                let got = pool::with_threads(threads, || {
+                    pool::with_grain(64, || matmul_tn(&a, &b).unwrap())
+                });
+                assert_bits_eq(&got, &want, &format!("tn {m}x{k}x{n} t{threads}"));
+            }
+        }
+
+        /// Batched (3,3) and shared-rhs (3,2) dispatch for both variants.
+        fn nt_tn_batched_match_materialized(
+            bs in 1usize..5,
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9
+        ) {
+            let (m, k, n) = (TDIMS[mi], TDIMS[ki], TDIMS[ni]);
+            let a_nt = grid_array(&[bs, m, k], bs as u64);
+            let b_nt3 = grid_array(&[bs, n, k], 31);
+            let want = matmul(&a_nt, &b_nt3.transpose()).unwrap();
+            let got = pool::with_threads(2, || {
+                pool::with_grain(64, || matmul_nt(&a_nt, &b_nt3).unwrap())
+            });
+            assert_bits_eq(&got, &want, "nt (3,3)");
+            let b_nt2 = grid_array(&[n, k], 37);
+            let want = matmul(&a_nt, &b_nt2.transpose()).unwrap();
+            let got = matmul_nt(&a_nt, &b_nt2).unwrap();
+            assert_bits_eq(&got, &want, "nt (3,2)");
+
+            let a_tn = grid_array(&[bs, k, m], bs as u64 ^ 0x55);
+            let b_tn3 = grid_array(&[bs, k, n], 41);
+            let want = matmul(&a_tn.transpose(), &b_tn3).unwrap();
+            let got = pool::with_threads(2, || {
+                pool::with_grain(64, || matmul_tn(&a_tn, &b_tn3).unwrap())
+            });
+            assert_bits_eq(&got, &want, "tn (3,3)");
+            let b_tn2 = grid_array(&[k, n], 43);
+            let want = matmul(&a_tn.transpose(), &b_tn2).unwrap();
+            let got = matmul_tn(&a_tn, &b_tn2).unwrap();
+            assert_bits_eq(&got, &want, "tn (3,2)");
+
+            // The backward batch fold (rank-3 a, rank-3 g, shared-rhs grad).
+            let g = grid_array(&[bs, m, n], 47);
+            let a_f = grid_array(&[bs, m, k], 53);
+            if let (Ok(a2), Ok(g2)) = (a_f.reshape(&[bs * m, k]), g.reshape(&[bs * m, n])) {
+                let want = matmul(&a2.transpose(), &g2).unwrap();
+                let got = matmul_tn_fold(&a_f, &g).unwrap();
+                assert_bits_eq(&got, &want, "tn fold");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_tn_reject_mismatch_with_effective_dims() {
+        // matmul_nt([2,3], [5,4]): effective product (2,3) x (4,5).
+        let a = NdArray::zeros(&[2, 3]);
+        let b = NdArray::zeros(&[5, 4]);
+        let msg = matmul_nt(&a, &b).unwrap_err().to_string();
+        assert!(msg.contains("(2,3) x (4,5)"), "message: {msg}");
+        // matmul_tn([3,2], [4,5]): effective product (2,3) x (4,5).
+        let a = NdArray::zeros(&[3, 2]);
+        let b = NdArray::zeros(&[4, 5]);
+        let msg = matmul_tn(&a, &b).unwrap_err().to_string();
+        assert!(msg.contains("(2,3) x (4,5)"), "message: {msg}");
+        // Rank mismatches are rejected, not panicked on.
+        let v = NdArray::zeros(&[3]);
+        assert!(matmul_nt(&a, &v).is_err());
+        assert!(matmul_tn(&v, &b).is_err());
+    }
+
+    #[test]
+    fn nt_tn_handle_nonfinite_like_materialized() {
+        // The ±0.0 skip is what makes inf/NaN inputs order-sensitive; pin
+        // the strided paths to the materialized behavior on those too.
+        let vals = vec![
+            0.0,
+            f32::INFINITY,
+            -0.0,
+            f32::NAN,
+            2.0,
+            f32::NEG_INFINITY,
+            1.0,
+            3.0,
+            -1.0,
+            0.0,
+            4.0,
+            -2.0,
+        ];
+        let a = NdArray::from_vec(&[4, 3], vals.clone()).unwrap();
+        let b = NdArray::from_vec(&[4, 3], vals.into_iter().rev().collect()).unwrap();
+        let want = matmul(&a, &b.transpose()).unwrap();
+        let got = matmul_nt(&a, &b).unwrap();
+        assert_bits_eq(&got, &want, "nt nonfinite");
+        let want = matmul(&a.transpose(), &b).unwrap();
+        let got = matmul_tn(&a, &b).unwrap();
+        assert_bits_eq(&got, &want, "tn nonfinite");
+    }
+
+    #[test]
+    fn materialize_hook_forces_equivalent_path() {
+        let a = grid_array(&[9, 6], 1);
+        let b = grid_array(&[8, 6], 2);
+        let fast = matmul_nt(&a, &b).unwrap();
+        let slow = with_materialized_transposes(|| matmul_nt(&a, &b).unwrap());
+        assert_bits_eq(&fast, &slow, "hook nt");
+        let at = a.transpose(); // [6, 9]: contraction axis first
+        let bt = b.transpose(); // [6, 8]
+        let fast = matmul_tn(&at, &bt).unwrap();
+        let slow = with_materialized_transposes(|| matmul_tn(&at, &bt).unwrap());
+        assert_bits_eq(&fast, &slow, "hook tn");
     }
 
     #[test]

@@ -20,8 +20,9 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::array::NdArray;
+use crate::error::Result;
 use crate::init::Prng;
-use crate::matmul::matmul;
+use crate::matmul::{matmul, matmul_nt, matmul_tn, matmul_tn_fold};
 use crate::shape::Dims;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
@@ -50,6 +51,8 @@ enum Backward {
     Tanh { t: NdArray },
     Gelu,
     Matmul { ls: Dims, rs: Dims },
+    MatmulNT { ls: Dims, rs: Dims },
+    MatmulTN { ls: Dims, rs: Dims },
     Transpose,
     Permute { inverse: Dims },
     Reshape { from: Dims },
@@ -131,13 +134,31 @@ impl Grads {
     }
 }
 
+/// Broadcast-reduces an *owned* gradient to `target`, skipping the
+/// full-array copy [`NdArray::reduce_to_shape`] makes when the shapes
+/// already match — the common case for every matmul gradient on the
+/// training hot path.
+fn reduce_owned(g: NdArray, target: &Dims) -> NdArray {
+    if g.shape() == target.as_slice() {
+        g
+    } else {
+        g.reduce_to_shape(target)
+    }
+}
+
 impl Backward {
     /// Computes the parent gradients for a node with output gradient `g`.
     /// Each arm is the former boxed closure's body, verbatim; arms that
     /// need a parent's *input* value borrow it from `parents` in place.
-    fn apply(&self, parents: &Parents, g: &NdArray) -> Grads {
+    ///
+    /// # Errors
+    /// The matmul family propagates shape mismatches as
+    /// [`TensorError::MatmulMismatch`](crate::TensorError::MatmulMismatch)
+    /// instead of panicking mid-backward, consistent with the trainer's
+    /// panic-free contract (DESIGN.md §11).
+    fn apply(&self, parents: &Parents, g: &NdArray) -> Result<Grads> {
         let parent = |i: usize| parents.as_slice()[i].value();
-        match self {
+        Ok(match self {
             Backward::Add { ls, rs } => {
                 Grads::two(g.reduce_to_shape(ls), g.reduce_to_shape(rs))
             }
@@ -183,19 +204,38 @@ impl Backward {
             Backward::Matmul { ls, rs } => {
                 let (a, b) = (parent(0), parent(1));
                 // dL/dA = G @ B^T ; dL/dB = A^T @ G, reduced over any
-                // batch-broadcast axes.
-                let ga = matmul(g, &b.transpose()).expect("matmul grad A").reduce_to_shape(ls);
+                // batch-broadcast axes. Both products run through the
+                // transpose-aware kernels (DESIGN.md §12), which pack the
+                // transposed operand from strides: bit-identical to the old
+                // materialize-then-matmul path, minus the transposed copies.
+                let ga = reduce_owned(matmul_nt(g, &b)?, ls);
                 let gb = if a.rank() == 3 && b.rank() == 2 {
-                    // [b,m,k]^T fold: sum over batch — flatten batch into rows.
-                    let m = a.shape()[1];
-                    let k = a.shape()[2];
-                    let bsz = a.shape()[0];
-                    let a2 = a.reshape(&[bsz * m, k]).expect("fold a");
-                    let g2 = g.reshape(&[bsz * m, g.shape()[2]]).expect("fold g");
-                    matmul(&a2.transpose(), &g2).expect("matmul grad B")
+                    // [b,m,k]^T fold: sum over batch. Both folds are already
+                    // contiguous [b*m, _] matrices, so this is one 2-D GEMM
+                    // over the raw data — no reshape copies.
+                    matmul_tn_fold(&a, g)?
                 } else {
-                    matmul(&a.transpose(), g).expect("matmul grad B").reduce_to_shape(rs)
+                    reduce_owned(matmul_tn(&a, g)?, rs)
                 };
+                Grads::two(ga, gb)
+            }
+            Backward::MatmulNT { ls, rs } => {
+                let (a, b) = (parent(0), parent(1));
+                // c = A @ B^T: dL/dA = G @ B ; dL/dB = G^T @ A.
+                let ga = reduce_owned(matmul(g, &b)?, ls);
+                let gb = if a.rank() == 3 && b.rank() == 2 {
+                    // Shared (broadcast) right operand: sum over batch.
+                    matmul_tn_fold(g, &a)?
+                } else {
+                    reduce_owned(matmul_tn(g, &a)?, rs)
+                };
+                Grads::two(ga, gb)
+            }
+            Backward::MatmulTN { ls, rs } => {
+                let (a, b) = (parent(0), parent(1));
+                // c = A^T @ B: dL/dA = B @ G^T ; dL/dB = A @ G.
+                let ga = reduce_owned(matmul_nt(&b, g)?, ls);
+                let gb = reduce_owned(matmul(&a, g)?, rs);
                 Grads::two(ga, gb)
             }
             Backward::Transpose => Grads::one(g.transpose()),
@@ -281,7 +321,7 @@ impl Backward {
                 )
             }
             Backward::Custom(f) => Grads::many(f(g)),
-        }
+        })
     }
 }
 
@@ -588,6 +628,27 @@ impl Var {
         Var::op(out, Parents::two(self.clone(), other.clone()), Backward::Matmul { ls, rs })
     }
 
+    /// `self @ otherᵀ` with `other` passed untransposed — equivalent to
+    /// `self.matmul(&other.transpose())` (bit-for-bit, including the
+    /// backward pass) but never materializes the transposed copy or its
+    /// graph node. Rank dispatch follows [`matmul_nt`].
+    pub fn matmul_t(&self, other: &Var) -> Var {
+        let out = matmul_nt(&self.value(), &other.value()).expect("matmul_t: incompatible shapes");
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(out, Parents::two(self.clone(), other.clone()), Backward::MatmulNT { ls, rs })
+    }
+
+    /// `selfᵀ @ other` with `self` passed untransposed — equivalent to
+    /// `self.transpose().matmul(other)` but never materializes the
+    /// transposed copy or its graph node. Rank dispatch follows
+    /// [`matmul_tn`]; gradients flow for the `(2,2)` and `(3,3)` rank
+    /// combinations (the `(3,2)` shared-rhs form is forward-only).
+    pub fn matmul_tn(&self, other: &Var) -> Var {
+        let out = matmul_tn(&self.value(), &other.value()).expect("matmul_tn: incompatible shapes");
+        let (ls, rs) = (self.shape(), other.shape());
+        Var::op(out, Parents::two(self.clone(), other.clone()), Backward::MatmulTN { ls, rs })
+    }
+
     /// Swaps the last two axes.
     pub fn transpose(&self) -> Var {
         Var::op(
@@ -781,21 +842,50 @@ impl Var {
     /// with gradient 1.
     ///
     /// # Panics
-    /// Panics if the node holds more than one element.
+    /// Panics if the node holds more than one element, or if a backward
+    /// rule fails (see [`Var::try_backward`] for the fallible form).
     pub fn backward(&self) {
+        self.try_backward().expect("backward failed");
+    }
+
+    /// Runs reverse-mode differentiation seeding this node with `grad`.
+    ///
+    /// # Panics
+    /// Panics if a backward rule fails (see [`Var::try_backward_with`]).
+    pub fn backward_with(&self, grad: NdArray) {
+        self.try_backward_with(grad).expect("backward failed");
+    }
+
+    /// Fallible form of [`Var::backward`]: shape mismatches inside matmul
+    /// backward rules surface as a typed
+    /// [`TensorError`](crate::TensorError) instead of aborting a long
+    /// training run mid-backward.
+    ///
+    /// # Errors
+    /// Propagates the first backward-rule failure, leaving already-written
+    /// gradients in place (callers should `zero_grad` before retrying).
+    ///
+    /// # Panics
+    /// Panics if the node holds more than one element — that is a misuse of
+    /// the API, not a data-dependent failure.
+    pub fn try_backward(&self) -> Result<()> {
         assert_eq!(
             self.value().numel(),
             1,
             "backward() requires a scalar; use backward_with for other shapes"
         );
-        self.backward_with(NdArray::full(&self.shape(), 1.0));
+        self.try_backward_with(NdArray::full(&self.shape(), 1.0))
     }
 
-    /// Runs reverse-mode differentiation seeding this node with `grad`.
-    pub fn backward_with(&self, grad: NdArray) {
+    /// Fallible form of [`Var::backward_with`].
+    ///
+    /// # Errors
+    /// Propagates the first backward-rule failure (see
+    /// [`Var::try_backward`]).
+    pub fn try_backward_with(&self, grad: NdArray) -> Result<()> {
         assert_eq!(grad.shape(), self.shape().as_slice(), "seed gradient shape mismatch");
         if !self.0.requires_grad {
-            return;
+            return Ok(());
         }
         let order = self.topo_order();
         {
@@ -815,7 +905,7 @@ impl Var {
             // contribution moves the array into the slot.
             let out_grad = node.0.grad.borrow();
             let Some(out_grad) = out_grad.as_ref() else { continue };
-            let parent_grads = backward.apply(&node.0.parents, out_grad);
+            let parent_grads = backward.apply(&node.0.parents, out_grad)?;
             debug_assert_eq!(parent_grads.len(), node.0.parents.as_slice().len());
             for (parent, pg) in node.0.parents.as_slice().iter().zip(parent_grads.into_iter()) {
                 if !parent.0.requires_grad {
@@ -828,6 +918,7 @@ impl Var {
                 }
             }
         }
+        Ok(())
     }
 
     /// Post-order (parents before children) topological ordering of the
@@ -907,6 +998,65 @@ mod tests {
         assert_eq!(grad_of(&a), expected_a);
         let expected_b = matmul(&a.to_array().transpose(), &NdArray::ones(&[2, 2])).unwrap();
         assert_eq!(grad_of(&b), expected_b);
+    }
+
+    #[test]
+    fn matmul_t_matches_transpose_composition() {
+        // Zero-free data: value AND both gradients of x.matmul_t(&w) must
+        // equal the explicit x.matmul(&w.transpose()) composition.
+        let a0 = NdArray::from_fn(&[3, 4], |i| (i as f32 * 0.31).sin() + 1.5);
+        let b0 = NdArray::from_fn(&[5, 4], |i| (i as f32 * 0.17).cos() + 1.5);
+        let (a, b) = (Var::parameter(a0.clone()), Var::parameter(b0.clone()));
+        let c = a.matmul_t(&b);
+        c.sum().backward();
+        let (a2, b2) = (Var::parameter(a0), Var::parameter(b0));
+        let c2 = a2.matmul(&b2.transpose());
+        c2.sum().backward();
+        assert_eq!(c.to_array(), c2.to_array());
+        assert_eq!(grad_of(&a), grad_of(&a2));
+        assert_eq!(grad_of(&b), grad_of(&b2));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_composition() {
+        let a0 = NdArray::from_fn(&[4, 3], |i| (i as f32 * 0.23).sin() + 1.5);
+        let b0 = NdArray::from_fn(&[4, 5], |i| (i as f32 * 0.41).cos() + 1.5);
+        let (a, b) = (Var::parameter(a0.clone()), Var::parameter(b0.clone()));
+        let c = a.matmul_tn(&b);
+        c.sum().backward();
+        let (a2, b2) = (Var::parameter(a0), Var::parameter(b0));
+        let c2 = a2.transpose().matmul(&b2);
+        c2.sum().backward();
+        assert_eq!(c.to_array(), c2.to_array());
+        assert_eq!(grad_of(&a), grad_of(&a2));
+        assert_eq!(grad_of(&b), grad_of(&b2));
+    }
+
+    #[test]
+    fn matmul_t_batched_shared_rhs_grads() {
+        // (3,2) rank pair: x [bs,m,k] times shared wᵀ [n,k]; the weight
+        // gradient folds the batch. Compare against the composition.
+        let x0 = NdArray::from_fn(&[2, 3, 4], |i| (i as f32 * 0.19).sin() + 1.2);
+        let w0 = NdArray::from_fn(&[5, 4], |i| (i as f32 * 0.37).cos() + 1.2);
+        let (x, w) = (Var::parameter(x0.clone()), Var::parameter(w0.clone()));
+        x.matmul_t(&w).sum().backward();
+        let (x2, w2) = (Var::parameter(x0), Var::parameter(w0));
+        x2.matmul(&w2.transpose()).sum().backward();
+        assert_eq!(grad_of(&x), grad_of(&x2));
+        assert_eq!(grad_of(&w), grad_of(&w2));
+    }
+
+    #[test]
+    fn try_backward_surfaces_matmul_mismatch() {
+        // Build a graph whose backward must fail: a (3,2)-rank matmul_tn is
+        // forward-only, so its dA rule hits an unsupported rank pair. The
+        // error must surface as Err, not a panic.
+        let a = Var::parameter(NdArray::ones(&[2, 3, 4]));
+        let b = Var::parameter(NdArray::ones(&[3, 5]));
+        let c = a.matmul_tn(&b); // [2,4,5] forward is fine
+        assert_eq!(c.shape().as_slice(), &[2, 4, 5]);
+        let err = c.sum().try_backward().unwrap_err();
+        assert!(err.to_string().contains("matmul"), "unexpected error: {err}");
     }
 
     #[test]
