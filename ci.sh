@@ -93,4 +93,25 @@ if [ "$allocs" -gt "$ALLOC_BUDGET" ]; then
 fi
 echo "ok: allocation budget held"
 
+echo "== serving gate: compiled inference parity + zero allocs/request =="
+# The tape-free serving path (DESIGN.md §13): export a fixture model, run
+# the real embed_server binary over its stdin/stdout frame protocol, then
+# verify (a) the compiled forward is byte-identical to the tape-path
+# golden outputs, (b) every server response carries those same bytes, and
+# (c) a warmed request performs zero heap allocations. TIMEDRL_THREADS=1
+# because the allocation counter is process-global.
+cargo build --release --offline -p timedrl-serve --bin embed_server --bin serve_probe
+serve_dir="$probe_dir/serve"
+TIMEDRL_THREADS=1 ./target/release/serve_probe prepare "$serve_dir"
+TIMEDRL_THREADS=1 ./target/release/embed_server --stdio "$serve_dir/model.tdrl" \
+    < "$serve_dir/request.bin" > "$serve_dir/response.bin"
+check_out=$(TIMEDRL_THREADS=1 ./target/release/serve_probe check "$serve_dir")
+echo "$check_out"
+allocs=$(echo "$check_out" | sed -n 's/^allocs_per_request=//p')
+if [ "$allocs" != "0" ]; then
+    echo "FAIL: warmed embedding request allocates $allocs blocks, budget is 0"
+    exit 1
+fi
+echo "ok: serving path bit-exact and allocation-free"
+
 echo "== CI green =="

@@ -38,6 +38,7 @@ pub mod config;
 pub mod downstream;
 pub mod encoder;
 pub mod error;
+pub mod export;
 pub mod model;
 pub mod pooling;
 pub mod pretext;
@@ -53,6 +54,9 @@ pub use downstream::{
     ForecastEvalResult, ForecastTask,
 };
 pub use encoder::Encoder;
+pub use export::{
+    decode_model_export, encode_model_export, export_model, read_model_export, ModelExport,
+};
 pub use model::{channel_independent, ContrastHead, Encoded, TimeDrl};
 pub use pooling::Pooling;
 pub use pretext::{contrastive_loss, predictive_loss, pretext_loss, PretextBreakdown};

@@ -180,6 +180,13 @@ impl TimeDrl {
         timedrl_tensor::load_parameters(path, &self.parameters())
     }
 
+    /// Writes the self-describing deployment artifact: configuration header
+    /// plus parameters in one `KIND_MODEL` container, consumable standalone
+    /// by the compiled inference path (see `crate::export`).
+    pub fn export(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        crate::export::export_model(path, self)
+    }
+
     fn embed_with(&self, x: &NdArray, extract: impl Fn(&Encoded) -> Var) -> NdArray {
         assert_eq!(x.rank(), 3, "embed expects [N, T, C]");
         let n = x.shape()[0];

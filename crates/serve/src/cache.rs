@@ -1,0 +1,192 @@
+//! LRU embedding cache keyed by window hash.
+//!
+//! The cache stores per-*window* results (one `[T, C]` window → one `z_i`
+//! row and one `[T_p, D]` `z_t` block), so a repeated window is served
+//! without touching the encoder regardless of which batch it arrives in.
+//!
+//! Semantic invisibility: the key is an FNV-1a hash of the window's f32
+//! *bit patterns*, and every hash hit is confirmed by an exact bit-level
+//! comparison against the stored window before it is served — a hash
+//! collision degrades to a miss, never to a wrong embedding. Combined with
+//! the batch-position invariance of the compiled kernels (DESIGN.md §13),
+//! a cache-enabled server is byte-for-byte indistinguishable from a
+//! cache-free one (property-tested in `tests/invisibility.rs`).
+
+/// FNV-1a (64-bit) over a window's f32 bit patterns. Distinct NaN
+/// encodings hash (and compare) as distinct, which is exactly what an
+/// invisibility guarantee wants: the cache discriminates at least as
+/// finely as the encoder does.
+pub fn window_hash(window: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in window {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Entry {
+    window: Vec<f32>,
+    z_i: Vec<f32>,
+    z_t: Vec<f32>,
+    /// Monotonic recency stamp; smallest = least recently used.
+    tick: u64,
+}
+
+/// Fixed-capacity least-recently-used cache of window embeddings.
+pub struct EmbedCache {
+    capacity: usize,
+    tick: u64,
+    entries: std::collections::HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EmbedCache {
+    /// Creates a cache holding at most `capacity` windows. A zero capacity
+    /// is a valid always-miss cache.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: std::collections::HashMap::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a window. On a hit returns the cached `(z_i row, z_t
+    /// block)` and refreshes the entry's recency; a hash collision with a
+    /// different window counts as a miss.
+    pub fn lookup(&mut self, window: &[f32]) -> Option<(&[f32], &[f32])> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&window_hash(window)) {
+            Some(e) if bits_equal(&e.window, window) => {
+                e.tick = tick;
+                self.hits += 1;
+                Some((&e.z_i, &e.z_t))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a window's embedding, evicting the least recently used
+    /// entry if the cache is full. A colliding key is overwritten (the
+    /// newer window wins — lookups for the older one then miss).
+    pub fn insert(&mut self, window: &[f32], z_i: &[f32], z_t: &[f32]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let key = window_hash(window);
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, e)| e.tick) {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                window: window.to_vec(),
+                z_i: z_i.to_vec(),
+                z_t: z_t.to_vec(),
+                tick: self.tick,
+            },
+        );
+    }
+
+    /// Windows currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the encoder.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// True if an *exact* copy of `window` is cached (no recency bump, no
+    /// counter update) — test/introspection helper.
+    pub fn contains(&self, window: &[f32]) -> bool {
+        self.entries
+            .get(&window_hash(window))
+            .is_some_and(|e| bits_equal(&e.window, window))
+    }
+}
+
+/// Bit-level f32 slice equality (`==` on floats would conflate NaNs and
+/// `±0.0`, which is the wrong equivalence for a byte-parity guarantee).
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(tag: f32) -> Vec<f32> {
+        (0..8).map(|i| tag + i as f32 * 0.25).collect()
+    }
+
+    #[test]
+    fn hit_returns_exact_bits_and_counts() {
+        let mut c = EmbedCache::new(4);
+        let w = win(1.0);
+        assert!(c.lookup(&w).is_none());
+        c.insert(&w, &[0.5, -0.5], &[1.0, 2.0, 3.0, 4.0]);
+        let (zi, zt) = c.lookup(&w).expect("hit");
+        assert_eq!(zi, &[0.5, -0.5]);
+        assert_eq!(zt, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        // Capacity 2: insert A, B; touch A; insert C => B (the LRU) goes.
+        let mut c = EmbedCache::new(2);
+        let (a, b, d) = (win(1.0), win(2.0), win(3.0));
+        c.insert(&a, &[1.0], &[1.0]);
+        c.insert(&b, &[2.0], &[2.0]);
+        assert!(c.lookup(&a).is_some());
+        c.insert(&d, &[3.0], &[3.0]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&a), "recently used entry survives");
+        assert!(c.contains(&d), "new entry present");
+        assert!(!c.contains(&b), "least recently used entry evicted");
+    }
+
+    #[test]
+    fn nan_windows_discriminate_by_bit_pattern() {
+        let mut c = EmbedCache::new(2);
+        let quiet = [f32::from_bits(0x7FC0_0000)];
+        let other = [f32::from_bits(0x7FC0_0001)];
+        c.insert(&quiet, &[1.0], &[1.0]);
+        assert!(c.lookup(&quiet).is_some(), "same NaN bits hit");
+        assert!(c.lookup(&other).is_none(), "different NaN bits miss");
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = EmbedCache::new(0);
+        let w = win(1.0);
+        c.insert(&w, &[1.0], &[1.0]);
+        assert!(c.is_empty());
+        assert!(c.lookup(&w).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! The serving loops: a stream server (stdin/stdout or any
+//! `Read`+`Write` pair) and a TCP server with a single compute thread
+//! that drains the connection queue into coalesced micro-batches.
+
+use crate::batcher::Batcher;
+use crate::cache::EmbedCache;
+use crate::compiled::CompiledModel;
+use crate::error::{Result, ServeError};
+use crate::protocol;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+
+/// Serving knobs; `Default` is sized for interactive embedding traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Largest coalesced batch per encoder pass (and per request).
+    pub max_batch: usize,
+    /// Largest accepted frame payload, in bytes. Checked against the
+    /// length prefix *before* any payload allocation.
+    pub max_payload: usize,
+    /// Windows held by the embedding cache; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { max_batch: 64, max_payload: 64 << 20, cache_capacity: 1024 }
+    }
+}
+
+/// Statistics from one serving session.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServeStats {
+    /// Requests answered with embeddings.
+    pub served: u64,
+    /// Requests answered with a typed error frame.
+    pub rejected: u64,
+    /// Cache hits / misses across the session.
+    pub cache_hits: u64,
+    /// See `cache_hits`.
+    pub cache_misses: u64,
+}
+
+/// Serves frames from `r`, writing one response frame per request to `w`,
+/// until clean end-of-stream. Malformed *requests* get an error frame and
+/// the loop continues; a torn *frame* (truncated or checksum-corrupt
+/// stream) gets an error frame and ends the session, because the stream
+/// can no longer be trusted to be frame-aligned.
+pub fn serve_stream(
+    model: &CompiledModel,
+    r: &mut impl Read,
+    w: &mut impl Write,
+    cfg: ServeConfig,
+) -> Result<ServeStats> {
+    let mut cache = EmbedCache::new(cfg.cache_capacity);
+    let batcher = Batcher::new(cfg.max_batch);
+    let mut stats = ServeStats::default();
+    // Reused across requests: steady-state frame handling allocates only
+    // inside cache inserts.
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match protocol::read_frame_into(r, &mut frame, cfg.max_payload) {
+            Ok(false) => break,
+            Ok(true) => {}
+            Err(err) => {
+                stats.rejected += 1;
+                protocol::encode_error(&mut out, &err);
+                protocol::write_frame(w, &out)?;
+                w.flush().map_err(ServeError::Io)?;
+                break;
+            }
+        }
+        let answer = protocol::decode_request(
+            &frame,
+            model.input_len(),
+            model.n_features(),
+            cfg.max_batch,
+        )
+        .and_then(|req| {
+            let mut embs = batcher.run(model, Some(&mut cache), &[req])?;
+            Ok(embs.pop().expect("one request in, one embedding out"))
+        });
+        match answer {
+            Ok(emb) => {
+                stats.served += 1;
+                protocol::encode_response(&mut out, &emb);
+            }
+            Err(err) => {
+                stats.rejected += 1;
+                protocol::encode_error(&mut out, &err);
+            }
+        }
+        protocol::write_frame(w, &out)?;
+        w.flush().map_err(ServeError::Io)?;
+    }
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    Ok(stats)
+}
+
+/// One queued unit of work: a decoded request plus the channel its
+/// encoded response frame goes back on.
+struct Job {
+    windows: timedrl_tensor::NdArray,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// Serves TCP connections on `listener` forever. Each connection gets a
+/// reader thread that decodes frames and queues jobs; a single compute
+/// thread owns the model and cache, draining however many jobs are queued
+/// the moment it goes idle into one coalesced batch (adaptive micro-
+/// batching, capped at `cfg.max_batch` windows per encoder pass).
+pub fn serve_tcp(model: CompiledModel, listener: TcpListener, cfg: ServeConfig) -> Result<()> {
+    let (t, c) = (model.input_len(), model.n_features());
+    let (tx, rx) = mpsc::channel::<Job>();
+
+    let compute = std::thread::spawn(move || {
+        let mut cache = EmbedCache::new(cfg.cache_capacity);
+        let batcher = Batcher::new(cfg.max_batch);
+        while let Ok(first) = rx.recv() {
+            // Adaptive coalescing: take everything already waiting.
+            let mut jobs = vec![first];
+            while jobs.len() < cfg.max_batch {
+                match rx.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+            let requests: Vec<_> = jobs.iter().map(|j| j.windows.clone()).collect();
+            match batcher.run(&model, Some(&mut cache), &requests) {
+                Ok(embs) => {
+                    for (job, emb) in jobs.iter().zip(&embs) {
+                        let mut out = Vec::new();
+                        protocol::encode_response(&mut out, emb);
+                        let _ = job.reply.send(out);
+                    }
+                }
+                Err(err) => {
+                    // A failed coalesced pass fails every member request.
+                    for job in &jobs {
+                        let mut out = Vec::new();
+                        protocol::encode_error(&mut out, &err);
+                        let _ = job.reply.send(out);
+                    }
+                }
+            }
+        }
+    });
+
+    for conn in listener.incoming() {
+        let stream = conn.map_err(ServeError::Io)?;
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, tx, cfg, t, c);
+        });
+    }
+    drop(tx);
+    let _ = compute.join();
+    Ok(())
+}
+
+/// Reader half of one TCP connection: decode frames, queue jobs, relay
+/// the compute thread's response frames back over the socket.
+fn serve_connection(
+    stream: std::net::TcpStream,
+    tx: mpsc::Sender<Job>,
+    cfg: ServeConfig,
+    expect_t: usize,
+    expect_c: usize,
+) -> Result<()> {
+    let mut reader = stream.try_clone().map_err(ServeError::Io)?;
+    let mut writer = stream;
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match protocol::read_frame_into(&mut reader, &mut frame, cfg.max_payload) {
+            Ok(false) => return Ok(()),
+            Ok(true) => {}
+            Err(err) => {
+                protocol::encode_error(&mut out, &err);
+                protocol::write_frame(&mut writer, &out)?;
+                return Err(err);
+            }
+        }
+        // Shape errors are rejected here, so only valid work is queued and
+        // one malformed request can never fail a coalesced batch.
+        match protocol::decode_request(&frame, expect_t, expect_c, cfg.max_batch) {
+            Ok(windows) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                tx.send(Job { windows, reply: reply_tx })
+                    .map_err(|_| ServeError::BadRequest("compute thread gone".into()))?;
+                let resp = reply_rx
+                    .recv()
+                    .map_err(|_| ServeError::BadRequest("compute thread gone".into()))?;
+                protocol::write_frame(&mut writer, &resp)?;
+            }
+            Err(err) => {
+                protocol::encode_error(&mut out, &err);
+                protocol::write_frame(&mut writer, &out)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Semantic invisibility: the embedding cache and the micro-batch
+//! coalescer are pure performance features — a served byte stream must be
+//! indistinguishable with them on or off.
+
+use timedrl::{decode_model_export, encode_model_export, Pooling, TimeDrl, TimeDrlConfig};
+use timedrl_data::PatchConfig;
+use timedrl_serve::{
+    protocol, serve_stream, Batcher, CompiledModel, EmbedCache, Embeddings, ServeConfig,
+};
+use timedrl_tensor::{NdArray, Prng};
+
+fn compiled(pooling: Pooling) -> CompiledModel {
+    let mut cfg = TimeDrlConfig::forecasting(16);
+    cfg.patch = PatchConfig::non_overlapping(4);
+    cfg.d_model = 8;
+    cfg.n_heads = 2;
+    cfg.d_ff = 16;
+    cfg.n_layers = 2;
+    cfg.pooling = pooling;
+    cfg.seed = 29;
+    let model = TimeDrl::new(cfg);
+    let payload = encode_model_export(&model);
+    CompiledModel::from_export(decode_model_export(&payload[4..]).unwrap()).unwrap()
+}
+
+#[track_caller]
+fn assert_bits_eq(label: &str, got: &NdArray, want: &NdArray) {
+    assert_eq!(got.shape(), want.shape(), "{label}: shape mismatch");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{label}: element {i} differs");
+    }
+}
+
+#[track_caller]
+fn assert_embs_eq(label: &str, got: &[Embeddings], want: &[Embeddings]) {
+    assert_eq!(got.len(), want.len(), "{label}: request count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_bits_eq(&format!("{label}: request {i} z_i"), &g.z_i, &w.z_i);
+        assert_bits_eq(&format!("{label}: request {i} z_t"), &g.z_t, &w.z_t);
+    }
+}
+
+/// Request mix with repeats across *and* within requests: batches of
+/// 1, 3, and 2 windows where request 2 repeats a window from request 0.
+fn request_mix() -> Vec<NdArray> {
+    let a = Prng::new(1).randn(&[1, 16, 1]);
+    let b = Prng::new(2).randn(&[3, 16, 1]);
+    let mut c = Prng::new(3).randn(&[2, 16, 1]);
+    c.data_mut()[..16].copy_from_slice(a.data());
+    vec![a, b, c]
+}
+
+/// Ground truth: each request embedded alone, no cache, no coalescing.
+fn one_at_a_time(model: &CompiledModel, requests: &[NdArray]) -> Vec<Embeddings> {
+    requests.iter().map(|r| model.embed(r).unwrap()).collect()
+}
+
+#[test]
+fn cache_is_byte_invisible_and_actually_hits() {
+    let model = compiled(Pooling::Cls);
+    let requests = request_mix();
+    let want = one_at_a_time(&model, &requests);
+
+    let mut cache = EmbedCache::new(64);
+    let batcher = Batcher::new(8);
+    // Two passes over the same traffic: the second is served entirely
+    // from the cache and must still be byte-identical.
+    let first = batcher.run(&model, Some(&mut cache), &requests).unwrap();
+    assert_embs_eq("cached pass 1", &first, &want);
+    // Lookups precede inserts within one coalesced run, so pass 1 is all
+    // misses; the five distinct windows are cached on the way out.
+    assert_eq!((cache.hits(), cache.misses()), (0, 6));
+    assert_eq!(cache.len(), 5, "five distinct windows cached");
+    let second = batcher.run(&model, Some(&mut cache), &requests).unwrap();
+    assert_embs_eq("cached pass 2", &second, &want);
+    assert_eq!(cache.hits(), 6, "pass 2 is served entirely from cache");
+    assert_eq!(cache.misses(), 6, "no new window reaches the encoder");
+}
+
+#[test]
+fn coalescing_is_byte_invisible() {
+    for pooling in [Pooling::Cls, Pooling::Gap, Pooling::All] {
+        let model = compiled(pooling);
+        let requests = request_mix();
+        let want = one_at_a_time(&model, &requests);
+        // No cache: all six windows stack into coalesced encoder passes.
+        for max_batch in [1usize, 4, 64] {
+            let got = Batcher::new(max_batch).run(&model, None, &requests).unwrap();
+            assert_embs_eq(&format!("{pooling:?} max_batch={max_batch}"), &got, &want);
+        }
+    }
+}
+
+#[test]
+fn cache_and_coalescer_compose_invisibly() {
+    let model = compiled(Pooling::Last);
+    let requests = request_mix();
+    let want = one_at_a_time(&model, &requests);
+    let mut cache = EmbedCache::new(2); // small: forces evictions mid-run
+    for round in 0..3 {
+        let got = Batcher::new(2).run(&model, Some(&mut cache), &requests).unwrap();
+        assert_embs_eq(&format!("round {round}"), &got, &want);
+    }
+}
+
+/// End-to-end over the stream server: the byte stream a client sees is
+/// identical whether the server caches or not.
+#[test]
+fn served_byte_stream_is_identical_with_and_without_cache() {
+    let model = compiled(Pooling::Cls);
+    let requests = request_mix();
+    let mut wire = Vec::new();
+    for req in &requests {
+        // Send the traffic twice so the cached server gets hits.
+        protocol::write_frame(&mut wire, &protocol::encode_request(req)).unwrap();
+    }
+    for req in &requests {
+        protocol::write_frame(&mut wire, &protocol::encode_request(req)).unwrap();
+    }
+
+    let serve = |cache_capacity: usize| {
+        let cfg = ServeConfig { max_batch: 8, cache_capacity, ..ServeConfig::default() };
+        let mut input = wire.as_slice();
+        let mut output = Vec::new();
+        let stats = serve_stream(&model, &mut input, &mut output, cfg).unwrap();
+        (output, stats)
+    };
+    let (with_cache, cached_stats) = serve(64);
+    let (without_cache, plain_stats) = serve(0);
+    assert_eq!(with_cache, without_cache, "served byte streams differ");
+    assert_eq!(cached_stats.served, 6);
+    assert_eq!(plain_stats.served, 6);
+    assert!(cached_stats.cache_hits > 0, "cached server never hit");
+    assert_eq!(plain_stats.cache_hits, 0);
+}

@@ -192,10 +192,12 @@ impl NdArray {
     /// `0..rank`.
     pub fn permute(&self, axes: &[usize]) -> Self {
         assert_eq!(axes.len(), self.rank(), "permutation rank mismatch");
-        let mut seen = vec![false; self.rank()];
+        // Bitmask duplicate check (rank is always < 32): keeps the hot
+        // serving path free of a per-call heap allocation.
+        let mut seen = 0u32;
         for &a in axes {
-            assert!(a < self.rank() && !seen[a], "axes must be a permutation");
-            seen[a] = true;
+            assert!(a < self.rank() && seen & (1 << a) == 0, "axes must be a permutation");
+            seen |= 1 << a;
         }
         let new_shape: Dims = axes.iter().map(|&a| self.shape[a]).collect();
         let src_strides = row_major_strides(&self.shape);

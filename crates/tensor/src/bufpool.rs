@@ -201,6 +201,22 @@ pub fn clear() {
     with_pool(Pool::clear);
 }
 
+/// Pre-sizes this thread's pool: deposits `count` blocks able to hold
+/// `len` elements each into the matching size bucket. An inference arena
+/// built on the pool calls this (or runs one warm-up pass) so that the
+/// first real request is already allocation-free; buffers are `Buffer`
+/// round-trips, so they behave exactly like recycled storage.
+pub fn reserve(len: usize, count: usize) {
+    if len == 0 {
+        return;
+    }
+    // Hold all blocks live at once, then drop: each drop routes through
+    // `recycle`, so the bucket ends up `count` deep (taking and dropping
+    // one at a time would recycle the same block repeatedly).
+    let held: Vec<Buffer> = (0..count).map(|_| Buffer::with_capacity(len)).collect();
+    drop(held);
+}
+
 /// `(recycled, misses)` counters for this thread's pool: checkouts served
 /// from the free-list vs. fresh heap allocations.
 pub fn stats() -> (u64, u64) {
@@ -267,6 +283,19 @@ mod tests {
             }
         });
         assert_eq!(n, 0, "warm pool cycles must not allocate, saw {n}");
+    }
+
+    #[test]
+    fn reserve_makes_subsequent_checkouts_allocation_free() {
+        clear();
+        reserve(500, 3);
+        let (_, n) = testkit::alloc::count_allocations(|| {
+            let a = Buffer::zeroed(500);
+            let b = Buffer::zeroed(500);
+            let c = Buffer::zeroed(400); // same bucket (512)
+            (a[0], b[0], c[0])
+        });
+        assert_eq!(n, 0, "reserved buckets must serve checkouts without the heap, saw {n}");
     }
 
     #[test]

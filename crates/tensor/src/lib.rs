@@ -40,6 +40,6 @@ pub use init::Prng;
 pub use matmul::{matmul, matmul_nt, matmul_reference, matmul_tn, with_materialized_transposes};
 pub use serialize::{
     decode_arrays, encode_arrays, load_parameters, read_arrays, read_file, save_parameters,
-    write_arrays, write_file_atomic, ByteReader, KIND_ARRAYS, KIND_TRAIN_STATE,
+    write_arrays, write_file_atomic, ByteReader, KIND_ARRAYS, KIND_MODEL, KIND_TRAIN_STATE,
 };
 pub use var::Var;

@@ -50,6 +50,10 @@ pub const KIND_ARRAYS: u32 = 1;
 /// Payload kind tag: a full training-state snapshot (parameters, optimizer
 /// moments, counters, PRNG streams — composed by `timedrl-core`).
 pub const KIND_TRAIN_STATE: u32 = 2;
+/// Payload kind tag: a self-describing model export — an inference-config
+/// header followed by the parameter arrays (composed by `timedrl-core`,
+/// consumed by `timedrl-serve`'s compiled inference path).
+pub const KIND_MODEL: u32 = 3;
 
 /// Incremental read chunk: bounds per-step allocation so a lying
 /// `payload_len` cannot trigger a huge up-front reservation.
