@@ -114,4 +114,28 @@ if [ "$allocs" != "0" ]; then
 fi
 echo "ok: serving path bit-exact and allocation-free"
 
+echo "== streaming gate: tick-by-tick equivalence + zero allocs/tick =="
+# The streaming engine (DESIGN.md §14): the equivalence property suite
+# must prove the incremental path matches the batch path — bitwise on
+# exact-stats hops, within ε between — at multiple thread counts, and a
+# warmed steady-state tick must perform zero heap allocations (measured
+# at TIMEDRL_THREADS=1 because the allocation counter is process-global).
+for threads in 1 4; do
+    echo "-- equivalence suite (TIMEDRL_THREADS=$threads) --"
+    TIMEDRL_THREADS=$threads cargo test --offline -q -p timedrl-stream --test equivalence
+done
+cargo build --release --offline -p timedrl-stream --bin stream_probe
+stream_out=$(TIMEDRL_THREADS=1 ./target/release/stream_probe)
+echo "$stream_out"
+allocs=$(echo "$stream_out" | sed -n 's/^allocs_per_tick=//p')
+if [ "$allocs" != "0" ]; then
+    echo "FAIL: warmed streaming tick allocates $allocs blocks, budget is 0"
+    exit 1
+fi
+if ! echo "$stream_out" | grep -q '^equivalence=ok$'; then
+    echo "FAIL: stream_probe did not confirm batch equivalence"
+    exit 1
+fi
+echo "ok: streaming path matches the batch path and is allocation-free"
+
 echo "== CI green =="

@@ -9,8 +9,43 @@
 //! validation data (quantile rule) yields binary detections.
 
 use crate::model::TimeDrl;
+use std::fmt;
 use timedrl_nn::Ctx;
 use timedrl_tensor::NdArray;
+
+/// A typed failure of the anomaly-scoring pipeline, surfaced as a value so
+/// unbounded-stream consumers never panic on bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnomalyError {
+    /// Scoring input had the wrong rank (expects `[N, T, C]`).
+    BadRank {
+        /// The shape actually supplied.
+        got: Vec<usize>,
+    },
+    /// Threshold calibration received no scores.
+    EmptyScores,
+    /// The calibration quantile fell outside `[0, 1]`.
+    BadQuantile {
+        /// The quantile actually supplied.
+        got: f32,
+    },
+}
+
+impl fmt::Display for AnomalyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyError::BadRank { got } => {
+                write!(f, "anomaly scoring expects [N, T, C], got rank-{} {got:?}", got.len())
+            }
+            AnomalyError::EmptyScores => write!(f, "threshold calibration needs scores"),
+            AnomalyError::BadQuantile { got } => {
+                write!(f, "calibration quantile must lie in [0, 1], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnomalyError {}
 
 /// Per-window, per-patch anomaly scores.
 #[derive(Debug, Clone)]
@@ -21,10 +56,31 @@ pub struct AnomalyScores {
     pub per_window: Vec<f32>,
 }
 
+/// Mean squared reconstruction error per patch token: `[N, T_p, W]`
+/// reconstruction vs. target → `[N, T_p]`.
+///
+/// This is the single definition of the scoring arithmetic — the batch
+/// path below and the streaming engine's per-hop scorer both call it, so
+/// their scores agree bitwise whenever their embeddings do.
+pub fn patch_errors(recon: &NdArray, target: &NdArray) -> NdArray {
+    let diff = recon.sub(target);
+    diff.mul(&diff).mean_axis(2, false)
+}
+
+/// Window-level score: the maximum per-patch error of one window's row.
+pub fn window_score(per_patch: &[f32]) -> f32 {
+    per_patch.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
 /// Scores a `[N, T, C]` batch by reconstruction error of the
 /// timestamp-predictive head.
-pub fn anomaly_scores(model: &TimeDrl, x: &NdArray) -> AnomalyScores {
-    assert_eq!(x.rank(), 3, "anomaly_scores expects [N, T, C]");
+///
+/// # Errors
+/// [`AnomalyError::BadRank`] for non-rank-3 input.
+pub fn try_anomaly_scores(model: &TimeDrl, x: &NdArray) -> Result<AnomalyScores, AnomalyError> {
+    if x.rank() != 3 {
+        return Err(AnomalyError::BadRank { got: x.shape().to_vec() });
+    }
     let n = x.shape()[0];
     let t_p = model.config().num_patches();
     let mut ctx = Ctx::eval();
@@ -36,9 +92,7 @@ pub fn anomaly_scores(model: &TimeDrl, x: &NdArray) -> AnomalyScores {
         let slice = x.slice(0, start, len).expect("score chunk");
         let enc = model.encode(&slice, &mut ctx);
         let recon = model.predict_patches(&enc.timestamps()).to_array();
-        // Mean squared error per patch token.
-        let diff = recon.sub(&enc.x_patched);
-        let err = diff.mul(&diff).mean_axis(2, false); // [len, T_p]
+        let err = patch_errors(&recon, &enc.x_patched); // [len, T_p]
         for i in 0..len {
             for p in 0..t_p {
                 per_patch.set(&[start + i, p], err.at(&[i, p]));
@@ -46,10 +100,33 @@ pub fn anomaly_scores(model: &TimeDrl, x: &NdArray) -> AnomalyScores {
         }
         start += len;
     }
-    let per_window = (0..n)
-        .map(|i| (0..t_p).map(|p| per_patch.at(&[i, p])).fold(f32::NEG_INFINITY, f32::max))
-        .collect();
-    AnomalyScores { per_patch, per_window }
+    let per_window =
+        (0..n).map(|i| window_score(&per_patch.data()[i * t_p..(i + 1) * t_p])).collect();
+    Ok(AnomalyScores { per_patch, per_window })
+}
+
+/// Panicking form of [`try_anomaly_scores`], for offline pipelines where
+/// a shape mismatch is a programming error.
+pub fn anomaly_scores(model: &TimeDrl, x: &NdArray) -> AnomalyScores {
+    match try_anomaly_scores(model, x) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The calibrated quantile threshold of an ascending-sorted score slice:
+/// the nearest-rank index `round((len − 1) · q)`. Shared by offline
+/// calibration and the streaming scorer's rolling recalibration, so both
+/// produce identical thresholds from identical scores.
+pub fn quantile_from_sorted(sorted: &[f32], quantile: f32) -> Result<f32, AnomalyError> {
+    if sorted.is_empty() {
+        return Err(AnomalyError::EmptyScores);
+    }
+    if !(0.0..=1.0).contains(&quantile) {
+        return Err(AnomalyError::BadQuantile { got: quantile });
+    }
+    let idx = (((sorted.len() - 1) as f32) * quantile).round() as usize;
+    Ok(sorted[idx])
 }
 
 /// A calibrated threshold detector over window-level scores.
@@ -61,13 +138,28 @@ pub struct AnomalyDetector {
 impl AnomalyDetector {
     /// Calibrates the threshold as the `quantile` (e.g. 0.99) of scores on
     /// normal data.
-    pub fn calibrate(normal_scores: &[f32], quantile: f32) -> Self {
-        assert!(!normal_scores.is_empty(), "need calibration scores");
-        assert!((0.0..=1.0).contains(&quantile), "quantile in [0,1]");
+    ///
+    /// # Errors
+    /// [`AnomalyError::EmptyScores`] / [`AnomalyError::BadQuantile`] on
+    /// degenerate input.
+    pub fn try_calibrate(normal_scores: &[f32], quantile: f32) -> Result<Self, AnomalyError> {
         let mut sorted = normal_scores.to_vec();
-        sorted.sort_by(f32::total_cmp);
-        let idx = (((sorted.len() - 1) as f32) * quantile).round() as usize;
-        Self { threshold: sorted[idx] }
+        sorted.sort_unstable_by(f32::total_cmp);
+        Ok(Self { threshold: quantile_from_sorted(&sorted, quantile)? })
+    }
+
+    /// Panicking form of [`AnomalyDetector::try_calibrate`].
+    pub fn calibrate(normal_scores: &[f32], quantile: f32) -> Self {
+        match Self::try_calibrate(normal_scores, quantile) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Wraps an externally computed threshold (e.g. the streaming scorer's
+    /// rolling calibration) in the detector interface.
+    pub fn with_threshold(threshold: f32) -> Self {
+        Self { threshold }
     }
 
     /// The calibrated threshold.
@@ -175,5 +267,89 @@ mod tests {
         let d90 = AnomalyDetector::calibrate(&scores, 0.90);
         let d99 = AnomalyDetector::calibrate(&scores, 0.99);
         assert!(d99.threshold() > d90.threshold());
+    }
+
+    // ------------------------------------------------------------------
+    // Direct unit tests of the scoring primitives (no trained model).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn patch_errors_hand_computed() {
+        // recon - target per patch: patch 0 diffs [1, 1], patch 1 [0, 3].
+        let recon = NdArray::from_vec(&[1, 2, 2], vec![2.0, 3.0, 5.0, 4.0]).unwrap();
+        let target = NdArray::from_vec(&[1, 2, 2], vec![1.0, 2.0, 5.0, 1.0]).unwrap();
+        let err = patch_errors(&recon, &target);
+        assert_eq!(err.shape(), &[1, 2]);
+        assert_eq!(err.at(&[0, 0]), 1.0); // (1² + 1²) / 2
+        assert_eq!(err.at(&[0, 1]), 4.5); // (0² + 3²) / 2
+    }
+
+    #[test]
+    fn window_score_is_the_patch_maximum() {
+        assert_eq!(window_score(&[0.5, 4.5, 1.0]), 4.5);
+        assert_eq!(window_score(&[-2.0, -7.0]), -2.0);
+        // Empty row: identity of the max fold, never a panic.
+        assert_eq!(window_score(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn quantile_from_sorted_nearest_rank() {
+        let s = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile_from_sorted(&s, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile_from_sorted(&s, 1.0).unwrap(), 5.0);
+        assert_eq!(quantile_from_sorted(&s, 0.5).unwrap(), 3.0);
+        // One-element calibration window: every quantile is that element.
+        assert_eq!(quantile_from_sorted(&[7.5], 0.99).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn calibrate_matches_quantile_of_unsorted_scores() {
+        let scores = [5.0f32, 1.0, 3.0, 2.0, 4.0];
+        let d = AnomalyDetector::try_calibrate(&scores, 0.5).unwrap();
+        assert_eq!(d.threshold(), 3.0);
+        assert_eq!(AnomalyDetector::with_threshold(3.0).threshold(), 3.0);
+    }
+
+    #[test]
+    fn typed_error_paths() {
+        // Rank error carries the offending shape.
+        let model = {
+            let mut cfg = TimeDrlConfig::forecasting(32);
+            cfg.epochs = 0;
+            TimeDrl::new(cfg)
+        };
+        let flat = NdArray::zeros(&[32, 1]);
+        let err = try_anomaly_scores(&model, &flat).unwrap_err();
+        assert_eq!(err, AnomalyError::BadRank { got: vec![32, 1] });
+        assert!(err.to_string().contains("rank-2"), "{err}");
+
+        // Calibration degeneracies.
+        assert_eq!(
+            AnomalyDetector::try_calibrate(&[], 0.9).unwrap_err(),
+            AnomalyError::EmptyScores
+        );
+        let err = AnomalyDetector::try_calibrate(&[1.0], 1.5).unwrap_err();
+        assert_eq!(err, AnomalyError::BadQuantile { got: 1.5 });
+        assert!(err.to_string().contains("1.5"), "{err}");
+    }
+
+    #[test]
+    fn scoring_one_window_and_detecting_nothing() {
+        // N = 1 is the smallest well-formed scoring batch; an untrained
+        // model still yields finite scores.
+        let mut cfg = TimeDrlConfig::forecasting(32);
+        cfg.epochs = 0;
+        cfg.d_model = 16;
+        cfg.d_ff = 32;
+        cfg.n_heads = 2;
+        let model = TimeDrl::new(cfg);
+        let one = sine_windows(1, 32, 7);
+        let s = try_anomaly_scores(&model, &one).unwrap();
+        assert_eq!(s.per_window.len(), 1);
+        assert_eq!(s.per_patch.shape(), &[1, model.config().num_patches()]);
+        assert!(s.per_window[0].is_finite());
+        // Detecting over an empty score slice is a no-op, not an error.
+        let d = AnomalyDetector::with_threshold(s.per_window[0]);
+        assert!(d.detect(&[]).is_empty());
     }
 }

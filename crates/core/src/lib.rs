@@ -44,7 +44,10 @@ pub mod pooling;
 pub mod pretext;
 pub mod trainer;
 
-pub use anomaly::{anomaly_scores, AnomalyDetector, AnomalyScores};
+pub use anomaly::{
+    anomaly_scores, patch_errors, quantile_from_sorted, try_anomaly_scores, window_score,
+    AnomalyDetector, AnomalyError, AnomalyScores,
+};
 pub use checkpoint::{load_training_state, save_training_state, TrainingState};
 pub use config::{EncoderKind, TimeDrlConfig};
 pub use error::TrainError;

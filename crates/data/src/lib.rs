@@ -21,6 +21,8 @@ pub use augment::Augmentation;
 pub use csv::{load_forecast_csv, parse_csv_series, CsvError};
 pub use dataset::{gather_batch, BatchIndices, ClassifyDataset, ForecastDataset};
 pub use patch::{patch_batch, patch_sample, unpatch_sample, PatchConfig};
-pub use pipeline::{instance_normalize, PipelineError, Standardizer};
+pub use pipeline::{
+    instance_normalize, InstanceStats, PipelineError, Standardizer, INSTANCE_NORM_EPS,
+};
 pub use ts_format::{load_ts, parse_ts, TsFormatError};
 pub use window::{chrono_split, sliding_windows, ChronoSplit, WindowedForecast};

@@ -31,6 +31,45 @@ impl fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// The ε added to the temporal variance before the square root, shared by
+/// every instance-normalization consumer (batch, compiled serving, and
+/// streaming paths).
+pub const INSTANCE_NORM_EPS: f32 = 1e-5;
+
+/// Per-channel temporal statistics of one `[T, C]` sample — the μ/σ pair
+/// instance normalization divides by (Eq. 1).
+///
+/// This is the single definition of that arithmetic: the batch path
+/// ([`instance_normalize`]), the compiled serving path, and the streaming
+/// engine's periodic exact recompute all build their statistics here, so
+/// "same window ⇒ same bits" holds across all three by construction
+/// rather than by parallel-maintained copies.
+#[derive(Debug, Clone)]
+pub struct InstanceStats {
+    /// Temporal mean per channel, `[1, C]`.
+    pub mean: NdArray,
+    /// `sqrt(var + ε)` per channel, `[1, C]` — the divisor, ε included.
+    pub std: NdArray,
+}
+
+impl InstanceStats {
+    /// Computes the statistics of a `[T, C]` sample with the exact batch
+    /// arithmetic: time-ordered `f32` sums for mean and population
+    /// variance, then `sqrt(var + ε)`.
+    pub fn compute(x: &NdArray) -> Self {
+        debug_assert_eq!(x.rank(), 2, "InstanceStats::compute expects [T, C]");
+        let mean = x.mean_axis(0, true);
+        let std = x.var_axis(0, true).add_scalar(INSTANCE_NORM_EPS).sqrt();
+        Self { mean, std }
+    }
+
+    /// Applies the normalization `(x − μ) / σ` to a `[T, C]` sample (or
+    /// anything broadcastable against `[1, C]`).
+    pub fn apply(&self, x: &NdArray) -> NdArray {
+        x.sub(&self.mean).div(&self.std)
+    }
+}
+
 /// Per-sample, per-channel z-scoring over the time axis: the instance
 /// normalization TimeDRL applies before patching (Eq. 1, following RevIN).
 ///
@@ -58,9 +97,7 @@ pub fn instance_normalize(x: &NdArray) -> Result<NdArray, PipelineError> {
 }
 
 fn instance_normalize_sample(x: &NdArray) -> NdArray {
-    let mean = x.mean_axis(0, true);
-    let std = x.var_axis(0, true).add_scalar(1e-5).sqrt();
-    x.sub(&mean).div(&std)
+    InstanceStats::compute(x).apply(x)
 }
 
 /// Per-channel statistics fitted on training data, applied everywhere —
@@ -130,6 +167,23 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("instance_normalize"), "{msg}");
         assert!(msg.contains("rank-1"), "{msg}");
+    }
+
+    /// Regression pin: the exact bytes `instance_normalize` produces on a
+    /// fixed input. The streaming engine's bit-exactness contract
+    /// (DESIGN.md §14) builds on this arithmetic staying put, so the
+    /// shared-stats refactor (and any future one) must not move a single
+    /// bit. The golden CRC was captured from the pre-refactor code.
+    #[test]
+    fn instance_normalize_bytes_are_pinned() {
+        let mut rng = Prng::new(0xD5EA);
+        let x = rng.randn(&[3, 37, 4]).scale(3.5).add_scalar(-1.25);
+        let y = instance_normalize(&x).unwrap();
+        let mut bytes = Vec::with_capacity(y.numel() * 4);
+        for &v in y.data() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(testkit::crc32::crc32(&bytes), 259_015_086, "batch-path bytes moved");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::error::{Result, ServeError};
 use timedrl::{read_model_export, EncoderKind, ModelExport, Pooling};
+use timedrl_data::InstanceStats;
 use timedrl_tensor::{matmul, matmul_nt, NdArray};
 
 const EPS: f32 = 1e-5;
@@ -96,6 +97,11 @@ pub struct CompiledModel {
     blocks: Vec<Block>,
     /// Additive causal mask `[S, S]`, present for the decoder variant.
     mask: Option<NdArray>,
+    /// Timestamp-predictive head `p_θ` (`[D, C·P]` weight + `[C·P]` bias) —
+    /// not part of the embedding plan, but the streaming anomaly scorer
+    /// reconstructs patches through it.
+    pred_w: NdArray,
+    pred_b: NdArray,
     plan: Vec<PlanOp>,
 }
 
@@ -171,11 +177,12 @@ impl CompiledModel {
                 ff2_b: take(&mut it, &p("ff2.b"), &[d])?,
             });
         }
-        // The pretext heads ride along in the export (they ARE part of the
-        // checkpoint) but play no role on the frozen embedding path.
+        // The contrastive head rides along in the export (it IS part of
+        // the checkpoint) but plays no role on the frozen embedding path;
+        // the predictive head is kept for streaming anomaly scoring.
         let hidden = (d / 4).max(2);
-        take(&mut it, "pred_head.w", &[d, width])?;
-        take(&mut it, "pred_head.b", &[width])?;
+        let pred_w = take(&mut it, "pred_head.w", &[d, width])?;
+        let pred_b = take(&mut it, "pred_head.b", &[width])?;
         take(&mut it, "contrast.l1.w", &[d, hidden])?;
         take(&mut it, "contrast.l1.b", &[hidden])?;
         take(&mut it, "contrast.bn.gamma", &[hidden])?;
@@ -212,6 +219,8 @@ impl CompiledModel {
             token_b,
             blocks,
             mask,
+            pred_w,
+            pred_b,
             plan,
         })
     }
@@ -229,6 +238,26 @@ impl CompiledModel {
     /// Patch-token count `T_p`.
     pub fn num_patches(&self) -> usize {
         self.t_p
+    }
+
+    /// Patch length `P` (timesteps per token).
+    pub fn patch_len(&self) -> usize {
+        self.patch_len
+    }
+
+    /// Stride `S` between patch starts — the streaming engine's hop.
+    pub fn patch_stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Patched token width `C·P`.
+    pub fn token_width(&self) -> usize {
+        self.width
+    }
+
+    /// The instance-embedding pooling strategy baked into the export.
+    pub fn pooling(&self) -> Pooling {
+        self.pooling
     }
 
     /// Latent width `D`.
@@ -268,38 +297,66 @@ impl CompiledModel {
         if shape[0] == 0 {
             return Err(ServeError::BadRequest("empty batch".into()));
         }
-        let mut patched = None;
-        let mut h = None;
+        self.embed_patched(&self.norm_patch(windows))
+    }
+
+    /// Embeds an already instance-normalized, patched `[B, T_p, C·P]`
+    /// batch — the plan from `EmbedTokens` onward. This is the streaming
+    /// engine's entry point: it maintains its own window statistics
+    /// incrementally and normalizes cached patch tokens itself, then runs
+    /// the identical transformer plan, so a streaming hop with exact
+    /// statistics is bitwise-equal to [`CompiledModel::embed`] on the
+    /// materialized window.
+    pub fn embed_patched(&self, patched: &NdArray) -> Result<Embeddings> {
+        let shape = patched.shape();
+        if shape.len() != 3 || shape[1] != self.t_p || shape[2] != self.width {
+            return Err(ServeError::BadRequest(format!(
+                "expected [B, {}, {}] patched tokens, got {shape:?}",
+                self.t_p, self.width
+            )));
+        }
+        if shape[0] == 0 {
+            return Err(ServeError::BadRequest("empty batch".into()));
+        }
+        let mut h = self.embed_tokens(patched)?;
         for op in &self.plan {
             match *op {
-                PlanOp::NormPatch => patched = Some(self.norm_patch(windows)),
-                PlanOp::EmbedTokens => {
-                    h = Some(self.embed_tokens(patched.as_ref().expect("plan order"))?)
-                }
-                PlanOp::Attention(i) => {
-                    h = Some(self.attention(i, h.as_ref().expect("plan order"))?)
-                }
-                PlanOp::FeedForward(i) => {
-                    h = Some(self.feed_forward(i, h.as_ref().expect("plan order"))?)
-                }
-                PlanOp::Split => return self.split(h.as_ref().expect("plan order")),
+                // Input already normalized + patched + token-embedded.
+                PlanOp::NormPatch | PlanOp::EmbedTokens => {}
+                PlanOp::Attention(i) => h = self.attention(i, &h)?,
+                PlanOp::FeedForward(i) => h = self.feed_forward(i, &h)?,
+                PlanOp::Split => return self.split(&h),
             }
         }
         unreachable!("plan always terminates in Split")
     }
 
-    /// Instance-normalize + patch. Same arithmetic as
-    /// `instance_normalize` + `patch_batch`, restructured to write patches
-    /// straight into one pooled output block (no per-sample `Vec`s).
+    /// The timestamp-predictive head's reconstruction of the patched input
+    /// from `z_t` (Eq. 6): `[B, T_p, D] -> [B, T_p, C·P]` — the same
+    /// arithmetic as the tape path's `TimeDrl::predict_patches`, used by
+    /// the streaming anomaly scorer.
+    pub fn reconstruct(&self, z_t: &NdArray) -> Result<NdArray> {
+        let shape = z_t.shape();
+        if shape.len() != 3 || shape[1] != self.t_p || shape[2] != self.d {
+            return Err(ServeError::BadRequest(format!(
+                "expected [B, {}, {}] timestamp embeddings, got {shape:?}",
+                self.t_p, self.d
+            )));
+        }
+        Ok(matmul(z_t, &self.pred_w)?.add(&self.pred_b))
+    }
+
+    /// Instance-normalize + patch. The statistics come from the shared
+    /// [`InstanceStats`] definition (the same arithmetic `instance_normalize`
+    /// and the streaming engine's exact recompute use), and the patch copy
+    /// writes straight into one pooled output block (no per-sample `Vec`s).
     fn norm_patch(&self, x: &NdArray) -> NdArray {
         let b = x.shape()[0];
         let c = self.n_features;
         let mut out = NdArray::zeros(&[b, self.t_p, self.width]);
         for i in 0..b {
             let xi = x.index_axis0(i); // [T, C]
-            let mean = xi.mean_axis(0, true);
-            let std = xi.var_axis(0, true).add_scalar(EPS).sqrt();
-            let norm = xi.sub(&mean).div(&std);
+            let norm = InstanceStats::compute(&xi).apply(&xi);
             let src = norm.data();
             let dst = &mut out.data_mut()[i * self.t_p * self.width..];
             for p in 0..self.t_p {

@@ -1,0 +1,136 @@
+//! Online anomaly scoring with a calibrated rolling threshold.
+//!
+//! Each hop is scored exactly like the batch `anomaly_scores` path: the
+//! compiled prediction head reconstructs the normalized patched input
+//! from `z_t`, the per-patch MSE is reduced to a window score by max,
+//! and the score is compared against a threshold. The threshold is the
+//! `q`-quantile (same nearest-rank rule as the batch
+//! `AnomalyDetector::calibrate`) over a rolling ring of recent scores,
+//! first calibrated after `warmup` scored hops and optionally
+//! re-calibrated on a fixed period thereafter.
+//!
+//! All state — the score ring and the sorting scratch — is preallocated
+//! at construction, so scoring a hop allocates nothing on the heap.
+
+use timedrl::quantile_from_sorted;
+use timedrl_tensor::NdArray;
+
+use crate::engine::{StreamUpdate, StreamingEncoder};
+use crate::error::StreamError;
+
+/// One scored hop.
+pub struct TickScore {
+    /// Stream tick at which the hop fired.
+    pub tick: u64,
+    /// Window anomaly score: max per-patch reconstruction MSE.
+    pub score: f32,
+    /// Per-patch reconstruction errors, `[1, T_p]`.
+    pub per_patch: NdArray,
+    /// Threshold in effect when this hop was scored; `None` during the
+    /// warmup period before the first calibration.
+    pub threshold: Option<f32>,
+    /// `Some(true)` if the score exceeded the threshold; `None` during
+    /// warmup.
+    pub anomalous: Option<bool>,
+}
+
+/// Rolling-threshold anomaly scorer over a stream of hops.
+pub struct OnlineAnomalyScorer {
+    quantile: f32,
+    warmup: usize,
+    recalibrate_every: Option<usize>,
+    /// Rolling ring of the most recent `warmup` scores.
+    ring: Vec<f32>,
+    next: usize,
+    filled: usize,
+    /// Preallocated sort buffer for calibration.
+    scratch: Vec<f32>,
+    threshold: Option<f32>,
+    scored_since_calibration: usize,
+}
+
+impl OnlineAnomalyScorer {
+    /// Builds a scorer that calibrates the `quantile`-threshold from the
+    /// first `warmup` scored hops, then re-calibrates from the rolling
+    /// ring every `recalibrate_every` hops (never, if `None`).
+    pub fn new(
+        quantile: f32,
+        warmup: usize,
+        recalibrate_every: Option<usize>,
+    ) -> Result<Self, StreamError> {
+        if !(0.0..=1.0).contains(&quantile) {
+            return Err(StreamError::BadConfig(format!(
+                "quantile must be in [0, 1], got {quantile}"
+            )));
+        }
+        if warmup == 0 {
+            return Err(StreamError::BadConfig(
+                "warmup must be at least 1 scored hop".into(),
+            ));
+        }
+        if recalibrate_every == Some(0) {
+            return Err(StreamError::BadConfig(
+                "recalibrate_every must be at least 1 hop".into(),
+            ));
+        }
+        Ok(Self {
+            quantile,
+            warmup,
+            recalibrate_every,
+            ring: Vec::with_capacity(warmup),
+            next: 0,
+            filled: 0,
+            scratch: Vec::with_capacity(warmup),
+            threshold: None,
+            scored_since_calibration: 0,
+        })
+    }
+
+    /// The current threshold, once calibrated.
+    pub fn threshold(&self) -> Option<f32> {
+        self.threshold
+    }
+
+    /// Scores one hop and updates the rolling state.
+    pub fn observe(
+        &mut self,
+        engine: &StreamingEncoder,
+        update: &StreamUpdate,
+    ) -> Result<TickScore, StreamError> {
+        let (per_patch, score) = engine.reconstruction_error(update)?;
+        if self.ring.len() < self.warmup {
+            self.ring.push(score);
+        } else {
+            self.ring[self.next] = score;
+        }
+        self.next = (self.next + 1) % self.warmup;
+        self.filled = (self.filled + 1).min(self.warmup);
+        self.scored_since_calibration += 1;
+
+        let due = match (self.threshold, self.recalibrate_every) {
+            (None, _) => self.filled >= self.warmup,
+            (Some(_), Some(k)) => self.scored_since_calibration >= k,
+            (Some(_), None) => false,
+        };
+        if due {
+            self.calibrate();
+        }
+        Ok(TickScore {
+            tick: update.tick,
+            score,
+            per_patch,
+            threshold: self.threshold,
+            anomalous: self.threshold.map(|t| score > t),
+        })
+    }
+
+    /// Recomputes the threshold from the rolling ring — the same sort +
+    /// nearest-rank quantile as the batch `AnomalyDetector::calibrate`.
+    fn calibrate(&mut self) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.ring[..self.filled]);
+        self.scratch.sort_unstable_by(f32::total_cmp);
+        self.threshold = quantile_from_sorted(&self.scratch, self.quantile).ok();
+        self.scored_since_calibration = 0;
+    }
+}

@@ -1,0 +1,62 @@
+//! Typed streaming errors. The engine never panics on runtime input: a
+//! malformed sample or a model execution failure is surfaced as a value
+//! so a long-running stream consumer can decide how to recover.
+
+use std::fmt;
+use timedrl_serve::ServeError;
+use timedrl_tensor::TensorError;
+
+/// Any error the streaming stack can produce.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A pushed sample's channel count differs from the model's.
+    BadSample {
+        /// Channels the engine was built for.
+        expected: usize,
+        /// Channels the caller pushed.
+        got: usize,
+    },
+    /// A constructor argument was invalid (zero capacity, zero recompute
+    /// period, readout weight shape mismatch, ...).
+    BadConfig(String),
+    /// The compiled model failed while encoding a hop.
+    Serve(ServeError),
+    /// A tensor operation failed — indicates an engine bug, surfaced
+    /// instead of panicking the stream.
+    Exec(TensorError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::BadSample { expected, got } => {
+                write!(f, "sample has {got} channels, model expects {expected}")
+            }
+            StreamError::BadConfig(msg) => write!(f, "bad stream config: {msg}"),
+            StreamError::Serve(e) => write!(f, "model execution failed: {e}"),
+            StreamError::Exec(e) => write!(f, "tensor op failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Serve(e) => Some(e),
+            StreamError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for StreamError {
+    fn from(e: ServeError) -> Self {
+        StreamError::Serve(e)
+    }
+}
+
+impl From<TensorError> for StreamError {
+    fn from(e: TensorError) -> Self {
+        StreamError::Exec(e)
+    }
+}

@@ -1,0 +1,88 @@
+//! Rolling horizon forecasts from the latest timestamp embeddings.
+//!
+//! Mirrors the batch linear-evaluation readout (`probe_forecast`): a
+//! ridge-fitted linear layer maps the flattened timestamp embeddings
+//! `[1, T_p·D]` to an `H`-step horizon in the window's normalized
+//! (RevIN) space, and predictions are de-normalized with that same
+//! window's temporal mean/std. The streaming engine already maintains
+//! exactly those statistics, so a forecast refresh is one matmul, one
+//! bias add, and a scalar rescale — allocation-free from the pool.
+//!
+//! The readout is channel-independent (fit on `[T, 1]` windows), so the
+//! de-normalizing helper applies to univariate streams; multivariate
+//! consumers can fetch the normalized prediction and rescale per
+//! channel themselves via [`StreamingEncoder::stats`].
+
+use timedrl_eval::RidgeProbe;
+use timedrl_tensor::{matmul, NdArray};
+
+use crate::engine::{StreamUpdate, StreamingEncoder};
+use crate::error::StreamError;
+
+/// A frozen linear readout refreshed against the stream's latest hop.
+pub struct RollingForecaster {
+    /// `[T_p·D, H]` readout weight.
+    weight: NdArray,
+    /// `[H]` readout bias.
+    bias: NdArray,
+}
+
+impl RollingForecaster {
+    /// Builds a forecaster from an explicit readout. `weight` must be
+    /// `[K, H]` and `bias` `[H]`.
+    pub fn new(weight: NdArray, bias: NdArray) -> Result<Self, StreamError> {
+        if weight.rank() != 2 || bias.rank() != 1 || weight.shape()[1] != bias.shape()[0] {
+            return Err(StreamError::BadConfig(format!(
+                "readout must be weight [K, H] with bias [H], got {:?} and {:?}",
+                weight.shape(),
+                bias.shape()
+            )));
+        }
+        Ok(Self { weight, bias })
+    }
+
+    /// Builds a forecaster from a fitted ridge probe — the exact readout
+    /// the batch `probe_forecast` evaluation uses.
+    pub fn from_probe(probe: &RidgeProbe) -> Result<Self, StreamError> {
+        Self::new(probe.weight().clone(), probe.bias().clone())
+    }
+
+    /// Horizon length `H`.
+    pub fn horizon(&self) -> usize {
+        self.bias.shape()[0]
+    }
+
+    /// Predicts the next `H` steps in the window's normalized space,
+    /// `[1, H]` — the same `x W + b` arithmetic as `RidgeProbe::predict`.
+    pub fn refresh(&self, update: &StreamUpdate) -> Result<NdArray, StreamError> {
+        let t_p = update.z_t.shape()[1];
+        let d = update.z_t.shape()[2];
+        let flat = update.z_t.reshape(&[1, t_p * d])?;
+        if flat.shape()[1] != self.weight.shape()[0] {
+            return Err(StreamError::BadConfig(format!(
+                "readout expects {} features, embeddings have {}",
+                self.weight.shape()[0],
+                flat.shape()[1]
+            )));
+        }
+        Ok(matmul(&flat, &self.weight)?.add(&self.bias))
+    }
+
+    /// Predicts the next `H` steps de-normalized back to the input scale
+    /// with the window statistics of `update`'s hop (RevIN). Univariate
+    /// streams only — the readout is channel-independent.
+    pub fn refresh_denormalized(
+        &self,
+        engine: &StreamingEncoder,
+        update: &StreamUpdate,
+    ) -> Result<NdArray, StreamError> {
+        if engine.channels() != 1 {
+            return Err(StreamError::BadConfig(format!(
+                "de-normalized forecasts require a univariate stream, got {} channels",
+                engine.channels()
+            )));
+        }
+        let (mean, std) = engine.stats();
+        Ok(self.refresh(update)?.scale(std[0]).add_scalar(mean[0]))
+    }
+}

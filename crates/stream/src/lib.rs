@@ -1,0 +1,66 @@
+//! # timedrl-stream
+//!
+//! Unbounded-stream inference for frozen TimeDRL encoders: push one
+//! sample per tick, get embeddings, anomaly verdicts, and horizon
+//! forecasts back — without re-encoding the whole window from scratch
+//! every tick.
+//!
+//! * [`SlidingWindow`] — fixed-capacity ring of the last `T` samples
+//!   with incremental (`f64` Welford remove/add) per-channel
+//!   normalization statistics and a periodic exact recompute that
+//!   bounds rounding drift.
+//! * [`StreamingEncoder`] — encodes only on *hop* ticks (when a new
+//!   patch completes), gathers just the newly-completed raw patch into
+//!   a token ring, and reuses the compiled model's buffer-pool kernels,
+//!   so steady-state ticks are allocation-free after
+//!   [`StreamingEncoder::warm`].
+//! * [`OnlineAnomalyScorer`] — reconstruction-error scoring with a
+//!   rolling quantile threshold, calibrated over a scored warmup window
+//!   with the same nearest-rank rule as the batch `AnomalyDetector`.
+//! * [`RollingForecaster`] — refreshes horizon predictions from the
+//!   latest timestamp embeddings with the batch ridge readout, RevIN
+//!   de-normalized by the stream's own window statistics.
+//!
+//! **Equivalence contract** (property-tested in `tests/equivalence.rs`):
+//! on hops where the statistics are exactly recomputed (`exact == true`,
+//! period [`StreamingEncoder::new`]'s `recompute_every`), the streaming
+//! output is **bitwise identical** to `CompiledModel::embed` of the
+//! materialized window — across thread counts, window/patch alignments,
+//! and cold or warm buffer pools. Between exact hops the incremental
+//! statistics track the batch values to within a small ε.
+//!
+//! ```no_run
+//! use timedrl::{decode_model_export, encode_model_export, TimeDrl, TimeDrlConfig};
+//! use timedrl_serve::CompiledModel;
+//! use timedrl_stream::{OnlineAnomalyScorer, StreamingEncoder};
+//!
+//! let model = TimeDrl::new(TimeDrlConfig::forecasting(64));
+//! let payload = encode_model_export(&model);
+//! let compiled = CompiledModel::from_export(decode_model_export(&payload[4..]).unwrap()).unwrap();
+//! let mut engine = StreamingEncoder::new(compiled, 8).unwrap();
+//! let mut scorer = OnlineAnomalyScorer::new(0.95, 32, None).unwrap();
+//! engine.warm();
+//! loop {
+//!     let sample = [0.0f32]; // your live tick
+//!     if let Some(update) = engine.push(&sample).unwrap() {
+//!         let tick = scorer.observe(&engine, &update).unwrap();
+//!         if tick.anomalous == Some(true) {
+//!             println!("anomaly at tick {} (score {})", tick.tick, tick.score);
+//!         }
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod engine;
+pub mod error;
+pub mod forecast;
+pub mod window;
+
+pub use anomaly::{OnlineAnomalyScorer, TickScore};
+pub use engine::{StreamUpdate, StreamingEncoder};
+pub use error::StreamError;
+pub use forecast::RollingForecaster;
+pub use window::SlidingWindow;

@@ -1,0 +1,273 @@
+//! Fixed-capacity sliding window over an unbounded sample stream.
+//!
+//! The window is a ring buffer of the last `capacity` samples plus
+//! per-channel running statistics maintained incrementally in `f64`
+//! (Welford's algorithm, extended with an exact remove-one update for
+//! the evicted sample). Incremental stats drift by accumulated rounding
+//! over many ticks, so [`SlidingWindow::reset_stats_from_buffer`]
+//! recomputes them from the buffered samples — the engine calls it on a
+//! configurable period to bound the drift, and uses
+//! [`SlidingWindow::exact_stats`] (the *batch* `f32` arithmetic) on
+//! those same ticks so its output is bitwise-identical to the batch
+//! path there.
+
+use timedrl_data::{InstanceStats, INSTANCE_NORM_EPS};
+use timedrl_tensor::NdArray;
+
+use crate::error::StreamError;
+
+/// Ring buffer of the most recent `capacity` samples with incremental
+/// per-channel normalization statistics.
+pub struct SlidingWindow {
+    /// `[capacity, channels]` ring storage; row `head` is the oldest.
+    buf: NdArray,
+    head: usize,
+    len: usize,
+    ticks: u64,
+    /// Welford running mean per channel, over the current window.
+    mean: Vec<f64>,
+    /// Welford running sum of squared deviations per channel.
+    m2: Vec<f64>,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window holding up to `capacity` samples of
+    /// `channels` channels each.
+    pub fn new(capacity: usize, channels: usize) -> Result<Self, StreamError> {
+        if capacity == 0 || channels == 0 {
+            return Err(StreamError::BadConfig(format!(
+                "window must be non-empty, got capacity {capacity} x channels {channels}"
+            )));
+        }
+        Ok(Self {
+            buf: NdArray::zeros(&[capacity, channels]),
+            head: 0,
+            len: 0,
+            ticks: 0,
+            mean: vec![0.0; channels],
+            m2: vec![0.0; channels],
+        })
+    }
+
+    /// Samples the window can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.shape()[0]
+    }
+
+    /// Channels per sample.
+    pub fn channels(&self) -> usize {
+        self.buf.shape()[1]
+    }
+
+    /// Samples currently buffered (`<= capacity`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True until the first sample arrives.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once `capacity` samples are buffered.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Total samples ever pushed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Pushes one sample, evicting the oldest when full. Panics if the
+    /// sample's length differs from `channels` — the engine validates
+    /// user input before it reaches this level.
+    pub fn push(&mut self, sample: &[f32]) {
+        let cap = self.capacity();
+        assert_eq!(
+            sample.len(),
+            self.channels(),
+            "sample channel count must match the window"
+        );
+        if self.len == cap {
+            let cols = self.channels();
+            let start = self.head * cols;
+            // Split the borrow: remove the evicted row's contribution,
+            // then overwrite it in place.
+            let (mean, m2) = (&mut self.mean, &mut self.m2);
+            let data = self.buf.data_mut();
+            let evicted = &data[start..start + cols];
+            welford_remove(mean, m2, self.len, evicted);
+            data[start..start + cols].copy_from_slice(sample);
+            self.head = (self.head + 1) % cap;
+            welford_add(&mut self.mean, &mut self.m2, self.len, sample);
+        } else {
+            let cols = self.channels();
+            let row = (self.head + self.len) % cap;
+            self.buf.data_mut()[row * cols..(row + 1) * cols].copy_from_slice(sample);
+            self.len += 1;
+            welford_add(&mut self.mean, &mut self.m2, self.len, sample);
+        }
+        self.ticks += 1;
+    }
+
+    /// Materializes the buffered samples, oldest first, as `[len, C]`.
+    pub fn materialize(&self) -> NdArray {
+        self.buf
+            .cyclic_rows(self.head, self.len)
+            .expect("window geometry is validated at construction")
+    }
+
+    /// Copies `rows` samples starting at logical offset `offset`
+    /// (0 = oldest buffered sample) into `out`, oldest first.
+    pub fn copy_logical_rows_into(&self, offset: usize, rows: usize, out: &mut [f32]) {
+        assert!(
+            offset + rows <= self.len,
+            "logical range {offset}..{} exceeds the {} buffered samples",
+            offset + rows,
+            self.len
+        );
+        let start = (self.head + offset) % self.capacity();
+        self.buf
+            .copy_cyclic_rows_into(start, rows, out)
+            .expect("window geometry is validated at construction");
+    }
+
+    /// Writes the *incremental* per-channel mean and standard deviation
+    /// (`sqrt(var + 1e-5)`, population variance — the same form as batch
+    /// instance normalization) into the provided slices.
+    pub fn write_running_stats(&self, mean: &mut [f32], std: &mut [f32]) {
+        let n = self.len.max(1) as f64;
+        for c in 0..self.channels() {
+            mean[c] = self.mean[c] as f32;
+            let var = (self.m2[c] / n) as f32;
+            std[c] = (var + INSTANCE_NORM_EPS).sqrt();
+        }
+    }
+
+    /// Recomputes the statistics with the *batch* arithmetic — `f32`
+    /// reductions over the materialized window, exactly what
+    /// `instance_normalize` computes. Bitwise-equal to the batch path.
+    pub fn exact_stats(&self) -> InstanceStats {
+        InstanceStats::compute(&self.materialize())
+    }
+
+    /// Re-derives the incremental `f64` accumulators from the buffered
+    /// samples with an exact two-pass sweep, discarding any rounding
+    /// drift the remove-one/add-one updates have accumulated.
+    pub fn reset_stats_from_buffer(&mut self) {
+        let cols = self.channels();
+        self.mean.iter_mut().for_each(|m| *m = 0.0);
+        self.m2.iter_mut().for_each(|m| *m = 0.0);
+        if self.len == 0 {
+            return;
+        }
+        let data = self.buf.data();
+        let cap = self.capacity();
+        for i in 0..self.len {
+            let row = (self.head + i) % cap;
+            for c in 0..cols {
+                self.mean[c] += f64::from(data[row * cols + c]);
+            }
+        }
+        let n = self.len as f64;
+        self.mean.iter_mut().for_each(|m| *m /= n);
+        for i in 0..self.len {
+            let row = (self.head + i) % cap;
+            for c in 0..cols {
+                let d = f64::from(data[row * cols + c]) - self.mean[c];
+                self.m2[c] += d * d;
+            }
+        }
+    }
+}
+
+/// Standard Welford add-one update; `n` is the count *including* `x`.
+fn welford_add(mean: &mut [f64], m2: &mut [f64], n: usize, x: &[f32]) {
+    let n = n as f64;
+    for c in 0..x.len() {
+        let xc = f64::from(x[c]);
+        let delta = xc - mean[c];
+        mean[c] += delta / n;
+        m2[c] += delta * (xc - mean[c]);
+    }
+}
+
+/// Reverse Welford update removing `x`; `n` is the count *including*
+/// `x` (so the window shrinks to `n - 1`).
+fn welford_remove(mean: &mut [f64], m2: &mut [f64], n: usize, x: &[f32]) {
+    if n == 1 {
+        mean.iter_mut().for_each(|m| *m = 0.0);
+        m2.iter_mut().for_each(|m| *m = 0.0);
+        return;
+    }
+    let rest = (n - 1) as f64;
+    for c in 0..x.len() {
+        let xc = f64::from(x[c]);
+        let old_mean = mean[c];
+        mean[c] -= (xc - old_mean) / rest;
+        // M2 shrinks by the removed point's deviation product; clamp at
+        // zero so catastrophic cancellation can never produce a negative
+        // variance.
+        m2[c] = (m2[c] - (xc - mean[c]) * (xc - old_mean)).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_and_materializes_in_order() {
+        let mut w = SlidingWindow::new(3, 2).unwrap();
+        for i in 0..5 {
+            w.push(&[i as f32, 10.0 + i as f32]);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.ticks(), 5);
+        let m = w.materialize();
+        assert_eq!(m.shape(), &[3, 2]);
+        assert_eq!(m.data(), &[2.0, 12.0, 3.0, 13.0, 4.0, 14.0]);
+    }
+
+    #[test]
+    fn running_stats_match_exact_stats_on_small_windows() {
+        let mut w = SlidingWindow::new(4, 1).unwrap();
+        for x in [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            w.push(&[x]);
+        }
+        // Window is [3,4,5,6]: mean 4.5, var 1.25.
+        let mut mean = [0.0f32];
+        let mut std = [0.0f32];
+        w.write_running_stats(&mut mean, &mut std);
+        assert!((mean[0] - 4.5).abs() < 1e-6);
+        assert!((std[0] - (1.25f32 + INSTANCE_NORM_EPS).sqrt()).abs() < 1e-6);
+        let exact = w.exact_stats();
+        assert!((exact.mean.data()[0] - mean[0]).abs() < 1e-6);
+        assert!((exact.std.data()[0] - std[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn copy_logical_rows_reads_across_the_wrap() {
+        let mut w = SlidingWindow::new(4, 1).unwrap();
+        for x in 0..6 {
+            w.push(&[x as f32]);
+        }
+        // Logical window is [2,3,4,5]; rows 2..4 are [4,5].
+        let mut out = [0.0f32; 2];
+        w.copy_logical_rows_into(2, 2, &mut out);
+        assert_eq!(out, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn rejects_empty_geometry() {
+        assert!(matches!(
+            SlidingWindow::new(0, 3),
+            Err(StreamError::BadConfig(_))
+        ));
+        assert!(matches!(
+            SlidingWindow::new(3, 0),
+            Err(StreamError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Edge cases for the sliding-window ring and its incremental
+//! statistics: degenerate capacities, exact-wraparound ticks, streams
+//! shorter than one patch, and the Welford drift bound under an
+//! adversarial million-tick stream.
+
+use timedrl::{decode_model_export, encode_model_export, TimeDrl, TimeDrlConfig};
+use timedrl_data::{InstanceStats, PatchConfig};
+use timedrl_serve::CompiledModel;
+use timedrl_stream::{SlidingWindow, StreamError, StreamingEncoder};
+use timedrl_tensor::Prng;
+
+fn compile(model: &TimeDrl) -> CompiledModel {
+    let payload = encode_model_export(model);
+    CompiledModel::from_export(decode_model_export(&payload[4..]).expect("export"))
+        .expect("compile")
+}
+
+#[test]
+fn capacity_one_window_tracks_the_latest_sample() {
+    let mut w = SlidingWindow::new(1, 2).unwrap();
+    let mut mean = [0.0f32; 2];
+    let mut std = [0.0f32; 2];
+    for i in 0..10 {
+        w.push(&[i as f32, -(i as f32)]);
+        assert_eq!(w.len(), 1);
+        assert!(w.is_full());
+        let m = w.materialize();
+        assert_eq!(m.data(), &[i as f32, -(i as f32)]);
+        // A one-sample window has zero variance: mean is the sample,
+        // std collapses to sqrt(eps) — for the incremental and the
+        // exact path alike.
+        w.write_running_stats(&mut mean, &mut std);
+        let exact = w.exact_stats();
+        assert_eq!(mean[0], i as f32);
+        assert_eq!(exact.mean.data(), &[i as f32, -(i as f32)]);
+        assert!((std[0] - exact.std.data()[0]).abs() < 1e-7);
+    }
+    assert_eq!(w.ticks(), 10);
+}
+
+#[test]
+fn exact_wraparound_ticks_keep_logical_order() {
+    let cap = 5;
+    let mut w = SlidingWindow::new(cap, 1).unwrap();
+    // Push exactly 2 and then 3 full revolutions of the ring; at every
+    // multiple of the capacity, the head is back at physical row 0 and
+    // the logical order must still be oldest-first.
+    for i in 0..(2 * cap) {
+        w.push(&[i as f32]);
+    }
+    let m = w.materialize();
+    let expect: Vec<f32> = (cap..2 * cap).map(|i| i as f32).collect();
+    assert_eq!(m.data(), &expect[..]);
+    for i in (2 * cap)..(3 * cap) {
+        w.push(&[i as f32]);
+    }
+    let m = w.materialize();
+    let expect: Vec<f32> = (2 * cap..3 * cap).map(|i| i as f32).collect();
+    assert_eq!(m.data(), &expect[..]);
+    // One more push makes the window straddle the wrap again.
+    w.push(&[99.0]);
+    let m = w.materialize();
+    assert_eq!(m.data(), &[11.0, 12.0, 13.0, 14.0, 99.0]);
+}
+
+#[test]
+fn engine_stays_silent_until_one_full_window_arrived() {
+    let mut cfg = TimeDrlConfig::forecasting(16);
+    cfg.patch = PatchConfig::non_overlapping(4);
+    cfg.d_model = 8;
+    cfg.n_heads = 2;
+    cfg.d_ff = 16;
+    cfg.n_layers = 1;
+    let model = TimeDrl::new(cfg);
+    let mut engine = StreamingEncoder::new(compile(&model), 1).unwrap();
+    let series = Prng::new(3).randn(&[16, 1]);
+    // Fewer samples than one patch, then fewer than a window: no hops.
+    for i in 0..15 {
+        assert!(engine.push(&[series.data()[i]]).unwrap().is_none(), "tick {i} must buffer");
+    }
+    // The 16th sample completes the window and fires the first hop.
+    let update = engine.push(&[series.data()[15]]).unwrap().expect("first hop");
+    assert_eq!(update.tick, 16);
+    assert!(update.exact);
+    assert_eq!(engine.hops(), 1);
+}
+
+#[test]
+fn engine_rejects_wrong_channel_count_as_a_value() {
+    let mut cfg = TimeDrlConfig::forecasting(8);
+    cfg.patch = PatchConfig::non_overlapping(4);
+    cfg.d_model = 8;
+    cfg.n_heads = 2;
+    cfg.d_ff = 16;
+    cfg.n_layers = 1;
+    let model = TimeDrl::new(cfg);
+    let mut engine = StreamingEncoder::new(compile(&model), 1).unwrap();
+    let err = engine.push(&[1.0, 2.0]).err().expect("two channels must be rejected");
+    match err {
+        StreamError::BadSample { expected: 1, got: 2 } => {}
+        other => panic!("expected BadSample, got: {other}"),
+    }
+    assert_eq!(engine.ticks(), 0, "a rejected sample must not advance the stream");
+}
+
+#[test]
+fn welford_drift_stays_bounded_over_a_million_adversarial_ticks() {
+    // Adversarial magnitudes: huge values alternating with tiny ones
+    // maximize cancellation in the remove-one update. The incremental
+    // stats may drift between recomputes, but a periodic
+    // reset_stats_from_buffer must keep the error within ε of the
+    // exact batch statistics at all times.
+    let cap = 64;
+    let mut w = SlidingWindow::new(cap, 2).unwrap();
+    let mut rng = Prng::new(42);
+    let noise = rng.randn(&[1024, 2]);
+    let mut mean = [0.0f32; 2];
+    let mut std = [0.0f32; 2];
+    let mut max_rel = 0.0f32;
+    const RESET_EVERY: u64 = 256;
+    for i in 0u64..1_000_000 {
+        let base = noise.data()[(i as usize % 1024) * 2];
+        let spike = if i % 3 == 0 { 1e6 } else { 1e-3 };
+        let x = [base * spike, base - spike];
+        w.push(&x);
+        if w.ticks() % RESET_EVERY == 0 {
+            w.reset_stats_from_buffer();
+        }
+        if i % 1000 == 999 {
+            w.write_running_stats(&mut mean, &mut std);
+            let exact = w.exact_stats();
+            for c in 0..2 {
+                let rel = (std[c] - exact.std.data()[c]).abs() / exact.std.data()[c].max(1e-12);
+                max_rel = max_rel.max(rel);
+            }
+        }
+    }
+    assert!(
+        max_rel <= 1e-3,
+        "incremental std drifted {max_rel} relative to exact stats"
+    );
+    // And immediately after a reset the accumulators agree to f32
+    // rounding with the exact statistics.
+    w.reset_stats_from_buffer();
+    w.write_running_stats(&mut mean, &mut std);
+    let exact = w.exact_stats();
+    for c in 0..2 {
+        let rel = (std[c] - exact.std.data()[c]).abs() / exact.std.data()[c].max(1e-12);
+        assert!(rel <= 1e-5, "post-reset std still off by {rel}");
+        let mean_err = (mean[c] - exact.mean.data()[c]).abs();
+        let scale = exact.std.data()[c].max(1e-12);
+        assert!(mean_err / scale <= 1e-5, "post-reset mean off by {mean_err}");
+    }
+    let _ = InstanceStats::compute(&w.materialize());
+}

@@ -649,6 +649,61 @@ impl NdArray {
         Ok(Self { shape: out_shape, data })
     }
 
+    /// Materializes `len` cyclically-consecutive rows of a rank-2 array:
+    /// rows `start, start+1, …` taken modulo the row count, wrapping past
+    /// the end at most once. This is the sub-window view a ring buffer
+    /// needs — the streaming engine stores samples (and patch tokens) in
+    /// rotation and reads logical windows out of them without ever
+    /// rotating storage. At most two contiguous copies, into a pooled
+    /// buffer.
+    ///
+    /// # Errors
+    /// [`TensorError::AxisOutOfRange`] for non-rank-2 input,
+    /// [`TensorError::SliceOutOfBounds`] when `start` is not a valid row
+    /// or `len` exceeds the row count.
+    pub fn cyclic_rows(&self, start: usize, len: usize) -> Result<Self> {
+        let cols = self.check_cyclic_rows(start, len)?;
+        let mut data = Buffer::with_capacity(len * cols);
+        let rows = self.shape[0];
+        let first = (rows - start).min(len);
+        data.extend_from_slice(&self.data[start * cols..(start + first) * cols]);
+        data.extend_from_slice(&self.data[..(len - first) * cols]);
+        Ok(Self { shape: Dims::from([len, cols]), data })
+    }
+
+    /// The into-slice form of [`NdArray::cyclic_rows`]: copies the same
+    /// `len × cols` window into `out` without creating an array — the
+    /// zero-allocation path for per-tick ring reads.
+    ///
+    /// # Errors
+    /// As [`NdArray::cyclic_rows`], plus [`TensorError::ShapeDataMismatch`]
+    /// when `out` is not exactly `len * cols` long.
+    pub fn copy_cyclic_rows_into(&self, start: usize, len: usize, out: &mut [f32]) -> Result<()> {
+        let cols = self.check_cyclic_rows(start, len)?;
+        if out.len() != len * cols {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: vec![len, cols],
+                data_len: out.len(),
+            });
+        }
+        let rows = self.shape[0];
+        let first = (rows - start).min(len);
+        out[..first * cols].copy_from_slice(&self.data[start * cols..(start + first) * cols]);
+        out[first * cols..].copy_from_slice(&self.data[..(len - first) * cols]);
+        Ok(())
+    }
+
+    fn check_cyclic_rows(&self, start: usize, len: usize) -> Result<usize> {
+        if self.rank() != 2 {
+            return Err(TensorError::AxisOutOfRange { axis: 2, rank: self.rank() });
+        }
+        let rows = self.shape[0];
+        if start >= rows || len > rows {
+            return Err(TensorError::SliceOutOfBounds { axis: 0, start, len, dim: rows });
+        }
+        Ok(self.shape[1])
+    }
+
     /// Concatenates arrays along `axis`. All other dimensions must agree.
     ///
     /// # Panics
@@ -785,6 +840,42 @@ mod tests {
         let e = NdArray::eye(3);
         assert_eq!(e.at(&[1, 1]), 1.0);
         assert_eq!(e.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn cyclic_rows_wraps_once() {
+        let x = arr2(&[&[0.0, 1.0], &[10.0, 11.0], &[20.0, 21.0], &[30.0, 31.0]]);
+        // No wrap: plain sub-window.
+        let w = x.cyclic_rows(1, 2).unwrap();
+        assert_eq!(w.data(), &[10.0, 11.0, 20.0, 21.0]);
+        // Wrap: rows 3, 0, 1.
+        let w = x.cyclic_rows(3, 3).unwrap();
+        assert_eq!(w.shape(), &[3, 2]);
+        assert_eq!(w.data(), &[30.0, 31.0, 0.0, 1.0, 10.0, 11.0]);
+        // Full rotation from every start reproduces a rolled copy.
+        let full = x.cyclic_rows(2, 4).unwrap();
+        assert_eq!(full.data(), &[20.0, 21.0, 30.0, 31.0, 0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn copy_cyclic_rows_into_matches_materialized() {
+        let x = arr2(&[&[1.0], &[2.0], &[3.0]]);
+        let mut out = [0.0f32; 3];
+        x.copy_cyclic_rows_into(2, 3, &mut out).unwrap();
+        assert_eq!(out, [3.0, 1.0, 2.0]);
+        assert!(x.copy_cyclic_rows_into(0, 2, &mut out).is_err(), "length mismatch");
+    }
+
+    #[test]
+    fn cyclic_rows_rejects_bad_shapes() {
+        let x = NdArray::zeros(&[4]);
+        assert!(x.cyclic_rows(0, 1).is_err(), "rank-1 rejected");
+        let x = NdArray::zeros(&[4, 2]);
+        assert!(x.cyclic_rows(4, 1).is_err(), "start past the end");
+        assert!(x.cyclic_rows(0, 5).is_err(), "len beyond the row count");
+        // Capacity-1 ring: the degenerate window is still well-formed.
+        let one = NdArray::from_vec(&[1, 2], vec![7.0, 8.0]).unwrap();
+        assert_eq!(one.cyclic_rows(0, 1).unwrap().data(), &[7.0, 8.0]);
     }
 
     #[test]
