@@ -114,6 +114,40 @@ if [ "$allocs" != "0" ]; then
 fi
 echo "ok: serving path bit-exact and allocation-free"
 
+echo "== quantized-serving gate: relaxed tier quality + typed refusal =="
+# The relaxed exactness tier (DESIGN.md §15): int8 quantized serving must
+# not change downstream answers. The probe fits the paper's linear
+# readouts on exact- and relaxed-tier embeddings of one dataset and
+# requires classification accuracy and forecast MSE to agree within ε,
+# plus the zero-allocation steady state on the relaxed path.
+cargo build --release --offline -p timedrl-bench --bin quant_probe
+quant_out=$(TIMEDRL_THREADS=1 ./target/release/quant_probe)
+echo "$quant_out"
+if ! echo "$quant_out" | grep -q '^quality=ok$'; then
+    echo "FAIL: relaxed tier drifted beyond the quality budget"
+    exit 1
+fi
+# A relaxed server's responses are only ε-comparable: the byte-exact
+# golden gate must *refuse* them with the typed precision-mismatch error
+# rather than report a spurious byte diff.
+cp "$serve_dir/response.bin" "$serve_dir/response_exact.bin"
+TIMEDRL_THREADS=1 ./target/release/embed_server --stdio --precision relaxed \
+    "$serve_dir/model.tdrl" < "$serve_dir/request.bin" > "$serve_dir/response.bin"
+if refusal=$(TIMEDRL_THREADS=1 ./target/release/serve_probe check "$serve_dir" 2>&1); then
+    echo "FAIL: serve_probe byte-compared a relaxed response against exact goldens"
+    exit 1
+fi
+if ! echo "$refusal" | grep -q "precision mismatch"; then
+    echo "FAIL: relaxed refusal was not the typed precision-mismatch error:"
+    echo "$refusal"
+    exit 1
+fi
+cp "$serve_dir/response_exact.bin" "$serve_dir/response.bin"
+# The exact tier must be untouched by the quantized kernels landing:
+# re-run the strict bitwise parity suite as part of this gate.
+TIMEDRL_THREADS=1 cargo test --offline -q -p timedrl-serve --test parity
+echo "ok: relaxed tier within quality budget, exact tier still bitwise, refusal typed"
+
 echo "== streaming gate: tick-by-tick equivalence + zero allocs/tick =="
 # The streaming engine (DESIGN.md §14): the equivalence property suite
 # must prove the incremental path matches the batch path — bitwise on

@@ -11,7 +11,7 @@
 //! ```text
 //! u64 input_len   u64 n_features   u64 patch_len   u64 stride
 //! u64 d_model     u64 n_heads      u64 d_ff        u64 n_layers
-//! u32 encoder-tag u32 pooling-tag
+//! u32 encoder-tag u32 pooling-tag  u32 precision-tag
 //! arrays section (u32 count, then each array — stable parameters() order)
 //! ```
 //!
@@ -36,6 +36,51 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Inference exactness tier of a deployment artifact (DESIGN.md §15).
+///
+/// The tier is a property of the *artifact*, not of the host: an export
+/// tagged [`Precision::Relaxed`] opts its serving process into the
+/// quantized/FMA kernel lowering, and every response derived from it is
+/// tagged accordingly on the wire so downstream consumers can never
+/// mistake relaxed embeddings for bit-exact ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// The bit-exactness contract of DESIGN.md §10: identical results to
+    /// the training tape, thread-count invariant, byte-comparable against
+    /// goldens. The default — relaxed serving is strictly opt-in.
+    #[default]
+    Exact,
+    /// Relaxed-exactness serving: linear layers run the int8 per-channel
+    /// quantized GEMM and activation products the FMA kernels. Results are
+    /// deterministic for a given artifact and host, but are *not* bit-equal
+    /// to the exact tier and must never be compared against exact goldens.
+    Relaxed,
+}
+
+impl Precision {
+    /// Stable tag order for container headers and wire responses.
+    pub const ALL: [Precision; 2] = [Precision::Exact, Precision::Relaxed];
+
+    /// The stable `u32` tag used in export headers and wire responses.
+    pub fn tag(self) -> u32 {
+        Self::ALL.iter().position(|p| *p == self).expect("precision in ALL") as u32
+    }
+
+    /// Inverse of [`Precision::tag`]; `None` for an unknown tag.
+    pub fn from_tag(tag: u32) -> Option<Precision> {
+        Self::ALL.get(tag as usize).copied()
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::Exact => "exact",
+            Precision::Relaxed => "relaxed",
+        })
+    }
+}
+
 /// A decoded `KIND_MODEL` container: the inference configuration plus the
 /// parameter arrays in stable `parameters()` order.
 #[derive(Debug)]
@@ -45,6 +90,8 @@ pub struct ModelExport {
     pub config: TimeDrlConfig,
     /// Parameter arrays, in the same order `TimeDrl::parameters` yields.
     pub arrays: Vec<NdArray>,
+    /// Exactness tier this artifact opts its serving process into.
+    pub precision: Precision,
 }
 
 impl ModelExport {
@@ -87,9 +134,14 @@ fn pooling_tag(p: Pooling) -> u32 {
 }
 
 /// Encodes the full export payload (kind tag + header + arrays) for a
-/// model. Exposed separately from [`export_model`] so tests can corrupt
-/// the bytes in memory.
+/// model at the default [`Precision::Exact`] tier. Exposed separately from
+/// [`export_model`] so tests can corrupt the bytes in memory.
 pub fn encode_model_export(model: &TimeDrl) -> Vec<u8> {
+    encode_model_export_with(model, Precision::default())
+}
+
+/// Encodes the full export payload with an explicit exactness tier.
+pub fn encode_model_export_with(model: &TimeDrl, precision: Precision) -> Vec<u8> {
     let cfg = model.config();
     let mut payload = Vec::new();
     payload.extend_from_slice(&KIND_MODEL.to_le_bytes());
@@ -107,6 +159,7 @@ pub fn encode_model_export(model: &TimeDrl) -> Vec<u8> {
     }
     payload.extend_from_slice(&encoder_tag(cfg.encoder).to_le_bytes());
     payload.extend_from_slice(&pooling_tag(cfg.pooling).to_le_bytes());
+    payload.extend_from_slice(&precision.tag().to_le_bytes());
     let arrays: Vec<NdArray> = model.parameters().iter().map(|p| p.to_array()).collect();
     let refs: Vec<&NdArray> = arrays.iter().collect();
     encode_arrays(&mut payload, &refs);
@@ -132,6 +185,9 @@ pub fn decode_model_export(payload: &[u8]) -> io::Result<ModelExport> {
     let pooling = *Pooling::ALL
         .get(pool as usize)
         .ok_or_else(|| invalid(format!("unknown pooling tag {pool}")))?;
+    let prec = r.u32()?;
+    let precision =
+        Precision::from_tag(prec).ok_or_else(|| invalid(format!("unknown precision tag {prec}")))?;
     let config = TimeDrlConfig {
         input_len,
         n_features,
@@ -163,13 +219,25 @@ pub fn decode_model_export(payload: &[u8]) -> io::Result<ModelExport> {
     config.check().map_err(|msg| invalid(format!("export header invalid: {msg}")))?;
     let arrays = decode_arrays(&mut r)?;
     r.finish()?;
-    Ok(ModelExport { config, arrays })
+    Ok(ModelExport { config, arrays, precision })
 }
 
 /// Atomically writes a model's self-describing export container to `path`
-/// (temp file + fsync + rename, like every other checkpoint writer).
+/// (temp file + fsync + rename, like every other checkpoint writer) at the
+/// default [`Precision::Exact`] tier.
 pub fn export_model(path: impl AsRef<Path>, model: &TimeDrl) -> io::Result<()> {
     write_file_atomic(path, &encode_model_export(model))
+}
+
+/// Atomically writes an export container with an explicit exactness tier.
+/// Tagging an artifact [`Precision::Relaxed`] is the opt-in that lets its
+/// serving process lower linear layers onto the quantized/FMA kernels.
+pub fn export_model_with(
+    path: impl AsRef<Path>,
+    model: &TimeDrl,
+    precision: Precision,
+) -> io::Result<()> {
+    write_file_atomic(path, &encode_model_export_with(model, precision))
 }
 
 /// Reads and validates a `KIND_MODEL` export container from `path`.
@@ -207,6 +275,7 @@ mod tests {
         assert_eq!(export.config.d_model, 8);
         assert_eq!(export.config.encoder, EncoderKind::TransformerEncoder);
         assert_eq!(export.config.pooling, Pooling::Cls);
+        assert_eq!(export.precision, Precision::Exact);
         let params = model.parameters();
         assert_eq!(export.arrays.len(), params.len());
         for (p, a) in params.iter().zip(&export.arrays) {
@@ -252,6 +321,21 @@ mod tests {
         let mut bad = payload[4..].to_vec();
         bad[68] = 0xFF;
         assert!(decode_model_export(&bad).unwrap_err().to_string().contains("pooling tag"));
+        // Precision tag sits after the pooling tag.
+        let mut bad = payload[4..].to_vec();
+        bad[72] = 0xFF;
+        assert!(decode_model_export(&bad).unwrap_err().to_string().contains("precision tag"));
+    }
+
+    #[test]
+    fn relaxed_precision_round_trips() {
+        let model = tiny_model();
+        let payload = encode_model_export_with(&model, Precision::Relaxed);
+        let export = decode_model_export(&payload[4..]).unwrap();
+        assert_eq!(export.precision, Precision::Relaxed);
+        assert_eq!(Precision::from_tag(Precision::Relaxed.tag()), Some(Precision::Relaxed));
+        assert_eq!(Precision::from_tag(99), None);
+        assert_eq!(Precision::Relaxed.to_string(), "relaxed");
     }
 
     #[test]

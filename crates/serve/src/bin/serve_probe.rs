@@ -16,10 +16,10 @@ use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 use testkit::alloc::count_allocations;
-use timedrl::{TimeDrl, TimeDrlConfig};
+use timedrl::{Precision, TimeDrl, TimeDrlConfig};
 use timedrl_data::PatchConfig;
 use timedrl_nn::Ctx;
-use timedrl_serve::{protocol, CompiledModel};
+use timedrl_serve::{protocol, CompiledModel, ServeError};
 use timedrl_tensor::{NdArray, Prng};
 
 /// Fixture batch size; `check` warms and measures at exactly this size.
@@ -83,6 +83,15 @@ fn check(dir: &Path) -> ExitCode {
         Ok(m) => m,
         Err(e) => return fail(format_args!("cannot load fixture model: {e}")),
     };
+    // The goldens are exact-tier bytes; byte-comparing a relaxed model
+    // against them would be a meaningless gate, so refuse with the typed
+    // error instead of reporting a spurious mismatch.
+    if model.precision() != Precision::Exact {
+        return fail(ServeError::PrecisionMismatch {
+            expected: "exact",
+            actual: "relaxed",
+        });
+    }
     let windows = fixture_windows();
 
     // Warm the arena at the measured batch size, then require the steady
@@ -129,10 +138,18 @@ fn check(dir: &Path) -> ExitCode {
                 Ok(true) => {}
                 Err(e) => return fail(format_args!("response frame {count}: {e}")),
             }
-            let resp = match protocol::decode_response(&frame) {
+            let (resp, precision) = match protocol::decode_response(&frame) {
                 Ok(r) => r,
                 Err(e) => return fail(format_args!("response frame {count}: {e}")),
             };
+            if precision != Precision::Exact {
+                // A relaxed-tier response is only ε-comparable; the byte
+                // gate below would reject it for the wrong reason.
+                return fail(ServeError::PrecisionMismatch {
+                    expected: "exact",
+                    actual: "relaxed",
+                });
+            }
             if f32s_to_bytes(resp.z_i.data()) != expected_zi {
                 return fail(format_args!("server response {count}: z_i bytes differ"));
             }

@@ -20,9 +20,12 @@
 //! performs **zero** heap allocations — gated by `ci.sh`'s serve probe.
 
 use crate::error::{Result, ServeError};
-use timedrl::{read_model_export, EncoderKind, ModelExport, Pooling};
+use timedrl::{read_model_export, EncoderKind, ModelExport, Pooling, Precision};
 use timedrl_data::InstanceStats;
-use timedrl_tensor::{matmul, matmul_nt, NdArray};
+use timedrl_tensor::{
+    matmul, matmul_fma, matmul_nt, matmul_nt_fma, matmul_q8, quantize_per_channel, NdArray,
+    QuantizedMatrix,
+};
 
 const EPS: f32 = 1e-5;
 
@@ -56,24 +59,53 @@ pub struct Embeddings {
     pub z_t: NdArray,
 }
 
-/// Weights of one compiled transformer block, all stored exactly as the
-/// tape path stores them (`Linear` weights are `[in, out]`).
+/// A compiled linear-layer weight in whichever form the exactness tier
+/// lowered it to: the exact tier keeps the checkpoint's f32 matrix, the
+/// relaxed tier quantizes it per output channel at load time (DESIGN.md
+/// §15) so requests hit the int8 GEMM.
+enum Weight {
+    Exact(NdArray),
+    Quantized(QuantizedMatrix),
+}
+
+impl Weight {
+    /// Lowers a `[in, out]` checkpoint matrix for the chosen tier.
+    fn lower(w: NdArray, precision: Precision) -> Result<Self> {
+        Ok(match precision {
+            Precision::Exact => Weight::Exact(w),
+            Precision::Relaxed => Weight::Quantized(quantize_per_channel(&w)?),
+        })
+    }
+
+    /// `x · w` through the tier's kernel.
+    fn matmul(&self, x: &NdArray) -> Result<NdArray> {
+        Ok(match self {
+            Weight::Exact(w) => matmul(x, w)?,
+            Weight::Quantized(q) => matmul_q8(x, q)?,
+        })
+    }
+}
+
+/// Weights of one compiled transformer block. Matrix weights are stored
+/// per-tier ([`Weight`]); vectors (biases, LayerNorm affine) stay f32 in
+/// both tiers, exactly as the tape path stores them (`Linear` weights are
+/// `[in, out]`).
 struct Block {
-    wq: NdArray,
+    wq: Weight,
     bq: NdArray,
-    wk: NdArray,
+    wk: Weight,
     bk: NdArray,
-    wv: NdArray,
+    wv: Weight,
     bv: NdArray,
-    wo: NdArray,
+    wo: Weight,
     bo: NdArray,
     ln1_g: NdArray,
     ln1_b: NdArray,
     ln2_g: NdArray,
     ln2_b: NdArray,
-    ff1_w: NdArray,
+    ff1_w: Weight,
     ff1_b: NdArray,
-    ff2_w: NdArray,
+    ff2_w: Weight,
     ff2_b: NdArray,
 }
 
@@ -90,9 +122,10 @@ pub struct CompiledModel {
     heads: usize,
     head_dim: usize,
     pooling: Pooling,
+    precision: Precision,
     cls: NdArray,
     pos: NdArray,
-    token_w: NdArray,
+    token_w: Weight,
     token_b: NdArray,
     blocks: Vec<Block>,
     /// Additive causal mask `[S, S]`, present for the decoder variant.
@@ -100,7 +133,7 @@ pub struct CompiledModel {
     /// Timestamp-predictive head `p_θ` (`[D, C·P]` weight + `[C·P]` bias) —
     /// not part of the embedding plan, but the streaming anomaly scorer
     /// reconstructs patches through it.
-    pred_w: NdArray,
+    pred_w: Weight,
     pred_b: NdArray,
     plan: Vec<PlanOp>,
 }
@@ -125,14 +158,34 @@ fn take(
 
 impl CompiledModel {
     /// Loads a `KIND_MODEL` export container (written by `TimeDrl::export`)
-    /// and compiles it. Fails with a typed error on any corruption, shape
-    /// mismatch, or a backbone without a compiled plan.
+    /// and compiles it at the exactness tier baked into the artifact
+    /// header. Fails with a typed error on any corruption, shape mismatch,
+    /// or a backbone without a compiled plan.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
         Self::from_export(read_model_export(path)?)
     }
 
-    /// Compiles an already-decoded [`ModelExport`].
+    /// Loads an export container and compiles it at an explicit tier,
+    /// overriding the artifact's own tag — the `--precision` escape hatch
+    /// of `embed_server`.
+    pub fn load_with(path: impl AsRef<std::path::Path>, precision: Precision) -> Result<Self> {
+        Self::from_export_with(read_model_export(path)?, precision)
+    }
+
+    /// Compiles an already-decoded [`ModelExport`] at the tier its header
+    /// opts into.
     pub fn from_export(export: ModelExport) -> Result<Self> {
+        let precision = export.precision;
+        Self::from_export_with(export, precision)
+    }
+
+    /// Compiles an already-decoded [`ModelExport`] at an explicit tier.
+    /// Under [`Precision::Relaxed`], every linear-layer matrix (token
+    /// projection, attention projections, feed-forward, predictive head)
+    /// is quantized per output channel here — once, at load time — and
+    /// activation·activation products run the FMA kernels; softmax,
+    /// LayerNorm, GELU, and every bias stay f32.
+    pub fn from_export_with(export: ModelExport, precision: Precision) -> Result<Self> {
         let cfg = &export.config;
         let causal = match cfg.encoder {
             EncoderKind::TransformerEncoder => false,
@@ -153,27 +206,27 @@ impl CompiledModel {
         let mut it = export.arrays.into_iter();
         let cls = take(&mut it, "cls", &[width])?;
         let pos = take(&mut it, "pos", &[s, d])?;
-        let token_w = take(&mut it, "token_proj.w", &[width, d])?;
+        let token_w = Weight::lower(take(&mut it, "token_proj.w", &[width, d])?, precision)?;
         let token_b = take(&mut it, "token_proj.b", &[d])?;
         let mut blocks = Vec::with_capacity(layers);
         for l in 0..layers {
             let p = |n: &str| format!("block{l}.{n}");
             blocks.push(Block {
-                wq: take(&mut it, &p("wq.w"), &[d, d])?,
+                wq: Weight::lower(take(&mut it, &p("wq.w"), &[d, d])?, precision)?,
                 bq: take(&mut it, &p("wq.b"), &[d])?,
-                wk: take(&mut it, &p("wk.w"), &[d, d])?,
+                wk: Weight::lower(take(&mut it, &p("wk.w"), &[d, d])?, precision)?,
                 bk: take(&mut it, &p("wk.b"), &[d])?,
-                wv: take(&mut it, &p("wv.w"), &[d, d])?,
+                wv: Weight::lower(take(&mut it, &p("wv.w"), &[d, d])?, precision)?,
                 bv: take(&mut it, &p("wv.b"), &[d])?,
-                wo: take(&mut it, &p("wo.w"), &[d, d])?,
+                wo: Weight::lower(take(&mut it, &p("wo.w"), &[d, d])?, precision)?,
                 bo: take(&mut it, &p("wo.b"), &[d])?,
                 ln1_g: take(&mut it, &p("ln1.gamma"), &[d])?,
                 ln1_b: take(&mut it, &p("ln1.beta"), &[d])?,
                 ln2_g: take(&mut it, &p("ln2.gamma"), &[d])?,
                 ln2_b: take(&mut it, &p("ln2.beta"), &[d])?,
-                ff1_w: take(&mut it, &p("ff1.w"), &[d, d_ff])?,
+                ff1_w: Weight::lower(take(&mut it, &p("ff1.w"), &[d, d_ff])?, precision)?,
                 ff1_b: take(&mut it, &p("ff1.b"), &[d_ff])?,
-                ff2_w: take(&mut it, &p("ff2.w"), &[d_ff, d])?,
+                ff2_w: Weight::lower(take(&mut it, &p("ff2.w"), &[d_ff, d])?, precision)?,
                 ff2_b: take(&mut it, &p("ff2.b"), &[d])?,
             });
         }
@@ -181,7 +234,7 @@ impl CompiledModel {
         // the checkpoint) but plays no role on the frozen embedding path;
         // the predictive head is kept for streaming anomaly scoring.
         let hidden = (d / 4).max(2);
-        let pred_w = take(&mut it, "pred_head.w", &[d, width])?;
+        let pred_w = Weight::lower(take(&mut it, "pred_head.w", &[d, width])?, precision)?;
         let pred_b = take(&mut it, "pred_head.b", &[width])?;
         take(&mut it, "contrast.l1.w", &[d, hidden])?;
         take(&mut it, "contrast.l1.b", &[hidden])?;
@@ -213,6 +266,7 @@ impl CompiledModel {
             heads,
             head_dim: d / heads,
             pooling: cfg.pooling,
+            precision,
             cls,
             pos,
             token_w,
@@ -258,6 +312,13 @@ impl CompiledModel {
     /// The instance-embedding pooling strategy baked into the export.
     pub fn pooling(&self) -> Pooling {
         self.pooling
+    }
+
+    /// The exactness tier this model was compiled at. Tagged onto every
+    /// wire response so clients can never mistake relaxed embeddings for
+    /// bit-exact ones.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Latent width `D`.
@@ -343,7 +404,7 @@ impl CompiledModel {
                 self.t_p, self.d
             )));
         }
-        Ok(matmul(z_t, &self.pred_w)?.add(&self.pred_b))
+        Ok(self.pred_w.matmul(z_t)?.add(&self.pred_b))
     }
 
     /// Instance-normalize + patch. The statistics come from the shared
@@ -373,7 +434,7 @@ impl CompiledModel {
         let b = patched.shape()[0];
         let cls = self.cls.reshape(&[1, 1, self.width])?.broadcast_to(&[b, 1, self.width])?;
         let with_cls = NdArray::concat(&[&cls, patched], 1);
-        Ok(matmul(&with_cls, &self.token_w)?.add(&self.token_b).add(&self.pos))
+        Ok(self.token_w.matmul(&with_cls)?.add(&self.token_b).add(&self.pos))
     }
 
     /// `[B, S, D] -> [B·H, S, Dh]`, the tape's reshape/permute/reshape.
@@ -386,27 +447,36 @@ impl CompiledModel {
     fn attention(&self, i: usize, h: &NdArray) -> Result<NdArray> {
         let blk = &self.blocks[i];
         let (b, s, d) = (h.shape()[0], h.shape()[1], h.shape()[2]);
-        let q = self.split_heads(&matmul(h, &blk.wq)?.add(&blk.bq), b, s)?;
-        let k = self.split_heads(&matmul(h, &blk.wk)?.add(&blk.bk), b, s)?;
-        let v = self.split_heads(&matmul(h, &blk.wv)?.add(&blk.bv), b, s)?;
+        let q = self.split_heads(&blk.wq.matmul(h)?.add(&blk.bq), b, s)?;
+        let k = self.split_heads(&blk.wk.matmul(h)?.add(&blk.bk), b, s)?;
+        let v = self.split_heads(&blk.wv.matmul(h)?.add(&blk.bv), b, s)?;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut scores = matmul_nt(&q, &k)?.scale(scale);
+        // Activation·activation products have no load-time weight to
+        // quantize; the relaxed tier runs them through the FMA kernels.
+        let mut scores = match self.precision {
+            Precision::Exact => matmul_nt(&q, &k)?,
+            Precision::Relaxed => matmul_nt_fma(&q, &k)?,
+        }
+        .scale(scale);
         if let Some(mask) = &self.mask {
             scores = scores.add(mask);
         }
         let probs = scores.softmax_lastdim();
-        let merged = matmul(&probs, &v)?
-            .reshape(&[b, self.heads, s, self.head_dim])?
-            .permute(&[0, 2, 1, 3])
-            .reshape(&[b, s, d])?;
-        let attn_out = matmul(&merged, &blk.wo)?.add(&blk.bo);
+        let merged = match self.precision {
+            Precision::Exact => matmul(&probs, &v)?,
+            Precision::Relaxed => matmul_fma(&probs, &v)?,
+        }
+        .reshape(&[b, self.heads, s, self.head_dim])?
+        .permute(&[0, 2, 1, 3])
+        .reshape(&[b, s, d])?;
+        let attn_out = blk.wo.matmul(&merged)?.add(&blk.bo);
         Ok(layer_norm(&h.add(&attn_out), &blk.ln1_g, &blk.ln1_b))
     }
 
     fn feed_forward(&self, i: usize, h: &NdArray) -> Result<NdArray> {
         let blk = &self.blocks[i];
-        let a = gelu(&matmul(h, &blk.ff1_w)?.add(&blk.ff1_b));
-        let ff = matmul(&a, &blk.ff2_w)?.add(&blk.ff2_b);
+        let a = gelu(&blk.ff1_w.matmul(h)?.add(&blk.ff1_b));
+        let ff = blk.ff2_w.matmul(&a)?.add(&blk.ff2_b);
         Ok(layer_norm(&h.add(&ff), &blk.ln2_g, &blk.ln2_b))
     }
 

@@ -26,6 +26,16 @@ pub enum ServeError {
     /// A tensor operation failed during execution — indicates a plan bug,
     /// surfaced instead of panicking the serving process.
     Exec(TensorError),
+    /// An exactness-tier mismatch: a byte-exact comparison was requested
+    /// against output produced under a different precision tier. Relaxed
+    /// responses are only ε-comparable to exact goldens, never
+    /// byte-comparable.
+    PrecisionMismatch {
+        /// Tier the comparison baseline was produced under.
+        expected: &'static str,
+        /// Tier the response under test was produced under.
+        actual: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -39,6 +49,11 @@ impl fmt::Display for ServeError {
             ServeError::BadFrame(msg) => write!(f, "protocol violation: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "unservable request: {msg}"),
             ServeError::Exec(e) => write!(f, "execution error: {e}"),
+            ServeError::PrecisionMismatch { expected, actual } => write!(
+                f,
+                "precision mismatch: byte-exact comparison expects the {expected} tier, \
+                 response was produced under the {actual} tier"
+            ),
         }
     }
 }

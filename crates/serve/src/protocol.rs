@@ -14,9 +14,13 @@
 //! Response payload: `u32 status`, then for `RESP_OK`
 //!
 //! ```text
-//! u64 batch   u64 zi-dim   u64 t_p   u64 d
+//! u32 precision-tag   u64 batch   u64 zi-dim   u64 t_p   u64 d
 //! batch·zi-dim × f32-le (z_i)   batch·t_p·d × f32-le (z_t)
 //! ```
+//!
+//! The precision tag names the exactness tier the embeddings were computed
+//! under (`0` exact, `1` relaxed), so clients can tell whether a response
+//! is byte-comparable to an exact-tier golden or only ε-comparable.
 //!
 //! and for `RESP_ERR` a `u32` length + UTF-8 message.
 //!
@@ -31,6 +35,7 @@ use crate::compiled::Embeddings;
 use crate::error::{Result, ServeError};
 use std::io::{Read, Write};
 use testkit::crc32::Crc32;
+use timedrl::Precision;
 use timedrl_tensor::NdArray;
 
 /// Request tag: embed a batch of raw windows.
@@ -225,11 +230,13 @@ pub fn decode_request(
 }
 
 /// Encodes a success response into `buf` (cleared first, capacity reused).
-pub fn encode_response(buf: &mut Vec<u8>, emb: &Embeddings) {
+/// The precision tag records the exactness tier the serving model ran under.
+pub fn encode_response(buf: &mut Vec<u8>, emb: &Embeddings, precision: Precision) {
     buf.clear();
     let (b, zi_dim) = (emb.z_i.shape()[0], emb.z_i.shape()[1]);
     let (t_p, d) = (emb.z_t.shape()[1], emb.z_t.shape()[2]);
     buf.extend_from_slice(&RESP_OK.to_le_bytes());
+    buf.extend_from_slice(&precision.tag().to_le_bytes());
     for dim in [b, zi_dim, t_p, d] {
         buf.extend_from_slice(&(dim as u64).to_le_bytes());
     }
@@ -246,12 +253,17 @@ pub fn encode_error(buf: &mut Vec<u8>, err: &ServeError) {
     buf.extend_from_slice(msg.as_bytes());
 }
 
-/// Decodes a response payload (client side). A `RESP_ERR` payload comes
-/// back as [`ServeError::BadRequest`] carrying the server's message.
-pub fn decode_response(payload: &[u8]) -> Result<Embeddings> {
+/// Decodes a response payload (client side), returning the embeddings
+/// together with the exactness tier they were computed under. A
+/// `RESP_ERR` payload comes back as [`ServeError::BadRequest`] carrying
+/// the server's message.
+pub fn decode_response(payload: &[u8]) -> Result<(Embeddings, Precision)> {
     let mut cur = Cursor::new(payload);
     match cur.u32()? {
         RESP_OK => {
+            let prec_tag = cur.u32()?;
+            let precision = Precision::from_tag(prec_tag)
+                .ok_or_else(|| bad(format!("unknown precision tag {prec_tag}")))?;
             let b = cur.dim("batch")?;
             let zi_dim = cur.dim("zi width")?;
             let t_p = cur.dim("patch count")?;
@@ -275,7 +287,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Embeddings> {
             let mut z_t = NdArray::zeros(&[b, t_p, d]);
             cur.f32_into(z_t.data_mut())?;
             cur.finish()?;
-            Ok(Embeddings { z_i, z_t })
+            Ok((Embeddings { z_i, z_t }, precision))
         }
         RESP_ERR => {
             let len = cur.u32()? as usize;

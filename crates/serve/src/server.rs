@@ -85,7 +85,7 @@ pub fn serve_stream(
         match answer {
             Ok(emb) => {
                 stats.served += 1;
-                protocol::encode_response(&mut out, &emb);
+                protocol::encode_response(&mut out, &emb, model.precision());
             }
             Err(err) => {
                 stats.rejected += 1;
@@ -133,7 +133,7 @@ pub fn serve_tcp(model: CompiledModel, listener: TcpListener, cfg: ServeConfig) 
                 Ok(embs) => {
                     for (job, emb) in jobs.iter().zip(&embs) {
                         let mut out = Vec::new();
-                        protocol::encode_response(&mut out, emb);
+                        protocol::encode_response(&mut out, emb, model.precision());
                         let _ = job.reply.send(out);
                     }
                 }

@@ -3,7 +3,7 @@
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
-use timedrl::{decode_model_export, encode_model_export, TimeDrl, TimeDrlConfig};
+use timedrl::{decode_model_export, encode_model_export, Precision, TimeDrl, TimeDrlConfig};
 use timedrl_data::PatchConfig;
 use timedrl_serve::{protocol, serve_tcp, CompiledModel, ServeConfig};
 use timedrl_tensor::{NdArray, Prng};
@@ -55,7 +55,8 @@ fn concurrent_tcp_clients_get_bit_exact_embeddings() {
         .collect();
     for client in clients {
         let (windows, frame) = client.join().unwrap();
-        let resp = protocol::decode_response(&frame).expect("ok response");
+        let (resp, precision) = protocol::decode_response(&frame).expect("ok response");
+        assert_eq!(precision, Precision::Exact, "default serving tier is exact");
         let want = reference.embed(&windows).unwrap();
         assert_eq!(
             resp.z_i.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),

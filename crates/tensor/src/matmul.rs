@@ -32,7 +32,7 @@ use testkit::pool;
 /// Work-per-chunk target for the parallel path, in multiply-adds. One grain
 /// is roughly a quarter millisecond of serial kernel time — large enough
 /// that per-chunk dispatch cost vanishes, small enough to load-balance.
-const MATMUL_GRAIN: usize = 1 << 18;
+pub(crate) const MATMUL_GRAIN: usize = 1 << 18;
 
 /// Rows per register block of the microkernel.
 const MR: usize = 4;
@@ -41,7 +41,7 @@ const MR: usize = 4;
 /// 256-bit vectors per row: wide enough that the per-row scalar load,
 /// zero-test, and branch amortize over 16 columns, small enough that the
 /// `MR * NR/8` accumulator vectors still fit the 16 AVX registers.
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 
 /// Minimum `m` and `n` for the packed path. Below this the packing pass
 /// and the zero-padded panel arithmetic cost more than they save, so tiny
@@ -974,6 +974,259 @@ pub(crate) fn matmul_tn_fold(a: &NdArray, g: &NdArray) -> Result<NdArray> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Relaxed-exactness FMA variants (DESIGN.md §15).
+//
+// The exact kernels above deliberately keep `mul` and `add` as separate
+// instructions so the packed path stays bit-identical to the seed loop. That
+// caps f32 throughput at the non-contracted peak. Serving's relaxed tier has
+// no bit-exactness contract, so `matmul_fma`/`matmul_nt_fma` run the same
+// MR×NR blocked walk over the same packed panels but fuse each lane update
+// into one `mul_add` (compiled to `vfmadd` under the `avx2,fma` target
+// features) and drop the reference kernel's ±0.0-skip branch — roughly 2×
+// the multiply-add retire rate, with one rounding per FMA instead of two.
+//
+// `f32::mul_add` is ONLY called inside the `#[target_feature(enable =
+// "avx2", enable = "fma")]` instantiation: without the FMA ISA it lowers to
+// a libm `fmaf` call, orders of magnitude slower. Hosts without FMA fall
+// back to the exact packed kernel — still correct, merely uncontracted (the
+// relaxed tier promises closeness to f32, not specific bits across ISAs).
+// Within one host, results are bit-identical at any thread count: each
+// output element's operation sequence is independent of chunk and row-block
+// boundaries, exactly as argued for the exact kernel.
+// ---------------------------------------------------------------------------
+
+/// Whether the FMA-contracted instantiation can run on this host.
+pub(crate) fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// One row's contracted `NR`-wide update: `acc[c] = av * bp[c] + acc[c]`
+/// with a single rounding. No zero-skip — the branch buys nothing once the
+/// multiply-add is one instruction.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn lane_update_fma(av: f32, bp: &[f32; NR], acc: &mut [f32; NR]) {
+    for c in 0..NR {
+        acc[c] = av.mul_add(bp[c], acc[c]);
+    }
+}
+
+/// FMA row-range core over packed panels: the blocked walk of
+/// [`matmul_rows_packed_impl`] with every lane update contracted. Compiled
+/// only as the `avx2,fma` instantiation below.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn matmul_rows_fma_avx2(
+    a: &[f32],
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    let m_chunk = out_chunk.len() / n.max(1);
+    let panels = panel_count(n);
+    let mut i = 0;
+    while i < m_chunk {
+        let mr = MR.min(m_chunk - i);
+        let a_base = (row0 + i) * k;
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed[p * k * NR..(p + 1) * k * NR];
+            let (bps, _) = panel.as_chunks::<NR>();
+            let mut acc = [[0.0f32; NR]; MR];
+            if mr == MR {
+                let row = |r: usize| &a[a_base + r * k..a_base + (r + 1) * k];
+                let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+                for ((((bp, &v0), &v1), &v2), &v3) in
+                    bps.iter().zip(r0).zip(r1).zip(r2).zip(r3)
+                {
+                    lane_update_fma(v0, bp, &mut acc[0]);
+                    lane_update_fma(v1, bp, &mut acc[1]);
+                    lane_update_fma(v2, bp, &mut acc[2]);
+                    lane_update_fma(v3, bp, &mut acc[3]);
+                }
+            } else {
+                for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                    let base = a_base + r * k;
+                    for (bp, &av) in bps.iter().zip(&a[base..base + k]) {
+                        lane_update_fma(av, bp, accr);
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                let o0 = (i + r) * n + j0;
+                out_chunk[o0..o0 + w].copy_from_slice(&accr[..w]);
+            }
+        }
+        i += mr;
+    }
+}
+
+/// Relaxed row-range core: the FMA instantiation when the host supports it,
+/// otherwise the exact packed kernel (correct, just uncontracted).
+fn matmul_rows_relaxed(
+    a: &[f32],
+    packed: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: gated on runtime AVX2+FMA detection; the fn is a safe
+        // Rust body that only needs the features to be legal to execute.
+        unsafe {
+            return matmul_rows_fma_avx2(a, packed, out_chunk, row0, k, n);
+        }
+    }
+    matmul_rows_packed(a, packed, out_chunk, row0, k, n);
+}
+
+/// Per-matrix relaxed core (no pool fan-out): packs `b` — transposed
+/// packing when `nt` — and runs the relaxed row core. Unlike the exact
+/// path there is no tiny-product reference fallback: `b` sizes on the
+/// serving path are model dimensions, always worth packing.
+fn matmul_fma_single(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, nt: bool) {
+    if out.is_empty() {
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * k * NR);
+    if nt {
+        pack_bt_panels(b, k, n, &mut packed);
+    } else {
+        pack_b_panels(b, k, n, &mut packed);
+    }
+    matmul_rows_relaxed(a, &packed, out, 0, k, n);
+}
+
+/// Raw relaxed 2-D kernel: pack once, row-chunk across the pool. Chunk
+/// boundaries never touch `k`, so results are bit-identical at any thread
+/// count (within this tier).
+fn matmul_fma2d_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    nt: bool,
+) {
+    if out.is_empty() {
+        return;
+    }
+    let mut packed = Buffer::zeroed(panel_count(n) * k * NR);
+    if nt {
+        pack_bt_panels(b, k, n, &mut packed);
+    } else {
+        pack_b_panels(b, k, n, &mut packed);
+    }
+    let packed = &packed[..];
+    let rows_per_chunk = if pool::should_parallelize(m * k * n, MATMUL_GRAIN) {
+        (pool::grain(MATMUL_GRAIN) / (k * n).max(1)).clamp(1, m)
+    } else {
+        m
+    };
+    pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+        matmul_rows_relaxed(a, packed, chunk, offset / n, k, n);
+    });
+}
+
+/// Shared rank dispatch for the two relaxed entry points; `nt` selects
+/// `a · bᵀ` (with `b` given untransposed) versus `a · b`.
+fn matmul_relaxed_entry(a: &NdArray, b: &NdArray, nt: bool) -> Result<NdArray> {
+    let err = || TensorError::MatmulMismatch {
+        lhs: a.shape().to_vec(),
+        rhs: if nt { transposed_dims(b.shape()) } else { b.shape().to_vec() },
+    };
+    let bdims = |sh: &[usize]| {
+        let (r, c) = (sh[sh.len() - 2], sh[sh.len() - 1]);
+        if nt { (c, r) } else { (r, c) }
+    };
+    match (a.rank(), b.rank()) {
+        (2, 2) => {
+            let (m, k) = (a.shape()[0], a.shape()[1]);
+            let (k2, n) = bdims(b.shape());
+            if k != k2 {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[m, n]);
+            matmul_fma2d_kernel(a.data(), b.data(), out.data_mut(), m, k, n, nt);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (k2, n) = bdims(&b.shape()[1..]);
+            if k != k2 || bs != b.shape()[0] {
+                return Err(err());
+            }
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            let per = m * n;
+            if per > 0 {
+                let batches_per_chunk = if pool::should_parallelize(bs * m * k * n, MATMUL_GRAIN) {
+                    (pool::grain(MATMUL_GRAIN) / (m * k * n).max(1)).clamp(1, bs)
+                } else {
+                    bs
+                };
+                let (ad, bd) = (a.data(), b.data());
+                pool::for_each_chunk(out.data_mut(), batches_per_chunk * per, |offset, chunk| {
+                    let first = offset / per;
+                    for (j, o_sl) in chunk.chunks_mut(per).enumerate() {
+                        let i = first + j;
+                        matmul_fma_single(
+                            &ad[i * m * k..(i + 1) * m * k],
+                            &bd[i * k * n..(i + 1) * k * n],
+                            o_sl,
+                            k,
+                            n,
+                            nt,
+                        );
+                    }
+                });
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (k2, n) = bdims(b.shape());
+            if k != k2 {
+                return Err(err());
+            }
+            // Fold the batch into the row dimension: one big GEMM.
+            let mut out = NdArray::zeros(&[bs, m, n]);
+            matmul_fma2d_kernel(a.data(), b.data(), out.data_mut(), bs * m, k, n, nt);
+            Ok(out)
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Relaxed-tier matrix product: same rank dispatch and shapes as
+/// [`matmul`], computed with the FMA-contracted microkernel (no ±0.0 skip,
+/// fused multiply-add) when the host supports `avx2,fma`, else the exact
+/// kernel. **Not** bit-equal to [`matmul`] — serving's relaxed tier only;
+/// never call this from training or exact-tier code paths.
+pub fn matmul_fma(a: &NdArray, b: &NdArray) -> Result<NdArray> {
+    matmul_relaxed_entry(a, b, false)
+}
+
+/// Relaxed-tier `a · bᵀ` with `b` passed untransposed: same rank dispatch
+/// and shapes as [`matmul_nt`], contracted like [`matmul_fma`]. Same
+/// caveats: relaxed tier only.
+pub fn matmul_nt_fma(a: &NdArray, b: &NdArray) -> Result<NdArray> {
+    matmul_relaxed_entry(a, b, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1295,6 +1548,89 @@ mod tests {
         let fast = matmul_tn(&at, &bt).unwrap();
         let slow = with_materialized_transposes(|| matmul_tn(&at, &bt).unwrap());
         assert_bits_eq(&fast, &slow, "hook tn");
+    }
+
+    prop! {
+        #![config(cases = 48)]
+
+        /// Relaxed tier: the FMA kernels stay within the analytic rounding
+        /// bound of the uncontracted f32 product (one rounding per fused
+        /// multiply-add versus two), across the full shape grid including
+        /// zero-size and `MIN_PACKED_DIM` edges, for both entry points.
+        fn fma_matches_reference_within_bound(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            salt in 0u64..1000
+        ) {
+            let (m, k, n) = (TDIMS[mi], TDIMS[ki], TDIMS[ni]);
+            let a = grid_array(&[m, k], salt);
+            let b = grid_array(&[k, n], salt ^ 0x0faa);
+            let want = matmul_reference(&a, &b).unwrap();
+            let got = matmul_fma(&a, &b).unwrap();
+            prop_assert_eq!(got.shape(), want.shape());
+            for i in 0..m {
+                for j in 0..n {
+                    let abssum: f32 =
+                        (0..k).map(|kk| (a.at(&[i, kk]) * b.at(&[kk, j])).abs()).sum();
+                    // k roundings at eps each, against the running partial
+                    // (bounded by the absolute-value sum), plus slack.
+                    let bound = abssum * k as f32 * f32::EPSILON * 4.0 + 1e-5;
+                    let diff = (got.at(&[i, j]) - want.at(&[i, j])).abs();
+                    prop_assert!(diff <= bound, "({i},{j}): {diff} > {bound}");
+                }
+            }
+            let bt = grid_array(&[n, k], salt ^ 0x0bbb);
+            let want = matmul(&a, &bt.transpose()).unwrap();
+            let got = matmul_nt_fma(&a, &bt).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let abssum: f32 =
+                        (0..k).map(|kk| (a.at(&[i, kk]) * bt.at(&[j, kk])).abs()).sum();
+                    let bound = abssum * k as f32 * f32::EPSILON * 4.0 + 1e-5;
+                    let diff = (got.at(&[i, j]) - want.at(&[i, j])).abs();
+                    prop_assert!(diff <= bound, "nt ({i},{j}): {diff} > {bound}");
+                }
+            }
+        }
+
+        /// Relaxed tier: bit-identical at threads {1, 2, 4} — per-element
+        /// operation sequences are independent of chunk and row-block
+        /// boundaries, so fan-out never changes bits *within* the tier.
+        fn fma_is_thread_deterministic(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            bs in 1usize..4
+        ) {
+            let (m, k, n) = (TDIMS[mi], TDIMS[ki], TDIMS[ni]);
+            let a2 = grid_array(&[m, k], 11);
+            let a3 = grid_array(&[bs, m, k], 13);
+            let b2 = grid_array(&[k, n], 17);
+            let b3 = grid_array(&[bs, n, k], 19);
+            let w2 = pool::with_threads(1, || matmul_fma(&a2, &b2).unwrap());
+            let w3 = pool::with_threads(1, || matmul_nt_fma(&a3, &b3).unwrap());
+            for threads in [2usize, 4] {
+                let (g2, g3) = pool::with_threads(threads, || {
+                    pool::with_grain(64, || {
+                        (matmul_fma(&a2, &b2).unwrap(), matmul_nt_fma(&a3, &b3).unwrap())
+                    })
+                });
+                assert_bits_eq(&g2, &w2, &format!("fma t{threads}"));
+                assert_bits_eq(&g3, &w3, &format!("nt_fma t{threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fma_rejects_mismatch_like_exact() {
+        let a = NdArray::zeros(&[2, 3]);
+        let b = NdArray::zeros(&[4, 5]);
+        let msg = matmul_fma(&a, &b).unwrap_err().to_string();
+        assert!(msg.contains("(2,3) x (4,5)"), "message: {msg}");
+        let msg = matmul_nt_fma(&a, &NdArray::zeros(&[5, 4])).unwrap_err().to_string();
+        assert!(msg.contains("(2,3) x (4,5)"), "message: {msg}");
+        assert!(matmul_fma(&a, &NdArray::zeros(&[3])).is_err());
     }
 
     #[test]

@@ -1,0 +1,988 @@
+//! Int8 per-channel quantized GEMM for the relaxed-exactness serving tier
+//! (DESIGN.md §15).
+//!
+//! Training and exact-tier serving are locked to the strict bit-exactness
+//! contract of `matmul.rs` (§10/§12); this module deliberately steps outside
+//! it for inference only. A weight matrix is quantized **once at model-load
+//! time** by [`quantize_per_channel`]: each output channel (column) `j` gets
+//! a symmetric scale `s_j = max|b[:, j]| / 127` and its values are rounded to
+//! signed 8-bit integers. Activations are quantized **per row, per call**
+//! with the same symmetric scheme. The product accumulates exactly in `i32`
+//! (8-bit × 8-bit products cannot overflow it within a [`KC_PAIRS`]-deep
+//! block), flushes to an `f32` accumulator every block, and dequantizes each
+//! output element with one `acc * sa_i * sb_j` multiply — so the error is
+//! bounded by the quantization steps alone, never by integer wrap-around.
+//!
+//! ## Packed layout
+//!
+//! [`matmul_q8`] reuses the panel blocking of the f32 microkernel: `b` is
+//! packed into [`NR`]-wide column panels, zero-padded on the right edge. The
+//! twist is that each panel row holds a **pair** of `k` steps interleaved
+//! per lane (`panel[kk2][c] = (q[2*kk2][j0+c], q[2*kk2+1][j0+c])`, odd tail
+//! zero-padded), stored as `i16`. That is exactly the operand shape of the
+//! AVX2 `vpmaddwd` instruction (`_mm256_madd_epi16`), which multiplies two
+//! `i16` pairs and adds them into one `i32` lane — two multiply-adds per
+//! lane per instruction, on half-width operands. The portable fallback
+//! performs the *same* integer pair-sums and the same per-block `i32 → f32`
+//! conversions, so both instantiations produce bit-identical output and the
+//! runtime dispatch is invisible in results (property-tested below).
+//!
+//! ## Determinism within the tier
+//!
+//! Integer accumulation is exact, block boundaries are fixed along `k`, and
+//! the parallel fan-out splits only output rows — so relaxed-tier results
+//! are bit-identical at any `TIMEDRL_THREADS`, merely *different* (within an
+//! analytic bound) from the f32 exact tier.
+
+use crate::array::NdArray;
+use crate::bufpool::Buffer;
+use crate::error::{Result, TensorError};
+use crate::matmul::{MATMUL_GRAIN, NR};
+use testkit::pool;
+
+/// `k`-pairs per `i32` accumulation block. Products are at most
+/// `127 * 127 = 16129`, so a block contributes at most
+/// `2 * 16129 * KC_PAIRS < 2^28` per lane — comfortably inside `i32` — and
+/// the accumulator is flushed to `f32` at every block boundary.
+const KC_PAIRS: usize = 4096;
+
+/// Work-per-chunk target for the parallel fan-out. The quantized kernel
+/// retires multiply-adds roughly twice as fast as the f32 one, so chunks
+/// carry twice the grain to keep per-chunk dispatch cost equally amortized.
+const Q8_GRAIN: usize = MATMUL_GRAIN * 2;
+
+/// A weight matrix quantized to signed 8-bit with per-output-channel scales,
+/// packed for [`matmul_q8`]. Built once at model-load time; the packed
+/// panels and scales are plain owned allocations (not pooled) because they
+/// live for the whole model lifetime, off every request hot path.
+pub struct QuantizedMatrix {
+    /// Contraction length (rows of the source matrix).
+    k: usize,
+    /// Output channels (columns of the source matrix).
+    n: usize,
+    /// `k.div_ceil(2)`: pair-steps per panel column.
+    k2: usize,
+    /// Panel-packed quantized values: panel `p` spans
+    /// `[p * k2 * NR * 2, (p+1) * k2 * NR * 2)`; within it, pair-row `kk2`
+    /// holds `NR` lanes of `(q[2*kk2][j], q[2*kk2+1][j])`, right edge and
+    /// odd-`k` tail zero-padded. Values are int8-ranged but stored as `i16`,
+    /// the operand width of `vpmaddwd`.
+    packed: Vec<i16>,
+    /// Per-channel dequantization scales, zero-padded to `panels * NR` so
+    /// the kernel can always load a full lane of scales.
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Contraction length of the source matrix (`b.shape()[0]`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output channels of the source matrix (`b.shape()[1]`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-output-channel scales (length [`Self::n`]).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales[..self.n]
+    }
+
+    /// Number of `NR`-wide column panels.
+    fn panels(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+
+    /// The packed pair-rows of panel `p`.
+    fn panel(&self, p: usize) -> &[i16] {
+        let per = self.k2 * NR * 2;
+        &self.packed[p * per..(p + 1) * per]
+    }
+
+    /// Reconstructs the dequantized `[k, n]` matrix `q[i][j] * s_j` — the
+    /// values [`matmul_q8`] effectively multiplies against. Used by the
+    /// round-trip property tests and error diagnostics, not on hot paths.
+    pub fn dequantize(&self) -> NdArray {
+        let mut out = NdArray::zeros(&[self.k, self.n]);
+        let data = out.data_mut();
+        for p in 0..self.panels() {
+            let j0 = p * NR;
+            let w = NR.min(self.n - j0);
+            let panel = self.panel(p);
+            for kk2 in 0..self.k2 {
+                for c in 0..w {
+                    let j = j0 + c;
+                    let q0 = panel[kk2 * NR * 2 + c * 2];
+                    data[(2 * kk2) * self.n + j] = q0 as f32 * self.scales[j];
+                    if 2 * kk2 + 1 < self.k {
+                        let q1 = panel[kk2 * NR * 2 + c * 2 + 1];
+                        data[(2 * kk2 + 1) * self.n + j] = q1 as f32 * self.scales[j];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rounds one value to the symmetric int8 grid: `round(v / s)` (nearest,
+/// ties-to-even), clamped to
+/// `[-127, 127]` (`-128` is never produced, keeping negation lossless and
+/// `vpmaddwd` far from its saturation corner). `inv` is `1/s`, or `0.0` for
+/// an all-zero (or non-finite) channel, which maps everything to `0`.
+/// Magic number for nearest-even rounding without libm: adding `1.5 * 2^23`
+/// pushes the fraction out of the mantissa so the FPU's round-to-nearest
+/// does the work in two adds (`f32::round` would lower to a libm call on
+/// the baseline x86-64 target — far too slow for the per-request activation
+/// pass). Exact for magnitudes up to `2^22`; operands here are clamped to
+/// ±127 first.
+const ROUND_MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+
+#[inline(always)]
+fn quant_one(v: f32, inv: f32) -> i16 {
+    // Clamping before rounding gives the same grid point as after for
+    // every in-range value. NaN inputs propagate through the clamp and the
+    // adds, then the saturating cast sends them to 0.
+    let t = (v * inv).clamp(-127.0, 127.0);
+    ((t + ROUND_MAGIC) - ROUND_MAGIC) as i16
+}
+
+/// Packs an int8 pair into the `u32` bit pattern the kernels broadcast,
+/// stored in the pooled `f32` scratch via `from_bits` (the value is never
+/// interpreted as a float).
+#[inline(always)]
+fn pack_pair(q0: i16, q1: i16) -> f32 {
+    f32::from_bits((q0 as u16 as u32) | ((q1 as u16 as u32) << 16))
+}
+
+/// Largest finite absolute value of `vals` (`0.0` if empty or all-NaN).
+/// `max` over the non-negative finite images is order-independent, so the
+/// vectorized variant below computes the identical value.
+#[inline(always)]
+fn absmax(vals: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: gated on runtime AVX2 detection.
+        return unsafe { x86::absmax_avx2(vals) };
+    }
+    absmax_scalar(vals)
+}
+
+#[inline(always)]
+fn absmax_scalar(vals: &[f32]) -> f32 {
+    vals.iter().fold(0.0f32, |acc, v| {
+        let a = v.abs();
+        if a.is_finite() { acc.max(a) } else { acc }
+    })
+}
+
+/// Symmetric scale for a channel with absolute maximum `amax`, and its
+/// reciprocal: `(amax / 127, 127 / amax)`, or `(0, 0)` for a degenerate
+/// channel so every value quantizes to `0`.
+#[inline(always)]
+fn scale_for(amax: f32) -> (f32, f32) {
+    if amax > 0.0 {
+        let s = amax / 127.0;
+        (s, s.recip())
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Quantizes a rank-2 weight matrix `b` (`[k, n]`) to int8 with one
+/// symmetric scale per output channel (column), packed into the
+/// pair-interleaved panel layout of [`matmul_q8`]. Intended to run once at
+/// model-load time; see the module docs for the scheme and error bound
+/// (per element, `|b - dequantize(quantize(b))| <= s_j / 2 = amax_j / 254`).
+///
+/// # Errors
+/// Returns [`TensorError::QuantizeRank`] if `b` is not rank-2.
+pub fn quantize_per_channel(b: &NdArray) -> Result<QuantizedMatrix> {
+    if b.rank() != 2 {
+        return Err(TensorError::QuantizeRank { shape: b.shape().to_vec() });
+    }
+    let (k, n) = (b.shape()[0], b.shape()[1]);
+    let data = b.data();
+    let panels = n.div_ceil(NR);
+    let k2 = k.div_ceil(2);
+
+    // One row-major pass accumulates every channel's absolute maximum.
+    let mut amax = vec![0.0f32; n];
+    for row in data.chunks_exact(n.max(1)) {
+        for (m, &v) in amax.iter_mut().zip(row) {
+            let a = v.abs();
+            if a.is_finite() && a > *m {
+                *m = a;
+            }
+        }
+    }
+    let mut scales = vec![0.0f32; panels * NR];
+    let mut inv = vec![0.0f32; n];
+    for j in 0..n {
+        let (s, i) = scale_for(amax[j]);
+        scales[j] = s;
+        inv[j] = i;
+    }
+
+    let mut packed = vec![0i16; panels * k2 * NR * 2];
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut packed[p * k2 * NR * 2..(p + 1) * k2 * NR * 2];
+        for kk2 in 0..k2 {
+            let row = &mut panel[kk2 * NR * 2..(kk2 + 1) * NR * 2];
+            for c in 0..w {
+                let j = j0 + c;
+                row[c * 2] = quant_one(data[(2 * kk2) * n + j], inv[j]);
+                if 2 * kk2 + 1 < k {
+                    row[c * 2 + 1] = quant_one(data[(2 * kk2 + 1) * n + j], inv[j]);
+                }
+            }
+        }
+    }
+    Ok(QuantizedMatrix { k, n, k2, packed, scales })
+}
+
+/// Quantizes `m` activation rows (`a` is `[m, k]` row-major) with one
+/// symmetric scale per row. Pairs `(q[2*kk2], q[2*kk2+1])` are bit-packed
+/// into one `u32` per pair-step and stored *as raw bit patterns* in the
+/// pooled `f32` scratch (`f32::from_bits` on write, `to_bits` on read; the
+/// values are never interpreted as floats) so the request hot path stays on
+/// the existing buffer pool and allocation-free once warm.
+fn quantize_rows(a: &[f32], m: usize, k: usize, k2: usize, aq: &mut [f32], scales: &mut [f32]) {
+    debug_assert_eq!(aq.len(), m * k2);
+    debug_assert_eq!(scales.len(), m);
+    for i in 0..m {
+        let row = &a[i * k..(i + 1) * k];
+        let (s, inv) = scale_for(absmax(row));
+        scales[i] = s;
+        let out = &mut aq[i * k2..(i + 1) * k2];
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: gated on runtime AVX2 detection.
+            unsafe { x86::quantize_row_avx2(row, inv, out) };
+            continue;
+        }
+        quantize_row_tail(row, inv, out, 0);
+    }
+}
+
+/// Quantizes the trailing (possibly partial) pairs of one row, starting at
+/// pair index `from`. Bit-identical arithmetic to the vectorized pass (the
+/// SIMD lane ops are the same IEEE operations in the same order).
+fn quantize_row_tail(row: &[f32], inv: f32, out: &mut [f32], from: usize) {
+    let k = row.len();
+    let full = k / 2;
+    for (kk2, o) in out[from..full].iter_mut().enumerate() {
+        let kk2 = kk2 + from;
+        *o = pack_pair(quant_one(row[2 * kk2], inv), quant_one(row[2 * kk2 + 1], inv));
+    }
+    if k % 2 == 1 {
+        out[full] = pack_pair(quant_one(row[k - 1], inv), 0);
+    }
+}
+
+/// Portable row-range core: for each output element, the exact integer
+/// pair-sums and per-[`KC_PAIRS`]-block `i32 → f32` flushes of the AVX2
+/// kernel (`as f32` is the same round-to-nearest conversion as
+/// `vcvtdq2ps`), then one `(acc * sa) * sb` dequantization — bit-identical
+/// to [`q8_rows_avx2`] by construction, property-tested below.
+fn q8_rows_portable(
+    aq: &[f32],
+    a_scales: &[f32],
+    qb: &QuantizedMatrix,
+    out_chunk: &mut [f32],
+    row0: usize,
+) {
+    let (k2, n) = (qb.k2, qb.n);
+    let m_chunk = out_chunk.len() / n.max(1);
+    for li in 0..m_chunk {
+        let i = row0 + li;
+        let arow = &aq[i * k2..(i + 1) * k2];
+        let sa = a_scales[i];
+        let orow = &mut out_chunk[li * n..(li + 1) * n];
+        for p in 0..qb.panels() {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = qb.panel(p);
+            let mut accf = [0.0f32; NR];
+            let mut kk2 = 0;
+            while kk2 < k2 {
+                let kend = (kk2 + KC_PAIRS).min(k2);
+                let mut acci = [0i32; NR];
+                for kx in kk2..kend {
+                    let pair = arow[kx].to_bits();
+                    let lo = (pair as u16 as i16) as i32;
+                    let hi = ((pair >> 16) as u16 as i16) as i32;
+                    let prow = &panel[kx * NR * 2..(kx + 1) * NR * 2];
+                    for c in 0..NR {
+                        acci[c] += lo * prow[c * 2] as i32 + hi * prow[c * 2 + 1] as i32;
+                    }
+                }
+                for c in 0..NR {
+                    accf[c] += acci[c] as f32;
+                }
+                kk2 = kend;
+            }
+            for c in 0..w {
+                orow[j0 + c] = accf[c] * sa * qb.scales[j0 + c];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{quantize_row_tail, QuantizedMatrix, KC_PAIRS, NR, ROUND_MAGIC};
+    use std::arch::x86_64::{
+        __m256, __m256i, _mm256_add_epi32, _mm256_add_ps, _mm256_and_ps, _mm256_andnot_si256,
+        _mm256_castps_si256, _mm256_castsi256_ps, _mm256_cmp_ps, _mm256_cvtepi32_ps,
+        _mm256_cvtps_epi32, _mm256_loadu_ps, _mm256_loadu_si256, _mm256_madd_epi16,
+        _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps, _mm256_packs_epi32,
+        _mm256_permute4x64_epi64, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_setzero_si256, _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_ps, _mm512_add_ps,
+        _mm512_cvtepi32_ps, _mm512_dpwssd_epi32, _mm512_loadu_ps, _mm512_loadu_si512,
+        _mm512_mul_ps, _mm512_set1_epi32, _mm512_set1_ps, _mm512_setzero_ps, _mm512_setzero_si512,
+        _mm512_storeu_ps, _CMP_LT_OQ, _CMP_UNORD_Q,
+    };
+
+    /// Vectorized [`super::absmax_scalar`]: non-finite lanes map to `0.0`
+    /// (exactly the scalar filter) and `max` over the resulting
+    /// non-negative finite values is order-independent, so the lane split
+    /// changes no bits.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn absmax_avx2(vals: &[f32]) -> f32 {
+        let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let inf = _mm256_set1_ps(f32::INFINITY);
+        let mut acc = _mm256_setzero_ps();
+        let mut chunks = vals.chunks_exact(8);
+        for c in chunks.by_ref() {
+            // SAFETY: `c` is exactly one 256-bit load wide.
+            let v = unsafe { _mm256_loadu_ps(c.as_ptr()) };
+            let a = _mm256_and_ps(v, abs_mask);
+            // `a < inf` is false for both NaN (unordered) and infinity.
+            let finite = _mm256_cmp_ps::<_CMP_LT_OQ>(a, inf);
+            acc = _mm256_max_ps(acc, _mm256_and_ps(a, finite));
+        }
+        let mut lanes = [0.0f32; 8];
+        // SAFETY: `lanes` is exactly one 256-bit store wide.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+        let mut m = lanes.iter().fold(0.0f32, |x, &y| x.max(y));
+        for &v in chunks.remainder() {
+            let a = v.abs();
+            if a.is_finite() {
+                m = m.max(a);
+            }
+        }
+        m
+    }
+
+    /// Quantizes 8 activations at once: the same multiply, clamp,
+    /// magic-number round, and NaN→0 mapping as [`super::quant_one`], lane
+    /// for lane (`vcvtps2dq` of an integral value is exact; NaN lanes
+    /// become the integer-indefinite and are masked back to `0`).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn quant8(v: __m256, inv: __m256, lo: __m256, hi: __m256, magic: __m256) -> __m256i {
+        let t = _mm256_mul_ps(v, inv);
+        // Operand order makes min/max return their *second* source on NaN,
+        // so a NaN `t` propagates — matching scalar `clamp`.
+        let c = _mm256_min_ps(hi, _mm256_max_ps(lo, t));
+        let r = _mm256_sub_ps(_mm256_add_ps(c, magic), magic);
+        let q = _mm256_cvtps_epi32(r);
+        let nan = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_UNORD_Q>(t, t));
+        _mm256_andnot_si256(nan, q)
+    }
+
+    /// Vectorized one-row activation quantization: 16 inputs per step
+    /// narrow to 16 i8-ranged i16 values — exactly the 8 packed pair words
+    /// the kernels broadcast (`vpackssdw` interleaves 128-bit lanes, the
+    /// `vpermq` restores element order). Bit-identical to
+    /// [`super::quantize_row_tail`] for every input, including NaN and
+    /// ±infinity.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn quantize_row_avx2(row: &[f32], inv: f32, out: &mut [f32]) {
+        let k = row.len();
+        let blocks = k / 16;
+        debug_assert!(out.len() >= blocks * 8);
+        let invv = _mm256_set1_ps(inv);
+        let lo = _mm256_set1_ps(-127.0);
+        let hi = _mm256_set1_ps(127.0);
+        let magic = _mm256_set1_ps(ROUND_MAGIC);
+        for b in 0..blocks {
+            // SAFETY: 16 f32 reads at `row[b * 16..]` and one 256-bit
+            // store at `out[b * 8..]` are inside the bounds checked above.
+            unsafe {
+                let p = row.as_ptr().add(b * 16);
+                let q0 = quant8(_mm256_loadu_ps(p), invv, lo, hi, magic);
+                let q1 = quant8(_mm256_loadu_ps(p.add(8)), invv, lo, hi, magic);
+                let packed =
+                    _mm256_permute4x64_epi64::<0b1101_1000>(_mm256_packs_epi32(q0, q1));
+                _mm256_storeu_si256(out.as_mut_ptr().add(b * 8) as *mut __m256i, packed);
+            }
+        }
+        quantize_row_tail(row, inv, out, blocks * 8);
+    }
+
+    /// Rows per register block of the quantized kernel. Larger than the f32
+    /// kernel's `MR = 4` because each instruction retires two multiply-adds
+    /// per lane: six rows share each pair of panel loads (6 rows × 2 halves
+    /// of `i32` accumulators plus two panel vectors and one broadcast fit
+    /// the 16 YMM registers; the `f32` accumulators are touched once per
+    /// `KC_PAIRS` block, so spilling them costs nothing).
+    const QMR: usize = 6;
+
+    /// One accumulate step, AVX2: `acc += vpmaddwd(a, b)` — the pairwise
+    /// `i16 × i16 → i32` multiply-add plus a separate lane add.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn step_madd(acc: __m256i, a: __m256i, b: __m256i) -> __m256i {
+        _mm256_add_epi32(acc, _mm256_madd_epi16(a, b))
+    }
+
+    /// Generates one SIMD instantiation of the row-range core: a rows
+    /// driver plus `QMR`-row and 1-row register blocks, parameterized on
+    /// the accumulate step. All instantiations perform identical integer
+    /// arithmetic and identical per-block `i32 → f32` flushes, so they are
+    /// bit-identical to each other and to [`super::q8_rows_portable`].
+    macro_rules! q8_instantiation {
+        ($rows:ident, $block_main:ident, $block_edge:ident, $step:ident,
+         [$($feat:literal),+]) => {
+            #[target_feature($(enable = $feat),+)]
+            pub(super) fn $rows(
+                aq: &[f32],
+                a_scales: &[f32],
+                qb: &QuantizedMatrix,
+                out_chunk: &mut [f32],
+                row0: usize,
+            ) {
+                let n = qb.n;
+                let m_chunk = out_chunk.len() / n.max(1);
+                let mut i = 0;
+                while i < m_chunk {
+                    let mr = QMR.min(m_chunk - i);
+                    if mr == QMR {
+                        $block_main(aq, a_scales, qb, out_chunk, row0, i);
+                    } else {
+                        // Edge rows one at a time: every output element's
+                        // arithmetic is independent of row blocking, so
+                        // this changes no bits.
+                        for r in 0..mr {
+                            $block_edge(aq, a_scales, qb, out_chunk, row0, i + r);
+                        }
+                    }
+                    i += mr;
+                }
+            }
+
+            q8_block_impl!($block_main, QMR, $step, [$($feat),+]);
+            q8_block_impl!($block_edge, 1, $step, [$($feat),+]);
+        };
+    }
+
+    /// `R`-row × one-panel register block. Activation pairs broadcast with
+    /// the memory-form `vpbroadcastd` (the scratch holds them bit-packed as
+    /// one `u32` per pair); weight pairs stream from the packed panel; the
+    /// step instruction multiplies `i16` pairs into exact `i32` lane sums.
+    macro_rules! q8_block_impl {
+        ($name:ident, $r:expr, $step:ident, [$($feat:literal),+]) => {
+            #[target_feature($(enable = $feat),+)]
+            #[inline]
+            fn $name(
+                aq: &[f32],
+                a_scales: &[f32],
+                qb: &QuantizedMatrix,
+                out_chunk: &mut [f32],
+                row0: usize,
+                i: usize,
+            ) {
+                const R: usize = $r;
+                let (k2, n) = (qb.k2, qb.n);
+                // Hot-loop reads go through raw pointers so no bounds check
+                // lands between the SIMD ops; validate the extents once.
+                assert!((row0 + i + R) * k2 <= aq.len());
+                assert!(row0 + i + R <= a_scales.len());
+                let aqp = aq.as_ptr() as *const i32;
+                let arow0 = (row0 + i) * k2;
+                for p in 0..qb.panels() {
+                    let j0 = p * NR;
+                    let w = NR.min(n - j0);
+                    let panel = qb.panel(p);
+                    let pp = panel.as_ptr();
+                    let mut accf = [[_mm256_setzero_ps(); 2]; R];
+                    let mut kk2 = 0;
+                    while kk2 < k2 {
+                        let kend = (kk2 + KC_PAIRS).min(k2);
+                        let mut acci = [[_mm256_setzero_si256(); 2]; R];
+                        for kx in kk2..kend {
+                            // SAFETY: pair-row `kx` of the panel spans
+                            // `NR * 2 = 32` i16 — exactly two 256-bit
+                            // loads; activation reads are inside the
+                            // extent asserted above (f32 scratch read as
+                            // raw `i32` bits, same size and alignment).
+                            unsafe {
+                                let pb = pp.add(kx * NR * 2);
+                                let b0 = _mm256_loadu_si256(pb as *const __m256i);
+                                let b1 = _mm256_loadu_si256(pb.add(16) as *const __m256i);
+                                let mut r = 0;
+                                while r < R {
+                                    let av =
+                                        _mm256_set1_epi32(*aqp.add(arow0 + r * k2 + kx));
+                                    acci[r][0] = $step(acci[r][0], av, b0);
+                                    acci[r][1] = $step(acci[r][1], av, b1);
+                                    r += 1;
+                                }
+                            }
+                        }
+                        for (fa, ia) in accf.iter_mut().zip(acci.iter()) {
+                            fa[0] = _mm256_add_ps(fa[0], _mm256_cvtepi32_ps(ia[0]));
+                            fa[1] = _mm256_add_ps(fa[1], _mm256_cvtepi32_ps(ia[1]));
+                        }
+                        kk2 = kend;
+                    }
+                    // SAFETY: scales are zero-padded to `panels * NR`, so a
+                    // full 16-lane load at `j0` is always in bounds.
+                    let (sb0, sb1) = unsafe {
+                        let sp = qb.scales.as_ptr().add(j0);
+                        (_mm256_loadu_ps(sp), _mm256_loadu_ps(sp.add(8)))
+                    };
+                    for (r, fa) in accf.iter().enumerate() {
+                        let sa = _mm256_set1_ps(a_scales[row0 + i + r]);
+                        let lo = _mm256_mul_ps(_mm256_mul_ps(fa[0], sa), sb0);
+                        let hi = _mm256_mul_ps(_mm256_mul_ps(fa[1], sa), sb1);
+                        let mut tmp = [0.0f32; NR];
+                        // SAFETY: `tmp` is exactly two 256-bit stores wide.
+                        unsafe {
+                            _mm256_storeu_ps(tmp.as_mut_ptr(), lo);
+                            _mm256_storeu_ps(tmp.as_mut_ptr().add(8), hi);
+                        }
+                        let o0 = (i + r) * n + j0;
+                        out_chunk[o0..o0 + w].copy_from_slice(&tmp[..w]);
+                    }
+                }
+            }
+        };
+    }
+
+    q8_instantiation!(q8_rows_avx2, q8_block6_avx2, q8_block1_avx2, step_madd, ["avx2"]);
+
+    /// Rows per register block of the 512-bit VNNI kernel. One pair-row of
+    /// a panel is exactly one 512-bit load (`NR * 2 = 32` i16) and the 16
+    /// `i32` column sums fill one ZMM accumulator per row, so more rows
+    /// amortize each panel load; 8 accumulators plus operands sit far
+    /// inside the 32 ZMM registers.
+    const QMR_Z: usize = 8;
+
+    /// AVX-512 VNNI row-range core: `vpdpwssd` fuses the pairwise
+    /// `i16 × i16 → i32` multiply-add *and* the accumulator add into one
+    /// instruction (saturation cannot fire for int8-ranged operands), and
+    /// the broadcast folds into its memory operand — the same exact integer
+    /// arithmetic as [`q8_rows_avx2`] at a fraction of the port pressure.
+    #[target_feature(enable = "avx512f", enable = "avx512vnni")]
+    pub(super) fn q8_rows_vnni(
+        aq: &[f32],
+        a_scales: &[f32],
+        qb: &QuantizedMatrix,
+        out_chunk: &mut [f32],
+        row0: usize,
+    ) {
+        let n = qb.n;
+        let m_chunk = out_chunk.len() / n.max(1);
+        let mut i = 0;
+        while i < m_chunk {
+            let mr = QMR_Z.min(m_chunk - i);
+            if mr == QMR_Z {
+                q8_block8_vnni(aq, a_scales, qb, out_chunk, row0, i);
+            } else {
+                // Edge rows one at a time: every output element's
+                // arithmetic is independent of row blocking, so this
+                // changes no bits.
+                for r in 0..mr {
+                    q8_block1_vnni(aq, a_scales, qb, out_chunk, row0, i + r);
+                }
+            }
+            i += mr;
+        }
+    }
+
+    /// `R`-row × one-panel ZMM register block of the VNNI core. Identical
+    /// integer arithmetic and identical per-[`KC_PAIRS`]-block `i32 → f32`
+    /// flushes as the other cores, so bit-identical output.
+    macro_rules! q8_block_zmm {
+        ($name:ident, $r:expr) => {
+            #[target_feature(enable = "avx512f", enable = "avx512vnni")]
+            #[inline]
+            fn $name(
+                aq: &[f32],
+                a_scales: &[f32],
+                qb: &QuantizedMatrix,
+                out_chunk: &mut [f32],
+                row0: usize,
+                i: usize,
+            ) {
+                const R: usize = $r;
+                let (k2, n) = (qb.k2, qb.n);
+                // Hot-loop reads go through raw pointers so no bounds check
+                // lands between the SIMD ops; validate the extents once.
+                assert!((row0 + i + R) * k2 <= aq.len());
+                assert!(row0 + i + R <= a_scales.len());
+                let aqp = aq.as_ptr() as *const i32;
+                let arow0 = (row0 + i) * k2;
+                for p in 0..qb.panels() {
+                    let j0 = p * NR;
+                    let w = NR.min(n - j0);
+                    let panel = qb.panel(p);
+                    let pp = panel.as_ptr();
+                    let mut accf = [_mm512_setzero_ps(); R];
+                    let mut kk2 = 0;
+                    while kk2 < k2 {
+                        let kend = (kk2 + KC_PAIRS).min(k2);
+                        let mut acci = [_mm512_setzero_si512(); R];
+                        for kx in kk2..kend {
+                            // SAFETY: pair-row `kx` of the panel spans
+                            // `NR * 2 = 32` i16 — exactly one 512-bit load;
+                            // activation reads are inside the extent
+                            // asserted above (f32 scratch read as raw
+                            // `i32` bits, same size and alignment).
+                            unsafe {
+                                let b = _mm512_loadu_si512(pp.add(kx * NR * 2) as *const _);
+                                let mut r = 0;
+                                while r < R {
+                                    let av = _mm512_set1_epi32(*aqp.add(arow0 + r * k2 + kx));
+                                    acci[r] = _mm512_dpwssd_epi32(acci[r], av, b);
+                                    r += 1;
+                                }
+                            }
+                        }
+                        for (fa, ia) in accf.iter_mut().zip(acci.iter()) {
+                            *fa = _mm512_add_ps(*fa, _mm512_cvtepi32_ps(*ia));
+                        }
+                        kk2 = kend;
+                    }
+                    // SAFETY: scales are zero-padded to `panels * NR`, so a
+                    // full 16-lane load at `j0` is always in bounds.
+                    let sb = unsafe { _mm512_loadu_ps(qb.scales.as_ptr().add(j0)) };
+                    for (r, fa) in accf.iter().enumerate() {
+                        let sa = _mm512_set1_ps(a_scales[row0 + i + r]);
+                        let prod = _mm512_mul_ps(_mm512_mul_ps(*fa, sa), sb);
+                        let mut tmp = [0.0f32; NR];
+                        // SAFETY: `tmp` is exactly one 512-bit store wide.
+                        unsafe {
+                            _mm512_storeu_ps(tmp.as_mut_ptr(), prod);
+                        }
+                        let o0 = (i + r) * n + j0;
+                        out_chunk[o0..o0 + w].copy_from_slice(&tmp[..w]);
+                    }
+                }
+            }
+        };
+    }
+
+    q8_block_zmm!(q8_block8_vnni, QMR_Z);
+    q8_block_zmm!(q8_block1_vnni, 1);
+}
+
+/// Runtime-dispatched row-range core. Every instantiation produces
+/// bit-identical output (exact integer arithmetic, identical block flushes),
+/// so the choice never shows up in results — only in speed.
+fn q8_rows(aq: &[f32], a_scales: &[f32], qb: &QuantizedMatrix, out_chunk: &mut [f32], row0: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY (both arms): gated on runtime feature detection; the fns
+        // are safe Rust bodies that only need the features to be legal to
+        // execute.
+        if std::arch::is_x86_feature_detected!("avx512vnni")
+            && std::arch::is_x86_feature_detected!("avx512f")
+        {
+            unsafe {
+                return x86::q8_rows_vnni(aq, a_scales, qb, out_chunk, row0);
+            }
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            unsafe {
+                return x86::q8_rows_avx2(aq, a_scales, qb, out_chunk, row0);
+            }
+        }
+    }
+    q8_rows_portable(aq, a_scales, qb, out_chunk, row0);
+}
+
+/// Quantized matrix product `a · dequantize(b)` over `m = rows(a)` output
+/// rows, writing `out` (`[m, n]` row-major). Quantizes activations per row,
+/// then fans output-row chunks across the pool; chunk boundaries never touch
+/// `k`, so the result is bit-identical at any thread count.
+fn q8_fold(a: &[f32], m: usize, qb: &QuantizedMatrix, out: &mut [f32]) {
+    let (k, k2, n) = (qb.k, qb.k2, qb.n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    if out.is_empty() {
+        return;
+    }
+    let mut aq = Buffer::zeroed(m * k2);
+    let mut a_scales = Buffer::zeroed(m);
+    quantize_rows(a, m, k, k2, &mut aq, &mut a_scales);
+    let (aq, a_scales) = (&aq[..], &a_scales[..]);
+    let rows_per_chunk = if pool::should_parallelize(m * k * n, Q8_GRAIN) {
+        (pool::grain(Q8_GRAIN) / (k * n).max(1)).clamp(1, m)
+    } else {
+        m
+    };
+    pool::for_each_chunk(out, rows_per_chunk * n, |offset, chunk| {
+        q8_rows(aq, a_scales, qb, chunk, offset / n);
+    });
+}
+
+/// Int8 quantized matrix product against a pre-quantized weight matrix:
+/// numerically `a · dequantize(b)` within the rounding of dynamic per-row
+/// activation quantization (see the module docs for the bound).
+///
+/// Rank dispatch mirrors the shared-right-operand forms of [`crate::matmul`]
+/// — the shapes a weight matrix is applied in:
+///
+/// * `[m, k] x (k, n) -> [m, n]`
+/// * `[bs, m, k] x (k, n) -> [bs, m, n]` (batch folded into the rows)
+///
+/// # Errors
+/// Returns [`TensorError::MatmulMismatch`] for other ranks or a contraction
+/// mismatch, naming the same `(m,k) x (k',n)` dims as the f32 path would.
+pub fn matmul_q8(a: &NdArray, b: &QuantizedMatrix) -> Result<NdArray> {
+    let err =
+        || TensorError::MatmulMismatch { lhs: a.shape().to_vec(), rhs: vec![b.k, b.n] };
+    // Stack-array shapes: the steady-state serving path counts on this
+    // function allocating nothing beyond pooled buffers.
+    let (rows, k, mut out) = match a.rank() {
+        2 => (a.shape()[0], a.shape()[1], NdArray::zeros(&[a.shape()[0], b.n])),
+        3 => (
+            a.shape()[0] * a.shape()[1],
+            a.shape()[2],
+            NdArray::zeros(&[a.shape()[0], a.shape()[1], b.n]),
+        ),
+        _ => return Err(err()),
+    };
+    if k != b.k {
+        return Err(err());
+    }
+    q8_fold(a.data(), rows, b, out.data_mut());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_reference;
+    use testkit::{prop, prop_assert, prop_assert_eq};
+
+    /// The transpose-suite shape grid: zero-size, both sides of the
+    /// `MIN_PACKED_DIM` boundary, odd, power-of-two, and multi-chunk sizes.
+    const DIMS: [usize; 9] = [0, 1, 3, 4, 5, 7, 17, 64, 129];
+
+    fn grid_array(shape: &[usize], salt: u64) -> NdArray {
+        NdArray::from_fn(shape, |i| {
+            let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt);
+            match x % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => (x % 1000) as f32 / 61.0 - 8.0,
+            }
+        })
+    }
+
+    #[test]
+    fn quantize_rejects_non_matrix() {
+        assert!(matches!(
+            quantize_per_channel(&NdArray::zeros(&[3])),
+            Err(TensorError::QuantizeRank { .. })
+        ));
+        assert!(matches!(
+            quantize_per_channel(&NdArray::zeros(&[2, 3, 4])),
+            Err(TensorError::QuantizeRank { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_q8_rejects_mismatch() {
+        let qb = quantize_per_channel(&grid_array(&[5, 4], 1)).unwrap();
+        assert!(matmul_q8(&NdArray::zeros(&[3, 6]), &qb).is_err());
+        assert!(matmul_q8(&NdArray::zeros(&[5]), &qb).is_err());
+        let msg = matmul_q8(&NdArray::zeros(&[3, 6]), &qb).unwrap_err().to_string();
+        assert!(msg.contains("(3,6) x (5,4)"), "message: {msg}");
+    }
+
+    #[test]
+    fn zero_and_constant_channels_are_exact() {
+        // An all-zero channel gets scale 0 and contributes exactly 0; a
+        // constant channel quantizes with zero rounding error (±127 grid).
+        let b = NdArray::from_fn(&[8, 3], |i| match i % 3 {
+            0 => 0.0,
+            1 => 2.5,
+            _ => -1.25,
+        });
+        let qb = quantize_per_channel(&b).unwrap();
+        let dq = qb.dequantize();
+        for (x, y) in b.data().iter().zip(dq.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+        assert_eq!(qb.scales()[0], 0.0);
+    }
+
+    prop! {
+        #![config(cases = 48)]
+
+        /// Satellite: per-channel quantize→dequantize round-trip stays
+        /// within half a quantization step per element
+        /// (`s_j / 2 = amax_j / 254`, with a hair of f32 slack).
+        fn round_trip_error_is_bounded(
+            ki in 0usize..9,
+            ni in 0usize..9,
+            salt in 0u64..1000
+        ) {
+            let (k, n) = (DIMS[ki], DIMS[ni]);
+            let b = grid_array(&[k, n], salt);
+            let qb = quantize_per_channel(&b).unwrap();
+            let dq = qb.dequantize();
+            for j in 0..n {
+                let amax = (0..k).fold(0.0f32, |m, i| m.max(b.at(&[i, j]).abs()));
+                let bound = amax / 253.0 + 1e-6;
+                for i in 0..k {
+                    let diff = (b.at(&[i, j]) - dq.at(&[i, j])).abs();
+                    prop_assert!(
+                        diff <= bound,
+                        "({i},{j}): |{} - {}| = {diff} > {bound}",
+                        b.at(&[i, j]),
+                        dq.at(&[i, j])
+                    );
+                }
+            }
+        }
+
+        /// Satellite: int8 GEMM vs the f32 reference within the analytic
+        /// tolerance of the two symmetric quantizations, across shapes
+        /// including zero-size and `MIN_PACKED_DIM` edges.
+        fn q8_matches_f32_within_analytic_bound(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            salt in 0u64..1000
+        ) {
+            let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+            let a = grid_array(&[m, k], salt);
+            let b = grid_array(&[k, n], salt ^ 0xbeef);
+            let qb = quantize_per_channel(&b).unwrap();
+            let got = matmul_q8(&a, &qb).unwrap();
+            let want = matmul_reference(&a, &b).unwrap();
+            prop_assert_eq!(got.shape(), want.shape());
+            for i in 0..m {
+                let sa = {
+                    let amax = (0..k).fold(0.0f32, |mx, kk| mx.max(a.at(&[i, kk]).abs()));
+                    amax / 127.0
+                };
+                let arow_abs: f32 = (0..k).map(|kk| a.at(&[i, kk]).abs()).sum();
+                for j in 0..n {
+                    let sb = qb.scales()[j];
+                    let bcol_abs: f32 = (0..k).map(|kk| b.at(&[kk, j]).abs()).sum();
+                    // a = sa·qa + da (|da| ≤ sa/2), b = sb·qb + db: the
+                    // product error is Σ|a|·sb/2 + Σ|b|·sa/2 + k·sa·sb/4,
+                    // plus slack for f32 accumulation differences.
+                    let bound = (arow_abs * sb / 2.0 + bcol_abs * sa / 2.0
+                        + k as f32 * sa * sb / 4.0)
+                        * 1.05
+                        + 1e-4;
+                    let diff = (got.at(&[i, j]) - want.at(&[i, j])).abs();
+                    prop_assert!(
+                        diff <= bound,
+                        "({i},{j}): |{} - {}| = {diff} > {bound}",
+                        got.at(&[i, j]),
+                        want.at(&[i, j])
+                    );
+                }
+            }
+        }
+
+        /// Satellite: bit-identical results at threads {1, 2, 4} — the
+        /// relaxed tier is deterministic *within itself* even though it is
+        /// not bit-equal to the exact tier. Also covers the batched fold.
+        fn q8_is_thread_deterministic(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            bs in 1usize..4
+        ) {
+            let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+            let a2 = grid_array(&[m, k], 3);
+            let a3 = grid_array(&[bs, m, k], 5);
+            let qb = quantize_per_channel(&grid_array(&[k, n], 7)).unwrap();
+            let want2 = pool::with_threads(1, || matmul_q8(&a2, &qb).unwrap());
+            let want3 = pool::with_threads(1, || matmul_q8(&a3, &qb).unwrap());
+            for threads in [2usize, 4] {
+                let (got2, got3) = pool::with_threads(threads, || {
+                    pool::with_grain(64, || {
+                        (matmul_q8(&a2, &qb).unwrap(), matmul_q8(&a3, &qb).unwrap())
+                    })
+                });
+                prop_assert!(got2.data().iter().zip(want2.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()), "2-D t{}", threads);
+                prop_assert!(got3.data().iter().zip(want3.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()), "3-D t{}", threads);
+            }
+        }
+
+        /// Every SIMD core (AVX2 `vpmaddwd`, AVX-512 VNNI `vpdpwssd`) is
+        /// bit-identical to the portable core (exact integer arithmetic +
+        /// identical block flushes), so runtime dispatch can never change
+        /// results.
+        fn portable_and_simd_cores_agree_bitwise(
+            mi in 0usize..9,
+            ki in 0usize..9,
+            ni in 0usize..9,
+            salt in 0u64..1000
+        ) {
+            let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+            if n == 0 {
+                return;
+            }
+            let a = grid_array(&[m, k], salt);
+            let qb = quantize_per_channel(&grid_array(&[k, n], salt ^ 0x5a5a)).unwrap();
+            let k2 = qb.k2;
+            let mut aq = vec![0.0f32; m * k2];
+            let mut scales = vec![0.0f32; m];
+            quantize_rows(a.data(), m, k, k2, &mut aq, &mut scales);
+            let mut portable = vec![0.0f32; m * n];
+            q8_rows_portable(&aq, &scales, &qb, &mut portable, 0);
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut simd = vec![0.0f32; m * n];
+                    // SAFETY: gated on runtime AVX2 detection.
+                    unsafe { x86::q8_rows_avx2(&aq, &scales, &qb, &mut simd, 0) };
+                    prop_assert!(portable.iter().zip(&simd)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()), "avx2 core");
+                }
+                if std::arch::is_x86_feature_detected!("avx512vnni")
+                    && std::arch::is_x86_feature_detected!("avx512f")
+                {
+                    let mut simd = vec![0.0f32; m * n];
+                    // SAFETY: gated on runtime VNNI + AVX-512F detection.
+                    unsafe { x86::q8_rows_vnni(&aq, &scales, &qb, &mut simd, 0) };
+                    prop_assert!(portable.iter().zip(&simd)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()), "vnni core");
+                }
+            }
+            let _ = portable;
+        }
+    }
+
+    #[test]
+    fn deep_k_blocks_flush_without_overflow() {
+        // k > KC_PAIRS * 2 forces multiple i32 → f32 flushes; with all-max
+        // values every product is 127 * 127, the worst case for overflow.
+        let k = KC_PAIRS * 2 + 3;
+        let a = NdArray::from_fn(&[1, k], |_| 1.0);
+        let b = NdArray::from_fn(&[k, 2], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let qb = quantize_per_channel(&b).unwrap();
+        let got = matmul_q8(&a, &qb).unwrap();
+        // Every quantized product is exactly ±127 * 127 · (1/127)² = ±1.
+        assert!((got.at(&[0, 0]) - k as f32).abs() / k as f32 <= 1e-3);
+        assert!((got.at(&[0, 1]) + k as f32).abs() / k as f32 <= 1e-3);
+    }
+}
