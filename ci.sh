@@ -172,4 +172,34 @@ if ! echo "$stream_out" | grep -q '^equivalence=ok$'; then
 fi
 echo "ok: streaming path matches the batch path and is allocation-free"
 
+echo "== sharded-pretraining gate: multi-process determinism + crash recovery =="
+# Out-of-core sharded pretraining (DESIGN.md §16): N worker *processes*
+# exchanging gradients through atomic checkpoint files must produce a
+# final checkpoint byte-identical to the single-process run at workers
+# {1, 2, 4}, and killing a worker mid-run (follower AND coordinator) then
+# respawning it must recover to the same bytes.
+cargo build --release --offline -p timedrl-bench --bin shard_probe
+shard_dir="$probe_dir/shards"
+./target/release/shard_probe prepare "$shard_dir"
+for n in 1 2 4; do
+    ./target/release/shard_probe run "$shard_dir" "$probe_dir/shard_run$n" "$n" "$probe_dir/shard_final$n.tdrl"
+done
+for n in 2 4; do
+    if ! cmp "$probe_dir/shard_final1.tdrl" "$probe_dir/shard_final$n.tdrl"; then
+        echo "FAIL: $n-worker sharded checkpoint differs from the single-process run"
+        exit 1
+    fi
+done
+echo "ok: sharded checkpoints byte-identical at workers 1, 2, 4"
+# Kill-and-resume across real process boundaries: a follower (worker 1),
+# then the coordinator (worker 0), each killed at optimizer step 2.
+for victim in 1 0; do
+    ./target/release/shard_probe crash "$shard_dir" "$probe_dir/shard_crash$victim" 2 "$victim" "$probe_dir/shard_crash_final$victim.tdrl"
+    if ! cmp "$probe_dir/shard_final1.tdrl" "$probe_dir/shard_crash_final$victim.tdrl"; then
+        echo "FAIL: kill-and-resume of worker $victim diverged from the uninterrupted run"
+        exit 1
+    fi
+done
+echo "ok: sharded runs recover bit-exactly from a killed follower and a killed coordinator"
+
 echo "== CI green =="

@@ -155,7 +155,9 @@ pub fn fit_ssl(
     for _ in 0..cfg.epochs {
         let mut sum = 0.0f64;
         let mut batches = 0usize;
-        for idx in BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng)) {
+        for idx in BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng))
+            .expect("batch_size is positive")
+        {
             let batch = gather(windows, &idx);
             opt.zero_grad();
             let loss = loss_fn(&batch, &mut ctx, &mut aux_rng);

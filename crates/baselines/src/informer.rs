@@ -100,7 +100,9 @@ impl EndToEndForecaster for Informer {
         for _ in 0..self.cfg.epochs {
             let mut sum = 0.0f64;
             let mut count = 0usize;
-            for idx in BatchIndices::new(n, self.cfg.batch_size, Some(&mut epoch_rng)) {
+            for idx in BatchIndices::new(n, self.cfg.batch_size, Some(&mut epoch_rng))
+                .expect("batch_size is positive")
+            {
                 let x = crate::common::gather(inputs, &idx);
                 let y = gather_2d(targets, &idx);
                 opt.zero_grad();

@@ -1,0 +1,113 @@
+//! Out-of-core shard-reader benchmark: windows/sec of the streaming
+//! sharded path against the in-memory `sliding_windows` path, and the
+//! peak-residency bound that justifies the whole layer (DESIGN.md §16).
+//!
+//! Writes `BENCH_shard.json` at the repository root (override with
+//! `TIMEDRL_BENCH_OUT`): throughput of both paths across series lengths,
+//! the sharded/in-memory cost ratio, and the peak resident bytes of the
+//! sharded reader versus the full-series footprint — the latter must stay
+//! bounded by one shard plus one window span regardless of series length,
+//! which this binary asserts.
+
+use testkit::{Bench, Json};
+use timedrl_data::{sliding_windows, ShardWriter, ShardedDataset};
+use timedrl_tensor::NdArray;
+
+/// Window geometry shared by every series length.
+const LOOKBACK: usize = 64;
+const HORIZON: usize = 16;
+const STRIDE: usize = 4;
+/// Rows per shard: the out-of-core residency unit.
+const ROWS_PER_SHARD: usize = 2048;
+/// Series lengths swept (rows); the largest is many shards long.
+const LENGTHS: [usize; 3] = [4_096, 16_384, 65_536];
+const CHANNELS: usize = 4;
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("TIMEDRL_BENCH_OUT") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_shard.json")
+}
+
+fn series(t: usize) -> NdArray {
+    NdArray::from_fn(&[t, CHANNELS], |i| (i as f32 * 0.013).sin() + (i as f32) * 1e-5)
+}
+
+fn main() {
+    let mut b = Bench::from_env("shard");
+    let mut results = Vec::new();
+    let dir = std::env::temp_dir().join("timedrl_shard_bench");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for &t in &LENGTHS {
+        let s = series(t);
+        let sub = dir.join(format!("len{t}"));
+        ShardWriter::new(ROWS_PER_SHARD).expect("writer").write(&s, &sub).expect("shards");
+        let ds = ShardedDataset::open(&sub).expect("open");
+        let n = ds.window_count(LOOKBACK, HORIZON, STRIDE);
+
+        // In-memory reference: one bulk materialization.
+        let mut group = b.group("in_memory");
+        let mem_report = group.bench(format!("rows{t}"), || {
+            let wf = sliding_windows(&s, LOOKBACK, HORIZON, STRIDE);
+            wf.inputs.shape()[0]
+        });
+        group.finish();
+
+        // Sharded streaming path, plus its peak-residency high-water mark.
+        let mut peak_bytes = 0usize;
+        let mut group = b.group("sharded_stream");
+        let shard_report = group.bench(format!("rows{t}"), || {
+            let mut iter = ds.windows(LOOKBACK, HORIZON, STRIDE).expect("plan");
+            let mut count = 0usize;
+            for w in iter.by_ref() {
+                let (input, _target) = w.expect("window");
+                count += usize::from(std::hint::black_box(&input).data()[0].is_finite());
+            }
+            peak_bytes = iter.peak_buffer_bytes();
+            count
+        });
+        group.finish();
+
+        let full_bytes = t * CHANNELS * std::mem::size_of::<f32>();
+        let bound = (ROWS_PER_SHARD + LOOKBACK + HORIZON) * CHANNELS * std::mem::size_of::<f32>();
+        assert!(
+            peak_bytes <= bound,
+            "rows {t}: peak resident {peak_bytes} B exceeds the one-shard bound {bound} B"
+        );
+
+        let mem_wps = n as f64 / mem_report.median;
+        let shard_wps = n as f64 / shard_report.median;
+        let ratio = mem_report.median / shard_report.median;
+        println!(
+            "rows {t:>6}: in-memory {:>10.0} w/s, sharded {:>10.0} w/s ({ratio:.2}x), \
+             peak resident {peak_bytes} B vs full series {full_bytes} B",
+            mem_wps, shard_wps,
+        );
+        results.push(Json::Obj(vec![
+            ("rows".to_string(), Json::Num(t as f64)),
+            ("windows".to_string(), Json::Num(n as f64)),
+            ("in_memory_windows_per_s".to_string(), Json::Num(mem_wps)),
+            ("sharded_windows_per_s".to_string(), Json::Num(shard_wps)),
+            ("sharded_vs_in_memory".to_string(), Json::Num(ratio)),
+            ("peak_resident_bytes".to_string(), Json::Num(peak_bytes as f64)),
+            ("full_series_bytes".to_string(), Json::Num(full_bytes as f64)),
+            ("samples".to_string(), Json::Num(shard_report.samples as f64)),
+        ]));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let doc = Json::Obj(vec![
+        ("suite".to_string(), Json::Str("shard".to_string())),
+        ("lookback".to_string(), Json::Num(LOOKBACK as f64)),
+        ("horizon".to_string(), Json::Num(HORIZON as f64)),
+        ("stride".to_string(), Json::Num(STRIDE as f64)),
+        ("rows_per_shard".to_string(), Json::Num(ROWS_PER_SHARD as f64)),
+        ("channels".to_string(), Json::Num(CHANNELS as f64)),
+        ("results".to_string(), Json::Arr(results)),
+    ]);
+    let path = out_path();
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_shard.json");
+    println!("\nwrote {}", path.display());
+}

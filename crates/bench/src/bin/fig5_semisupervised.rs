@@ -89,7 +89,7 @@ fn main() {
         if scale == Scale::Quick { &["PenDigits"] } else { &["HAR", "Epilepsy", "PenDigits"] };
     for name in classify_sets {
         let ds = classify_by_name(name, scale);
-        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed));
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed)).unwrap();
         println!("{name}:");
         println!("{:>10} {:>14} {:>14}", "labels", "Supervised", "TimeDRL (FT)");
         let mut sup_pts = Vec::new();

@@ -55,7 +55,7 @@ fn main() {
 
     // Classification branch (FingerMovements).
     let ds_c = classify_by_name("FingerMovements", scale);
-    let (train, test) = ds_c.train_test_split(0.6, &mut Prng::new(seed));
+    let (train, test) = ds_c.train_test_split(0.6, &mut Prng::new(seed)).unwrap();
     println!("\nFig. 6 (right): classification accuracy on FingerMovements vs lambda.\n");
     println!("{:>10} {:>10}", "lambda", "ACC %");
     let mut acc_pts = Vec::new();

@@ -1,0 +1,158 @@
+//! Sharded-pretraining probe for CI: proves the multi-process determinism
+//! and crash-recovery contracts across *real* OS process boundaries
+//! (DESIGN.md §16).
+//!
+//! Modes:
+//!
+//! * `prepare <shard-dir>` — write the deterministic synthetic series as a
+//!   5-shard split.
+//! * `worker <shard-dir> <run-dir> <w> <n> [--die-at-step K]` — run worker
+//!   `w` of `n`; with `--die-at-step K` the process calls
+//!   `process::exit(9)` at the start of optimizer step `K` (the "kill").
+//! * `run <shard-dir> <run-dir> <n> <model-out>` — spawn `n` `worker`
+//!   child processes (via `current_exe`), wait for all, copy the final
+//!   checkpoint to `<model-out>`.
+//! * `crash <shard-dir> <run-dir> <n> <victim> <model-out>` — like `run`,
+//!   but worker `<victim>` dies at step 2; after confirming exit code 9 a
+//!   clean replacement is spawned, and the run must still complete with a
+//!   byte-identical checkpoint.
+//!
+//! `ci.sh` byte-compares `run` at n = 1, 2, 4 and `crash` (killing both a
+//! follower and the coordinator) against the single-process result.
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use timedrl::config::TimeDrlConfig;
+use timedrl::shard::{run_shard_worker_with, ShardTrainPlan};
+use timedrl_data::ShardWriter;
+use timedrl_tensor::NdArray;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shard_probe prepare <shard-dir>\n\
+         \x20      shard_probe worker <shard-dir> <run-dir> <w> <n> [--die-at-step K]\n\
+         \x20      shard_probe run <shard-dir> <run-dir> <n> <model-out>\n\
+         \x20      shard_probe crash <shard-dir> <run-dir> <n> <victim> <model-out>"
+    );
+    std::process::exit(2);
+}
+
+fn base_cfg() -> TimeDrlConfig {
+    let mut cfg = TimeDrlConfig::forecasting(32);
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.batch_size = 8;
+    cfg.epochs = 2;
+    cfg.seed = 21;
+    cfg
+}
+
+fn plan(shard_dir: &str, run_dir: &str, worker: usize, n: usize) -> ShardTrainPlan {
+    let mut plan = ShardTrainPlan::new(shard_dir, run_dir);
+    plan.worker = worker;
+    plan.n_workers = n;
+    plan.stride = 4;
+    plan
+}
+
+/// Deterministic sinusoid series, 600 rows × 1 channel — five 128-row
+/// shards (the last holds 88), identical in every invocation.
+fn series() -> NdArray {
+    NdArray::from_fn(&[600, 1], |i| (i as f32 * 0.4).sin() + (i as f32 * 0.05).cos())
+}
+
+fn spawn_worker(shard_dir: &str, run_dir: &str, w: usize, n: usize, die_at: Option<u64>) -> std::process::Child {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = Command::new(exe);
+    cmd.args(["worker", shard_dir, run_dir, &w.to_string(), &n.to_string()])
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit());
+    if let Some(k) = die_at {
+        cmd.args(["--die-at-step", &k.to_string()]);
+    }
+    cmd.spawn().expect("spawn worker")
+}
+
+fn finish(run_dir: &str, model_out: &str, n: usize) {
+    std::fs::copy(Path::new(run_dir).join("model_final.tdrl"), model_out)
+        .expect("copy final checkpoint");
+    println!("shard_probe: workers={n} final={model_out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("prepare") => {
+            let [_, shard_dir] = args.as_slice() else { usage() };
+            let paths = ShardWriter::new(128)
+                .expect("rows_per_shard")
+                .write(&series(), shard_dir)
+                .expect("write shards");
+            println!("shard_probe prepare: shards={} dir={shard_dir}", paths.len());
+        }
+        Some("worker") => {
+            let (core, die_at) = match args.as_slice() {
+                [_, s, r, w, n] => ((s, r, w, n), None),
+                [_, s, r, w, n, flag, k] if flag == "--die-at-step" => {
+                    ((s, r, w, n), Some(k.parse::<u64>().unwrap_or_else(|_| usage())))
+                }
+                _ => usage(),
+            };
+            let (shard_dir, run_dir, w, n) = core;
+            let w: usize = w.parse().unwrap_or_else(|_| usage());
+            let n: usize = n.parse().unwrap_or_else(|_| usage());
+            let report = run_shard_worker_with(&base_cfg(), &plan(shard_dir, run_dir, w, n), |s| {
+                if die_at == Some(s) {
+                    eprintln!("shard_probe worker {w}: dying at step {s} as instructed");
+                    std::process::exit(9);
+                }
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("shard_probe worker {w}: {e}");
+                std::process::exit(1);
+            });
+            println!("shard_probe worker {w}/{n}: done, epochs={}", report.total.len());
+        }
+        Some("run") => {
+            let [_, shard_dir, run_dir, n, model_out] = args.as_slice() else { usage() };
+            let n: usize = n.parse().unwrap_or_else(|_| usage());
+            let children: Vec<_> =
+                (0..n).map(|w| spawn_worker(shard_dir, run_dir, w, n, None)).collect();
+            for (w, child) in children.into_iter().enumerate() {
+                let status = child.wait_with_output().expect("wait worker");
+                assert!(status.status.success(), "worker {w} failed: {}", status.status);
+            }
+            finish(run_dir, model_out, n);
+        }
+        Some("crash") => {
+            let [_, shard_dir, run_dir, n, victim, model_out] = args.as_slice() else { usage() };
+            let n: usize = n.parse().unwrap_or_else(|_| usage());
+            let victim: usize = victim.parse().unwrap_or_else(|_| usage());
+            assert!(victim < n, "victim {victim} out of range for {n} workers");
+            let mut children = Vec::new();
+            for w in 0..n {
+                let die_at = (w == victim).then_some(2);
+                children.push((w, spawn_worker(shard_dir, run_dir, w, n, die_at)));
+            }
+            // The victim must actually die with the kill code...
+            let (_, victim_child) = children.remove(victim);
+            let status = victim_child.wait_with_output().expect("wait victim");
+            assert_eq!(
+                status.status.code(),
+                Some(9),
+                "victim {victim} exited {:?}, expected the kill code 9",
+                status.status.code()
+            );
+            println!("shard_probe crash: worker {victim} killed at step 2, respawning");
+            // ...and a clean replacement must finish the run from disk.
+            children.push((victim, spawn_worker(shard_dir, run_dir, victim, n, None)));
+            for (w, child) in children {
+                let status = child.wait_with_output().expect("wait worker");
+                assert!(status.status.success(), "worker {w} failed: {}", status.status);
+            }
+            finish(run_dir, model_out, n);
+        }
+        _ => usage(),
+    }
+}

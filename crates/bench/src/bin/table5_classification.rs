@@ -25,7 +25,7 @@ fn main() {
     let mut acc_totals: Vec<(String, f64, usize)> = Vec::new();
 
     for ds in classify_registry(scale) {
-        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed));
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed)).unwrap();
 
         // TimeDRL first, then the seven baselines.
         let report = run_timedrl_classification(&train, &test, scale, seed);

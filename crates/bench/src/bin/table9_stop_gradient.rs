@@ -32,7 +32,7 @@ fn main() {
         let mut cells = [0.0f32; 2];
         for (d, name) in datasets.iter().enumerate() {
             let ds = classify_by_name(name, scale);
-            let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed));
+            let (train, test) = ds.train_test_split(0.6, &mut Prng::new(seed)).unwrap();
             let mut cfg = timedrl_classify_config(&train, scale, seed);
             cfg.stop_gradient = sg;
             // Emphasize the contrastive task so the collapse mechanism is

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn classification_cell_runs() {
         let ds = classify_by_name("PenDigits", Scale::Quick);
-        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(1));
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(1)).unwrap();
         let r = run_timedrl_classification(&train, &test, Scale::Quick, 0);
         assert!(r.accuracy > 0.0 && r.accuracy <= 1.0);
     }

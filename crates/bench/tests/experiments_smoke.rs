@@ -53,7 +53,7 @@ fn table3_cell_every_e2e_method() {
 #[test]
 fn table5_cell_every_classifier() {
     let ds = classify_by_name("PenDigits", Scale::Quick);
-    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0));
+    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0)).unwrap();
     let t = run_timedrl_classification(&train, &test, Scale::Quick, 0);
     assert!(t.accuracy > 0.0);
     let cfg = baseline_classify_config(&ds, Scale::Quick, 0);

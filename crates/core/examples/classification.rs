@@ -22,7 +22,7 @@ fn main() {
         dataset.features(),
         dataset.n_classes
     );
-    let (train, test) = dataset.train_test_split(0.6, &mut Prng::new(0));
+    let (train, test) = dataset.train_test_split(0.6, &mut Prng::new(0)).unwrap();
     println!("split: {} train / {} test", train.len(), test.len());
 
     // Classification uses channel mixing (no channel-independence) per the

@@ -14,7 +14,7 @@ use timedrl_tensor::Prng;
 
 fn main() {
     let dataset = pendigits(300, 11);
-    let (train, test) = dataset.train_test_split(0.6, &mut Prng::new(1));
+    let (train, test) = dataset.train_test_split(0.6, &mut Prng::new(1)).unwrap();
     println!(
         "dataset: {} ({} train / {} test, {} classes)",
         dataset.name,

@@ -256,7 +256,9 @@ pub fn finetune_forecast(
     let mut opt = AdamW::new(joint, ft.lr, 1e-4);
     let mut ctx = Ctx::train(seed ^ 0xf17e);
     for _ in 0..ft.epochs {
-        for idx in BatchIndices::new(kept.len(), ft.batch_size, Some(&mut rng)) {
+        for idx in BatchIndices::new(kept.len(), ft.batch_size, Some(&mut rng))
+            .expect("finetune batch_size is positive")
+        {
             let rows: Vec<usize> = idx.iter().map(|&i| kept[i]).collect();
             let inputs = gather_rows(&data.train_inputs, &rows);
             let targets = gather_targets(&norm_targets, &rows);
@@ -299,7 +301,8 @@ pub fn finetune_classification(
     let cfg = model.config();
     let mut rng = Prng::new(seed);
 
-    let labelled = train.subsample_labels(label_fraction, &mut rng);
+    let labelled =
+        train.subsample_labels(label_fraction, &mut rng).expect("label fraction in [0, 1]");
     let batch_tensor = labelled.to_batch();
 
     // LP: the head *is* the logistic-probe solution on the frozen
@@ -316,7 +319,9 @@ pub fn finetune_classification(
     let mut opt = AdamW::new(joint, ft.lr, 1e-4);
     let mut ctx = Ctx::train(seed ^ 0xc1a5);
     for _ in 0..ft.epochs {
-        for idx in BatchIndices::new(labelled.len(), ft.batch_size, Some(&mut rng)) {
+        for idx in BatchIndices::new(labelled.len(), ft.batch_size, Some(&mut rng))
+            .expect("finetune batch_size is positive")
+        {
             let inputs = gather_rows(&batch_tensor, &idx);
             let labels: Vec<usize> = idx.iter().map(|&i| labelled.labels[i]).collect();
             opt.zero_grad();
@@ -488,7 +493,8 @@ mod tests {
     fn classification_pipeline_end_to_end() {
         let ds = pendigits(120, 2);
         let mut rng = Prng::new(3);
-        let (train, test) = ds.train_test_split(0.6, &mut rng);
+        let (train, test) =
+            ds.train_test_split(0.6, &mut rng).expect("0.6 is a valid fraction");
         let mut cfg = TimeDrlConfig::classification(8, 2);
         cfg.d_model = 16;
         cfg.d_ff = 32;
@@ -530,7 +536,8 @@ mod tests {
     fn finetune_classification_runs() {
         let ds = pendigits(80, 6);
         let mut rng = Prng::new(7);
-        let (train, test) = ds.train_test_split(0.6, &mut rng);
+        let (train, test) =
+            ds.train_test_split(0.6, &mut rng).expect("0.6 is a valid fraction");
         let mut cfg = TimeDrlConfig::classification(8, 2);
         cfg.d_model = 16;
         cfg.d_ff = 32;

@@ -57,6 +57,21 @@ pub enum TrainError {
     /// A resume checkpoint is well-formed but belongs to a different
     /// model or training plan (parameter/shape/epoch mismatch).
     ResumeMismatch(String),
+    /// The shard layer failed: a corrupt/inconsistent shard set or a
+    /// filesystem problem while streaming it.
+    Shard(timedrl_data::ShardError),
+    /// A sharded-pretraining worker gave up waiting for a peer's file
+    /// (parameter snapshot or gradient contribution) — a peer process
+    /// likely died without being restarted.
+    ShardTimeout {
+        /// The file the worker was polling for.
+        waiting_for: PathBuf,
+        /// How long it waited before giving up.
+        waited_ms: u64,
+    },
+    /// A file in the sharded-pretraining run directory disagrees with the
+    /// protocol (wrong shard/step stamp, wrong array count, foreign run).
+    ShardProtocol(String),
 }
 
 impl fmt::Display for TrainError {
@@ -83,6 +98,14 @@ impl fmt::Display for TrainError {
             }
             TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             TrainError::ResumeMismatch(msg) => write!(f, "resume mismatch: {msg}"),
+            TrainError::Shard(e) => write!(f, "shard error: {e}"),
+            TrainError::ShardTimeout { waiting_for, waited_ms } => write!(
+                f,
+                "timed out after {waited_ms} ms waiting for {} — a peer worker \
+                 likely died; restart it to resume",
+                waiting_for.display()
+            ),
+            TrainError::ShardProtocol(msg) => write!(f, "shard protocol violation: {msg}"),
         }
     }
 }
@@ -92,6 +115,7 @@ impl std::error::Error for TrainError {
         match self {
             TrainError::Backward(e) => Some(e),
             TrainError::Checkpoint(e) => Some(e),
+            TrainError::Shard(e) => Some(e),
             _ => None,
         }
     }
@@ -106,6 +130,12 @@ impl From<io::Error> for TrainError {
 impl From<TensorError> for TrainError {
     fn from(e: TensorError) -> Self {
         TrainError::Backward(e)
+    }
+}
+
+impl From<timedrl_data::ShardError> for TrainError {
+    fn from(e: timedrl_data::ShardError) -> Self {
+        TrainError::Shard(e)
     }
 }
 

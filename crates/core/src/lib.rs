@@ -42,6 +42,7 @@ pub mod export;
 pub mod model;
 pub mod pooling;
 pub mod pretext;
+pub mod shard;
 pub mod trainer;
 
 pub use anomaly::{
@@ -64,4 +65,5 @@ pub use export::{
 pub use model::{channel_independent, ContrastHead, Encoded, TimeDrl};
 pub use pooling::Pooling;
 pub use pretext::{contrastive_loss, predictive_loss, pretext_loss, PretextBreakdown};
+pub use shard::{run_shard_worker, run_shard_worker_with, ShardTrainPlan};
 pub use trainer::{gather_rows, pretrain, pretrain_with_validation, PretrainReport};

@@ -138,7 +138,9 @@ fn pretrain_impl(
     for epoch in start_epoch..cfg.epochs {
         let mut sums = (0.0f64, 0.0f64, 0.0f64);
         let mut batches = 0usize;
-        for idx in BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng)) {
+        let batch_iter = BatchIndices::new(n, cfg.batch_size, Some(&mut epoch_rng))
+            .map_err(|e| TrainError::InvalidConfig(e.to_string()))?;
+        for idx in batch_iter {
             let breakdown = match cfg.micro_batch {
                 Some(m) => micro_batch_step(model, &cfg, windows, &idx, m, step, &mut opt),
                 None => {
@@ -189,7 +191,9 @@ fn pretrain_impl(
             let mut val_aug = Prng::new(cfg.seed ^ 0x5eed_0005);
             let mut sum = 0.0f64;
             let mut count = 0usize;
-            for idx in BatchIndices::new(val.shape()[0], cfg.batch_size, None) {
+            let val_iter = BatchIndices::new(val.shape()[0], cfg.batch_size, None)
+                .map_err(|e| TrainError::InvalidConfig(e.to_string()))?;
+            for idx in val_iter {
                 let batch = gather_rows(val, &idx);
                 let (_, breakdown) = pretext_loss(model, &batch, &mut val_ctx, &mut val_aug);
                 sum += breakdown.total as f64;
@@ -331,20 +335,14 @@ fn micro_batch_step(
     let chunks: Vec<&[usize]> = idx.chunks(micro).collect();
     let b_total = idx.len() as f32;
     let results = pool::map_indexed(&chunks, |j, chunk| {
-        let replica = TimeDrl::new(cfg.clone());
-        for (p, v) in replica.parameters().iter().zip(snapshot.iter()) {
-            p.set_value(v.clone());
-        }
-        let mut ctx = Ctx::train(mix_seed(cfg.seed ^ 0x5eed_0002, step, j as u64));
-        let mut aug = Prng::new(mix_seed(cfg.seed ^ 0x5eed_0003, step, j as u64));
         let batch = gather_rows(windows, chunk);
-        let (loss, breakdown) = pretext_loss(&replica, &batch, &mut ctx, &mut aug);
-        loss.try_backward()?;
-        let grads: Vec<NdArray> = replica
-            .parameters()
-            .iter()
-            .map(|p| p.grad().unwrap_or_else(|| NdArray::zeros(&p.shape())))
-            .collect();
+        let (grads, breakdown) = replica_gradient(
+            cfg,
+            &snapshot,
+            &batch,
+            mix_seed(cfg.seed ^ 0x5eed_0002, step, j as u64),
+            mix_seed(cfg.seed ^ 0x5eed_0003, step, j as u64),
+        )?;
         Ok((grads, breakdown, chunk.len() as f32 / b_total))
     });
     opt.zero_grad();
@@ -375,10 +373,42 @@ fn micro_batch_step(
     Ok(agg)
 }
 
+/// Builds a throwaway model replica from a parameter snapshot, runs one
+/// pretext forward/backward on `batch`, and returns the raw gradients in
+/// stable `parameters()` order plus the loss breakdown.
+///
+/// The gradients are a pure function of `(snapshot, batch, ctx_seed,
+/// aug_seed)` — never of which thread or *process* ran the replica. The
+/// micro-batch path and the multi-process shard workers
+/// ([`crate::shard`]) both lean on this for their bit-identical-reduction
+/// arguments.
+pub(crate) fn replica_gradient(
+    cfg: &TimeDrlConfig,
+    snapshot: &[NdArray],
+    batch: &NdArray,
+    ctx_seed: u64,
+    aug_seed: u64,
+) -> Result<(Vec<NdArray>, PretextBreakdown), timedrl_tensor::TensorError> {
+    let replica = TimeDrl::new(cfg.clone());
+    for (p, v) in replica.parameters().iter().zip(snapshot.iter()) {
+        p.set_value(v.clone());
+    }
+    let mut ctx = Ctx::train(ctx_seed);
+    let mut aug = Prng::new(aug_seed);
+    let (loss, breakdown) = pretext_loss(&replica, batch, &mut ctx, &mut aug);
+    loss.try_backward()?;
+    let grads = replica
+        .parameters()
+        .iter()
+        .map(|p| p.grad().unwrap_or_else(|| NdArray::zeros(&p.shape())))
+        .collect();
+    Ok((grads, breakdown))
+}
+
 /// SplitMix64-style seed mixer: decorrelates the per-micro-batch RNG
 /// streams from `(base seed, optimizer step, micro-batch index)` without
 /// any shared mutable state.
-fn mix_seed(base: u64, step: u64, j: u64) -> u64 {
+pub(crate) fn mix_seed(base: u64, step: u64, j: u64) -> u64 {
     let mut z = base
         ^ step.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ j.wrapping_mul(0xd1b5_4a32_d192_ed03);

@@ -39,8 +39,8 @@ fn pretraining_improves_low_label_probe_over_random_encoder() {
     // effect — so the label-limited regime is where representation
     // quality is measurable).
     let ds = epilepsy(300, 3);
-    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0));
-    let labelled = train.subsample_labels(0.1, &mut Prng::new(1));
+    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0)).unwrap();
+    let labelled = train.subsample_labels(0.1, &mut Prng::new(1)).unwrap();
     let mut cfg = TimeDrlConfig::classification(train.sample_len(), train.features());
     cfg.d_model = 16;
     cfg.d_ff = 32;
@@ -117,7 +117,7 @@ fn exchange_random_walk_needs_revin_denormalization() {
 #[test]
 fn classification_pipeline_beats_chance_on_epilepsy() {
     let ds = epilepsy(120, 5);
-    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0));
+    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0)).unwrap();
     let mut cfg = TimeDrlConfig::classification(train.sample_len(), train.features());
     cfg.d_model = 16;
     cfg.d_ff = 32;

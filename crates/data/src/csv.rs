@@ -37,6 +37,13 @@ pub enum CsvError {
     },
     /// The file had no data rows or no numeric columns.
     Empty,
+    /// The requested target channel does not exist in the parsed series.
+    BadTargetChannel {
+        /// The channel index requested.
+        target_channel: usize,
+        /// Numeric columns actually present.
+        columns: usize,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -50,6 +57,9 @@ impl fmt::Display for CsvError {
                 write!(f, "row {row}: {found} columns, expected {expected}")
             }
             CsvError::Empty => write!(f, "no numeric data in file"),
+            CsvError::BadTargetChannel { target_channel, columns } => {
+                write!(f, "target channel {target_channel} out of range for {columns} columns")
+            }
         }
     }
 }
@@ -112,6 +122,11 @@ pub fn parse_csv_series(text: &str) -> Result<NdArray, CsvError> {
 
 /// Loads a forecasting dataset from a CSV file. `target_channel` selects
 /// the univariate-forecasting target (e.g. the `OT` column index for ETT).
+///
+/// # Errors
+/// Any [`CsvError`] from parsing, or [`CsvError::BadTargetChannel`] when
+/// `target_channel` is out of range for the parsed columns (previously a
+/// library-code `assert!` panic).
 pub fn load_forecast_csv(
     path: impl AsRef<Path>,
     name: &'static str,
@@ -120,11 +135,9 @@ pub fn load_forecast_csv(
 ) -> Result<ForecastDataset, CsvError> {
     let text = fs::read_to_string(path)?;
     let series = parse_csv_series(&text)?;
-    assert!(
-        target_channel < series.shape()[1],
-        "target channel {target_channel} out of range for {} columns",
-        series.shape()[1]
-    );
+    if target_channel >= series.shape()[1] {
+        return Err(CsvError::BadTargetChannel { target_channel, columns: series.shape()[1] });
+    }
     Ok(ForecastDataset { name, series, frequency, target_channel })
 }
 
@@ -174,6 +187,19 @@ mod tests {
     fn empty_file_is_an_error() {
         assert!(matches!(parse_csv_series(""), Err(CsvError::Empty)));
         assert!(matches!(parse_csv_series("header,only\n"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn out_of_range_target_channel_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("timedrl_csv_target");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.csv");
+        std::fs::write(&path, "date,a,b\nd0,1,10\nd1,2,20\n").unwrap();
+        match load_forecast_csv(&path, "Mini", "1 day", 2) {
+            Err(CsvError::BadTargetChannel { target_channel: 2, columns: 2 }) => {}
+            other => panic!("expected BadTargetChannel, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,7 +1,83 @@
 //! Dataset containers shared by the forecasting and classification
 //! pipelines.
 
+use std::fmt;
 use timedrl_tensor::{NdArray, Prng};
+
+/// An invalid argument to a dataset operation, surfaced as a value instead
+/// of the `assert!` panics this module used to produce (the library-code
+/// panic-free contract, DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A fraction argument fell outside `[0, 1]` (or was NaN).
+    BadFraction {
+        /// The operation that rejected the fraction.
+        op: &'static str,
+        /// The offending value.
+        value: f32,
+    },
+    /// A batch plan was requested with `batch_size == 0`.
+    ZeroBatchSize,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::BadFraction { op, value } => {
+                write!(f, "{op}: fraction {value} outside [0, 1]")
+            }
+            DataError::ZeroBatchSize => write!(f, "batch size must be positive, got 0"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// The single definition of every fraction-of-a-length cut in this crate:
+/// the nearest integer to `len · frac`, computed **exactly** and clamped to
+/// `len`. Ties round up (half away from zero, matching `f64::round`).
+///
+/// `frac` must already be validated to `[0, 1]`; callers surface
+/// [`DataError::BadFraction`] first.
+///
+/// # Boundary semantics (pinned)
+///
+/// * `frac == 0.0` ⇒ `0` — an empty cut, in every caller. (The old
+///   `subsample_labels` bumped this to 1 with a `max(1)`; the class-coverage
+///   backstop documented there is the only thing that may re-add samples.)
+/// * `frac == 1.0` ⇒ `len`.
+/// * Odd lengths at `frac == 0.5` round up: `split_index(7, 0.5) == 4`.
+///
+/// # Why not `(len as f32 * frac).round()`
+///
+/// `len as f32` is lossy past 2²⁴ elements, so out-of-core-scale datasets
+/// got a wrong (`±1`-and-worse) cut. This computes `len · m / 2^p` (the
+/// exact rational value of the `f32` fraction) in 128-bit integer
+/// arithmetic, which is exact for any `len` a `Vec` can hold.
+pub fn split_index(len: usize, frac: f32) -> usize {
+    debug_assert!((0.0..=1.0).contains(&frac), "callers validate frac first");
+    if len == 0 || frac == 0.0 {
+        return 0;
+    }
+    // Decompose the f32 exactly as m · 2^(exp − 150) (normals carry the
+    // implicit leading bit; subnormals are m · 2^(−149)).
+    let bits = frac.to_bits();
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac_mant = (bits & 0x7f_ffff) as u128;
+    let (mant, pow) = if exp == 0 {
+        (frac_mant, 149u32)
+    } else {
+        (frac_mant | 0x80_0000, (150 - exp) as u32)
+    };
+    // len < 2^64 and mant < 2^24, so num < 2^88: for pow ≥ 89 the value is
+    // below ½ and rounds to zero (also keeps the shifts in range).
+    if pow >= 89 {
+        return 0;
+    }
+    let num = len as u128 * mant;
+    let half = 1u128 << (pow - 1);
+    (((num + half) >> pow) as usize).min(len)
+}
 
 /// A single long multivariate time-series, `[T, C]`, as used by the
 /// forecasting benchmarks (Table I).
@@ -81,29 +157,47 @@ impl ClassifyDataset {
     }
 
     /// Splits into train/test by a shuffled index partition, preserving the
-    /// label distribution approximately (shuffle + proportional cut).
-    pub fn train_test_split(&self, train_frac: f32, rng: &mut Prng) -> (ClassifyDataset, ClassifyDataset) {
-        assert!((0.0..=1.0).contains(&train_frac));
+    /// label distribution approximately (shuffle + proportional cut). The
+    /// cut is `split_index(len, train_frac)` — exact integer arithmetic, so
+    /// `0.0` yields an empty train set and `1.0` an empty test set.
+    ///
+    /// # Errors
+    /// [`DataError::BadFraction`] when `train_frac` is outside `[0, 1]`.
+    pub fn train_test_split(
+        &self,
+        train_frac: f32,
+        rng: &mut Prng,
+    ) -> Result<(ClassifyDataset, ClassifyDataset), DataError> {
+        if !(0.0..=1.0).contains(&train_frac) {
+            return Err(DataError::BadFraction { op: "train_test_split", value: train_frac });
+        }
         let mut idx: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut idx);
-        let cut = ((self.len() as f32) * train_frac).round() as usize;
+        let cut = split_index(self.len(), train_frac);
         let make = |ids: &[usize]| ClassifyDataset {
             name: self.name,
             samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
             labels: ids.iter().map(|&i| self.labels[i]).collect(),
             n_classes: self.n_classes,
         };
-        (make(&idx[..cut]), make(&idx[cut..]))
+        Ok((make(&idx[..cut]), make(&idx[cut..])))
     }
 
     /// Keeps a random `frac` of samples (for the Fig. 5 label-fraction
-    /// sweep); always keeps at least one sample per class present in the
-    /// original set.
-    pub fn subsample_labels(&self, frac: f32, rng: &mut Prng) -> ClassifyDataset {
-        assert!((0.0..=1.0).contains(&frac));
+    /// sweep). The base keep count is `split_index(len, frac)` — so
+    /// `frac == 0.0` keeps nothing by itself — after which the
+    /// class-coverage backstop re-adds one sample for every class present
+    /// in the original set but missing from the draw.
+    ///
+    /// # Errors
+    /// [`DataError::BadFraction`] when `frac` is outside `[0, 1]`.
+    pub fn subsample_labels(&self, frac: f32, rng: &mut Prng) -> Result<ClassifyDataset, DataError> {
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(DataError::BadFraction { op: "subsample_labels", value: frac });
+        }
         let mut idx: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut idx);
-        let keep = (((self.len() as f32) * frac).round() as usize).max(1);
+        let keep = split_index(self.len(), frac);
         let mut chosen: Vec<usize> = idx[..keep].to_vec();
         // Ensure class coverage.
         for class in 0..self.n_classes {
@@ -113,12 +207,12 @@ impl ClassifyDataset {
                 }
             }
         }
-        ClassifyDataset {
+        Ok(ClassifyDataset {
             name: self.name,
             samples: chosen.iter().map(|&i| self.samples[i].clone()).collect(),
             labels: chosen.iter().map(|&i| self.labels[i]).collect(),
             n_classes: self.n_classes,
-        }
+        })
     }
 
     /// Stacks all samples into a `[N, T, C]` batch tensor.
@@ -129,6 +223,7 @@ impl ClassifyDataset {
 }
 
 /// Deterministic mini-batch index iterator with optional shuffling.
+#[derive(Debug)]
 pub struct BatchIndices {
     order: Vec<usize>,
     batch_size: usize,
@@ -137,13 +232,19 @@ pub struct BatchIndices {
 
 impl BatchIndices {
     /// Creates a batch plan over `n` samples.
-    pub fn new(n: usize, batch_size: usize, shuffle: Option<&mut Prng>) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
+    ///
+    /// # Errors
+    /// [`DataError::ZeroBatchSize`] when `batch_size == 0` (which would
+    /// otherwise loop forever without yielding a sample).
+    pub fn new(n: usize, batch_size: usize, shuffle: Option<&mut Prng>) -> Result<Self, DataError> {
+        if batch_size == 0 {
+            return Err(DataError::ZeroBatchSize);
+        }
         let mut order: Vec<usize> = (0..n).collect();
         if let Some(rng) = shuffle {
             rng.shuffle(&mut order);
         }
-        Self { order, batch_size, cursor: 0 }
+        Ok(Self { order, batch_size, cursor: 0 })
     }
 }
 
@@ -180,7 +281,7 @@ mod tests {
     #[test]
     fn split_partitions_everything() {
         let ds = toy_classify(30);
-        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0));
+        let (train, test) = ds.train_test_split(0.6, &mut Prng::new(0)).unwrap();
         assert_eq!(train.len(), 18);
         assert_eq!(test.len(), 12);
     }
@@ -188,24 +289,95 @@ mod tests {
     #[test]
     fn subsample_keeps_class_coverage() {
         let ds = toy_classify(30);
-        let sub = ds.subsample_labels(0.1, &mut Prng::new(1));
+        let sub = ds.subsample_labels(0.1, &mut Prng::new(1)).unwrap();
         for class in 0..3 {
             assert!(sub.labels.contains(&class), "class {class} lost");
         }
     }
 
     #[test]
+    fn bad_fractions_are_typed_errors_not_panics() {
+        let ds = toy_classify(10);
+        for bad in [-0.1f32, 1.5, f32::NAN] {
+            let err = ds.train_test_split(bad, &mut Prng::new(0)).unwrap_err();
+            assert!(
+                matches!(err, DataError::BadFraction { op: "train_test_split", .. }),
+                "{err}"
+            );
+            let err = ds.subsample_labels(bad, &mut Prng::new(0)).unwrap_err();
+            assert!(
+                matches!(err, DataError::BadFraction { op: "subsample_labels", .. }),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_index_boundary_semantics_are_pinned() {
+        // frac == 0.0 ⇒ empty cut; frac == 1.0 ⇒ everything; 0.5 on odd
+        // lengths rounds up (half away from zero).
+        assert_eq!(split_index(30, 0.0), 0);
+        assert_eq!(split_index(30, 1.0), 30);
+        assert_eq!(split_index(7, 0.5), 4);
+        assert_eq!(split_index(9, 0.5), 5);
+        assert_eq!(split_index(0, 0.5), 0);
+        // And both dataset paths share those semantics.
+        let ds = toy_classify(7);
+        let (train, test) = ds.train_test_split(0.0, &mut Prng::new(0)).unwrap();
+        assert_eq!((train.len(), test.len()), (0, 7));
+        let (train, test) = ds.train_test_split(1.0, &mut Prng::new(0)).unwrap();
+        assert_eq!((train.len(), test.len()), (7, 0));
+        let (train, test) = ds.train_test_split(0.5, &mut Prng::new(0)).unwrap();
+        assert_eq!((train.len(), test.len()), (4, 3));
+        // subsample at 0.0 keeps only the class-coverage backstop: exactly
+        // one sample per class present.
+        let sub = ds.subsample_labels(0.0, &mut Prng::new(1)).unwrap();
+        assert_eq!(sub.len(), 3);
+        let mut classes: Vec<usize> = sub.labels.clone();
+        classes.sort_unstable();
+        assert_eq!(classes, vec![0, 1, 2]);
+        let sub = ds.subsample_labels(1.0, &mut Prng::new(1)).unwrap();
+        assert_eq!(sub.len(), 7);
+    }
+
+    /// Regression: at lengths past 2²⁴, `len as f32` is lossy and the old
+    /// `(len as f32 * frac).round()` cut landed on the wrong index. The
+    /// expected value is computed with independent 128-bit integer
+    /// arithmetic from the exact rational value of `0.6f32`.
+    #[test]
+    fn split_index_is_exact_past_f32_precision() {
+        let len: usize = (1 << 25) + 1; // 33_554_433: not representable in f32
+        let frac = 0.6f32; // exactly 10_066_330 / 2²⁴
+        let exact = ((len as u128 * 10_066_330 + (1 << 23)) >> 24) as usize;
+        assert_eq!(split_index(len, frac), exact);
+        let f32_cut = ((len as f32) * frac).round() as usize;
+        assert_ne!(f32_cut, exact, "the old f32 arithmetic must provably misplace this cut");
+        assert_eq!(exact, 20_132_661);
+        assert_eq!(f32_cut, 20_132_660);
+        // Huge lengths stay exact and clamped — no overflow, no f64 drift.
+        assert_eq!(split_index(usize::MAX, 1.0), usize::MAX);
+        assert_eq!(split_index(usize::MAX, 0.0), 0);
+    }
+
+    #[test]
     fn batches_cover_all_indices_once() {
-        let batches: Vec<Vec<usize>> = BatchIndices::new(10, 3, None).collect();
+        let batches: Vec<Vec<usize>> = BatchIndices::new(10, 3, None).unwrap().collect();
         let flat: Vec<usize> = batches.iter().flatten().copied().collect();
         assert_eq!(flat, (0..10).collect::<Vec<_>>());
         assert_eq!(batches.last().unwrap().len(), 1); // remainder batch
     }
 
     #[test]
+    fn zero_batch_size_is_a_typed_error() {
+        let err = BatchIndices::new(10, 0, None).unwrap_err();
+        assert_eq!(err, DataError::ZeroBatchSize);
+        assert!(err.to_string().contains("batch size"), "{err}");
+    }
+
+    #[test]
     fn shuffled_batches_are_permutation() {
         let mut rng = Prng::new(2);
-        let batches: Vec<Vec<usize>> = BatchIndices::new(10, 4, Some(&mut rng)).collect();
+        let batches: Vec<Vec<usize>> = BatchIndices::new(10, 4, Some(&mut rng)).unwrap().collect();
         let mut flat: Vec<usize> = batches.into_iter().flatten().collect();
         flat.sort_unstable();
         assert_eq!(flat, (0..10).collect::<Vec<_>>());

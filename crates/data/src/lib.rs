@@ -13,16 +13,22 @@ pub mod csv;
 pub mod dataset;
 pub mod patch;
 pub mod pipeline;
+pub mod shard;
 pub mod synth;
 pub mod ts_format;
 pub mod window;
 
 pub use augment::Augmentation;
 pub use csv::{load_forecast_csv, parse_csv_series, CsvError};
-pub use dataset::{gather_batch, BatchIndices, ClassifyDataset, ForecastDataset};
+pub use dataset::{
+    gather_batch, split_index, BatchIndices, ClassifyDataset, DataError, ForecastDataset,
+};
 pub use patch::{patch_batch, patch_sample, unpatch_sample, PatchConfig};
 pub use pipeline::{
     instance_normalize, InstanceStats, PipelineError, Standardizer, INSTANCE_NORM_EPS,
+};
+pub use shard::{
+    read_shard, shard_path, ShardError, ShardMeta, ShardWriter, ShardedDataset, ShardedWindows,
 };
 pub use ts_format::{load_ts, parse_ts, TsFormatError};
 pub use window::{chrono_split, sliding_windows, ChronoSplit, WindowedForecast};

@@ -96,15 +96,15 @@ prop! {
 
     fn subsample_labels_respects_fraction(frac in 0.05f32..1.0, seed in 0u64..500) {
         let ds = pendigits(60, 0);
-        let sub = ds.subsample_labels(frac, &mut Prng::new(seed));
-        let expected = ((60.0 * frac).round() as usize).max(1);
+        let sub = ds.subsample_labels(frac, &mut Prng::new(seed)).unwrap();
+        let expected = timedrl_data::split_index(60, frac);
         // Class-coverage backstop may add at most n_classes extras.
         prop_assert!(sub.len() >= expected && sub.len() <= expected + ds.n_classes);
     }
 
     fn split_preserves_samples(frac in 0.1f32..0.9, seed in 0u64..500) {
         let ds = pendigits(50, 1);
-        let (a, b) = ds.train_test_split(frac, &mut Prng::new(seed));
+        let (a, b) = ds.train_test_split(frac, &mut Prng::new(seed)).unwrap();
         prop_assert_eq!(a.len() + b.len(), 50);
     }
 }

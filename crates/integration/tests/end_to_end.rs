@@ -82,7 +82,7 @@ fn ts_archive_to_classification() {
     let ds = parse_ts(&text, "mini").unwrap();
     assert_eq!(ds.n_classes, 2);
 
-    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(2));
+    let (train, test) = ds.train_test_split(0.6, &mut Prng::new(2)).unwrap();
     let mut cfg = TimeDrlConfig::classification(24, 1);
     cfg.d_model = 16;
     cfg.d_ff = 32;

@@ -54,6 +54,16 @@ pub const KIND_TRAIN_STATE: u32 = 2;
 /// header followed by the parameter arrays (composed by `timedrl-core`,
 /// consumed by `timedrl-serve`'s compiled inference path).
 pub const KIND_MODEL: u32 = 3;
+/// Payload kind tag: one dataset shard — a manifest header (shard index,
+/// total shards, global row offset, channel count, total rows) followed by
+/// a contiguous `[T_shard, C]` f32 slab (composed and consumed by
+/// `timedrl-data`'s out-of-core shard reader/writer).
+pub const KIND_SHARD: u32 = 4;
+/// Payload kind tag: one shard's gradient contribution to a sharded
+/// pre-training step — shard index, step, sample count, loss breakdown,
+/// then the gradient arrays in stable `parameters()` order (composed and
+/// consumed by `timedrl-core`'s multi-process shard trainer).
+pub const KIND_SHARD_GRAD: u32 = 5;
 
 /// Incremental read chunk: bounds per-step allocation so a lying
 /// `payload_len` cannot trigger a huge up-front reservation.
