@@ -51,7 +51,7 @@ use crate::config::TimeDrlConfig;
 use crate::error::TrainError;
 use crate::model::TimeDrl;
 use crate::pretext::PretextBreakdown;
-use crate::trainer::{gather_rows, mix_seed, replica_gradient, PretrainReport};
+use crate::trainer::{mix_seed, replica_gradient, PretrainReport};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -173,8 +173,13 @@ impl ShardTrainPlan {
 /// Everything derivable, identically in every process, from the dataset
 /// geometry and the config: shard window counts and the step grid.
 struct Schedule {
-    /// Windows owned by each shard (window start row inside the shard).
-    shard_windows: Vec<NdArray>,
+    /// Windows owned by each shard — counts only. The window tensors are
+    /// materialized per step, per owned shard
+    /// ([`ShardedDataset::shard_window_batch`]) and dropped after the
+    /// gradient is written, so a worker's resident data stays one shard
+    /// slab plus one mini-batch regardless of the series length — the
+    /// out-of-core bound the data layer promises (DESIGN.md §16).
+    shard_counts: Vec<usize>,
     /// `ceil(max windows per shard / batch_size)` — every shard advances
     /// through the same number of steps per epoch; shards with fewer
     /// batches contribute empty (count 0) gradients to the tail steps.
@@ -192,19 +197,16 @@ impl Schedule {
                 cfg.n_features
             )));
         }
-        let mut shard_windows = Vec::with_capacity(ds.num_shards());
-        let mut max_count = 0usize;
-        for j in 0..ds.num_shards() {
-            let wf = ds.shard_windows(j, cfg.input_len, 0, plan.stride)?;
-            max_count = max_count.max(wf.inputs.shape()[0]);
-            shard_windows.push(wf.inputs);
-        }
+        let shard_counts: Vec<usize> = (0..ds.num_shards())
+            .map(|j| ds.shard_window_count(j, cfg.input_len, 0, plan.stride))
+            .collect();
+        let max_count = shard_counts.iter().copied().max().unwrap_or(0);
         if max_count == 0 {
             return Err(TrainError::EmptyTrainingSet);
         }
         let steps_per_epoch = max_count.div_ceil(cfg.batch_size) as u64;
         Ok(Self {
-            shard_windows,
+            shard_counts,
             steps_per_epoch,
             total_steps: steps_per_epoch * cfg.epochs as u64,
         })
@@ -214,7 +216,7 @@ impl Schedule {
     /// derived purely from `(seed, epoch, shard)` — identical in every
     /// process that computes it.
     fn batch(&self, cfg: &TimeDrlConfig, s: u64, j: usize) -> Result<Vec<usize>, TrainError> {
-        let n = self.shard_windows[j].shape()[0];
+        let n = self.shard_counts[j];
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -357,7 +359,10 @@ fn produce_owned_grads(
                 grads: Vec::new(),
             }
         } else {
-            let batch = gather_rows(&schedule.shard_windows[j], &idx);
+            // Materialize only this step's mini-batch (one shard slab
+            // resident while gathering, dropped before the gradient is
+            // computed) — the whole shard's window tensor never exists.
+            let batch = ds.shard_window_batch(j, cfg.input_len, 0, plan.stride, &idx)?.inputs;
             let (grads, breakdown) = replica_gradient(
                 cfg,
                 snapshot,
@@ -613,7 +618,9 @@ fn collect_consumed_grads(plan: &ShardTrainPlan, next_step: u64) -> Result<(), T
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let Some(rest) = name.strip_prefix("grad_") else { continue };
-        let Some(step_str) = rest.get(..6) else { continue };
+        // The step field is `{s:06}` but *widens* past six digits, so
+        // parse up to the `_` separator, never a fixed-width slice.
+        let Some(step_str) = rest.split('_').next() else { continue };
         if let Ok(step) = step_str.parse::<u64>() {
             if step < next_step {
                 let _ = std::fs::remove_file(entry.path());
@@ -714,6 +721,20 @@ mod tests {
         assert_eq!(first.total, again.total);
         let after = std::fs::read(dir.join("run/model_final.tdrl")).unwrap();
         assert_eq!(before, after);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grad_collection_handles_steps_wider_than_six_digits() {
+        let dir = tmp("gc_wide");
+        let plan = ShardTrainPlan::new(dir.join("shards"), dir.clone());
+        // `{s:06}` widens at one million steps; a fixed 6-char parse read
+        // grad_1000000_* as step 100000 and deleted it before use.
+        std::fs::write(plan.grad_path(999_999, 0), b"x").unwrap();
+        std::fs::write(plan.grad_path(1_000_000, 0), b"x").unwrap();
+        collect_consumed_grads(&plan, 1_000_000).unwrap();
+        assert!(!plan.grad_path(999_999, 0).exists(), "consumed grad kept");
+        assert!(plan.grad_path(1_000_000, 0).exists(), "live grad deleted");
         std::fs::remove_dir_all(&dir).ok();
     }
 

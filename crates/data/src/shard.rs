@@ -494,17 +494,7 @@ impl ShardedDataset {
         // owned window's end.
         let row_lo = w0 * stride;
         let row_hi = (w1 - 1) * stride + span;
-        let mut rows: Vec<f32> = Vec::with_capacity((row_hi - row_lo) * c);
-        for (k, m) in self.metas.iter().enumerate() {
-            let (off, len) = (m.global_offset as usize, m.rows as usize);
-            if off + len <= row_lo || off >= row_hi {
-                continue;
-            }
-            let slab = self.load_slab(k)?;
-            let lo = row_lo.max(off) - off;
-            let hi = row_hi.min(off + len) - off;
-            rows.extend_from_slice(&slab[lo * c..hi * c]);
-        }
+        let rows = self.gather_row_range(row_lo, row_hi)?;
         let n = w1 - w0;
         let mut inputs = Vec::with_capacity(n * lookback * c);
         let mut targets = Vec::with_capacity(n * horizon * c);
@@ -518,6 +508,79 @@ impl ShardedDataset {
             inputs: NdArray::from_vec(&[n, lookback, c], inputs).expect("window shape"),
             targets: NdArray::from_vec(&[n, horizon, c], targets).expect("target shape"),
         })
+    }
+
+    /// Materializes only the windows `idx` — *local* indices into shard
+    /// `j`'s owned window range (see [`Self::shard_window_range`]), in
+    /// `idx` order. This is the sharded trainer's per-step unit: peak
+    /// resident data is one shard slab plus one mini-batch of windows,
+    /// never a shard's full window tensor.
+    ///
+    /// # Errors
+    /// [`ShardError::BadWindowPlan`] on a degenerate plan or an index
+    /// outside the shard's owned range, or any corruption/mismatch error
+    /// from reloading the slabs.
+    pub fn shard_window_batch(
+        &self,
+        j: usize,
+        lookback: usize,
+        horizon: usize,
+        stride: usize,
+        idx: &[usize],
+    ) -> Result<WindowedForecast, ShardError> {
+        let span = lookback + horizon;
+        self.check_plan(span, stride)?;
+        let c = self.channels();
+        let (w0, w1) = self.shard_window_range(j, lookback, horizon, stride);
+        let owned = w1 - w0;
+        if let Some(&bad) = idx.iter().find(|&&i| i >= owned) {
+            return Err(ShardError::BadWindowPlan(format!(
+                "window index {bad} out of range for shard {j}'s {owned} owned windows"
+            )));
+        }
+        if idx.is_empty() {
+            return Ok(WindowedForecast {
+                inputs: NdArray::zeros(&[0, lookback, c]),
+                targets: NdArray::zeros(&[0, horizon, c]),
+            });
+        }
+        // Rows covering the selected windows only.
+        let lo = *idx.iter().min().expect("non-empty idx");
+        let hi = *idx.iter().max().expect("non-empty idx");
+        let row_lo = (w0 + lo) * stride;
+        let row_hi = (w0 + hi) * stride + span;
+        let rows = self.gather_row_range(row_lo, row_hi)?;
+        let n = idx.len();
+        let mut inputs = Vec::with_capacity(n * lookback * c);
+        let mut targets = Vec::with_capacity(n * horizon * c);
+        for &i in idx {
+            let start = (w0 + i) * stride - row_lo;
+            inputs.extend_from_slice(&rows[start * c..(start + lookback) * c]);
+            let tstart = start + lookback;
+            targets.extend_from_slice(&rows[tstart * c..(tstart + horizon) * c]);
+        }
+        Ok(WindowedForecast {
+            inputs: NdArray::from_vec(&[n, lookback, c], inputs).expect("window shape"),
+            targets: NdArray::from_vec(&[n, horizon, c], targets).expect("target shape"),
+        })
+    }
+
+    /// Gathers global rows `[row_lo, row_hi)` from the minimal run of
+    /// shards covering the range, holding one slab at a time.
+    fn gather_row_range(&self, row_lo: usize, row_hi: usize) -> Result<Vec<f32>, ShardError> {
+        let c = self.channels();
+        let mut rows: Vec<f32> = Vec::with_capacity((row_hi - row_lo) * c);
+        for (k, m) in self.metas.iter().enumerate() {
+            let (off, len) = (m.global_offset as usize, m.rows as usize);
+            if off + len <= row_lo || off >= row_hi {
+                continue;
+            }
+            let slab = self.load_slab(k)?;
+            let lo = row_lo.max(off) - off;
+            let hi = row_hi.min(off + len) - off;
+            rows.extend_from_slice(&slab[lo * c..hi * c]);
+        }
+        Ok(rows)
     }
 }
 
@@ -569,7 +632,27 @@ impl Iterator for ShardedWindows<'_> {
         }
         // Pull shards until the window's last row is buffered.
         while self.buf_start + self.buf.len() / c < end {
+            // A long stride can move the buffer start past whole shards
+            // that were never loaded; skip them without loading (their
+            // rows are entirely behind this window).
+            while self
+                .ds
+                .metas
+                .get(self.next_shard)
+                .is_some_and(|m| (m.global_offset + m.rows) as usize <= self.buf_start)
+            {
+                self.next_shard += 1;
+            }
             let k = self.next_shard;
+            if k >= self.ds.metas.len() {
+                // Unreachable for a set validated by `open` (full row
+                // coverage), but a typed error beats an index panic.
+                let w = self.next_window;
+                self.next_window = self.n; // poison: stop iterating
+                return Some(Err(ShardError::BadWindowPlan(format!(
+                    "window {w} needs rows up to {end}, past the end of the shard set"
+                ))));
+            }
             let slab = match self.ds.load_slab(k) {
                 Ok(s) => s,
                 Err(e) => {
@@ -578,8 +661,8 @@ impl Iterator for ShardedWindows<'_> {
                 }
             };
             let off = self.ds.metas[k].global_offset as usize;
-            // Skip any prefix already behind the buffer start (only
-            // possible on the very first load of a mid-series start).
+            // Skip any prefix already behind the buffer start; the shard
+            // advance above guarantees this stays within the slab.
             let skip = self.buf_start.saturating_sub(off);
             self.buf.extend_from_slice(&slab[skip * c..]);
             self.next_shard += 1;
@@ -676,6 +759,62 @@ mod tests {
         assert!(matches!(ds.windows(4, 1, 0), Err(ShardError::BadWindowPlan(_))));
         assert!(matches!(ds.windows(0, 0, 1), Err(ShardError::BadWindowPlan(_))));
         assert!(matches!(ds.shard_windows(0, 4, 1, 0), Err(ShardError::BadWindowPlan(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stride_past_a_whole_shard_streams_without_panicking() {
+        // 35 rows in 10-row shards, windows (5, 0, 25): window 1 starts at
+        // row 25, past the end of the never-loaded shard 1 — this used to
+        // slice out of the shard's slab and panic.
+        let dir = tmp("stride_jump");
+        let s = series(35, 1);
+        ShardWriter::new(10).unwrap().write(&s, &dir).unwrap();
+        let ds = ShardedDataset::open(&dir).unwrap();
+        let mut iter = ds.windows(5, 0, 25).unwrap();
+        let got: Vec<_> = iter.by_ref().map(|w| w.unwrap()).collect();
+        assert_eq!(got.len(), 2);
+        for (w, (input, _target)) in got.iter().enumerate() {
+            let start = w * 25;
+            assert_eq!(input.data(), &s.data()[start..start + 5], "window {w}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_window_batch_matches_full_materialization() {
+        let dir = tmp("batch");
+        ShardWriter::new(7).unwrap().write(&series(53, 2), &dir).unwrap();
+        let ds = ShardedDataset::open(&dir).unwrap();
+        let (lookback, horizon, stride) = (5, 2, 3);
+        for j in 0..ds.num_shards() {
+            let full = ds.shard_windows(j, lookback, horizon, stride).unwrap();
+            let n = full.inputs.shape()[0];
+            if n == 0 {
+                continue;
+            }
+            // Reversed order: batches are shuffled index lists, so the
+            // gather must honor `idx` order, not window order.
+            let idx: Vec<usize> = (0..n).rev().collect();
+            let batch = ds.shard_window_batch(j, lookback, horizon, stride, &idx).unwrap();
+            for (k, &w) in idx.iter().enumerate() {
+                assert_eq!(
+                    batch.inputs.slice(0, k, 1).unwrap().data(),
+                    full.inputs.slice(0, w, 1).unwrap().data(),
+                    "shard {j} window {w} input bytes"
+                );
+                assert_eq!(
+                    batch.targets.slice(0, k, 1).unwrap().data(),
+                    full.targets.slice(0, w, 1).unwrap().data(),
+                    "shard {j} window {w} target bytes"
+                );
+            }
+            // An index past the owned range is a typed error, not a panic.
+            assert!(matches!(
+                ds.shard_window_batch(j, lookback, horizon, stride, &[n]),
+                Err(ShardError::BadWindowPlan(_))
+            ));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,7 +25,8 @@ fn series(t: usize, c: usize, seed: u64) -> NdArray {
 /// The tentpole equivalence property: every window streamed from shards is
 /// bitwise-equal to the in-memory `sliding_windows` output — including
 /// windows straddling shard boundaries, shards smaller than one window,
-/// and shards holding exactly one window.
+/// shards holding exactly one window, and strides that jump the read
+/// position past entire shards.
 #[test]
 fn sharded_windows_are_bitwise_equal_to_in_memory_path() {
     let dir = tmp("equiv");
@@ -37,6 +38,8 @@ fn sharded_windows_are_bitwise_equal_to_in_memory_path() {
         (50, 1, 9, 8, 1, 9),    // stride == rows_per_shard: one window starts per shard
         (33, 2, 16, 24, 8, 2),  // only a couple of windows total
         (40, 1, 13, 40, 0, 1),  // exactly one window, spanning all shards
+        (35, 1, 10, 5, 0, 25),  // stride jumps clean past an unloaded shard
+        (100, 2, 7, 6, 2, 40),  // stride leaps several whole shards at once
     ];
     for (case, &(t, c, rps, lookback, horizon, stride)) in cases.iter().enumerate() {
         let s = series(t, c, case as u64);
@@ -96,6 +99,24 @@ fn sharded_windows_are_bitwise_equal_to_in_memory_path() {
             seen += w1 - w0;
         }
         assert_eq!(seen, n, "case {case}: shard ranges do not partition the windows");
+
+        // Batch materialization — the trainer's per-step unit — is
+        // bitwise too, in arbitrary index order.
+        for j in 0..ds.num_shards() {
+            let (w0, w1) = ds.shard_window_range(j, lookback, horizon, stride);
+            if w0 == w1 {
+                continue;
+            }
+            let idx: Vec<usize> = (0..w1 - w0).rev().collect();
+            let wf = ds.shard_window_batch(j, lookback, horizon, stride, &idx).unwrap();
+            for (k, &i) in idx.iter().enumerate() {
+                assert_eq!(
+                    wf.inputs.slice(0, k, 1).unwrap().data(),
+                    reference.inputs.slice(0, w0 + i, 1).unwrap().data(),
+                    "case {case}: shard {j} batch window {i} bytes"
+                );
+            }
+        }
     }
     std::fs::remove_dir_all(&dir).ok();
 }
