@@ -78,11 +78,11 @@ echo "== allocation budget: steady-state training step =="
 # The tensor buffer pool and the inline autograd tape keep a steady-state
 # whole-batch training step near-allocation-free (DESIGN.md §10). The seed
 # code performed 8944 heap allocations per step; the transpose-aware
-# backward (DESIGN.md §12) brought the steady state down to 416, and the
-# budget below is that measurement plus ~10% headroom. Measured at
-# TIMEDRL_THREADS=1 so pool-worker allocations cannot pollute the
-# process-global counter.
-ALLOC_BUDGET=460
+# backward (DESIGN.md §12) brought the steady state down to 416, fused
+# attention (DESIGN.md §17) to 376, and the budget below is that
+# measurement plus ~10% headroom. Measured at TIMEDRL_THREADS=1 so
+# pool-worker allocations cannot pollute the process-global counter.
+ALLOC_BUDGET=415
 cargo build --release --offline -p timedrl-bench --bin step_alloc_probe
 alloc_line=$(TIMEDRL_THREADS=1 ./target/release/step_alloc_probe)
 allocs=${alloc_line#allocs_per_step=}
@@ -92,6 +92,21 @@ if [ "$allocs" -gt "$ALLOC_BUDGET" ]; then
     exit 1
 fi
 echo "ok: allocation budget held"
+
+echo "== fused-attention gate: bitwise parity + speedup over materialized path =="
+# The fused tiled attention kernel (DESIGN.md §17) replaced the composed
+# matmul_t -> scale -> mask -> softmax -> matmul chain on every hot path.
+# The probe proves forward AND backward bit-identical to that chain at
+# pool thread counts 1 and 4, then requires a >=1.5x median speedup over
+# the materialized [B*H, T, T] path at T=256.
+cargo build --release --offline -p timedrl-bench --bin attn_probe
+attn_out=$(TIMEDRL_THREADS=1 ./target/release/attn_probe)
+echo "$attn_out"
+if ! echo "$attn_out" | grep -q '^parity=ok$'; then
+    echo "FAIL: fused attention diverged bitwise from the materialized path"
+    exit 1
+fi
+echo "ok: fused attention bit-exact and fast enough"
 
 echo "== serving gate: compiled inference parity + zero allocs/request =="
 # The tape-free serving path (DESIGN.md §13): export a fixture model, run

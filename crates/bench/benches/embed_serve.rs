@@ -96,11 +96,11 @@ fn main() {
     println!("allocs/request (steady state): {allocs_per_request}");
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads_env = std::env::var("TIMEDRL_THREADS").unwrap_or_default();
+    let threads = testkit::pool::num_threads();
     let doc = Json::Obj(vec![
         ("suite".to_string(), Json::Str("embed_serve".to_string())),
         ("host_cores".to_string(), Json::Num(host_cores as f64)),
-        ("timedrl_threads".to_string(), Json::Str(threads_env)),
+        ("timedrl_threads".to_string(), Json::Num(threads as f64)),
         ("allocs_per_request".to_string(), Json::Num(allocs_per_request as f64)),
         ("results".to_string(), Json::Arr(results)),
     ]);

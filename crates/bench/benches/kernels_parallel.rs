@@ -14,7 +14,8 @@ use testkit::pool;
 use testkit::{Bench, Json};
 use timedrl_nn::Conv1d;
 use timedrl_tensor::{
-    matmul, matmul_fma, matmul_nt, matmul_q8, matmul_tn, quantize_per_channel, Prng, Var,
+    attention_fused, attention_reference, matmul, matmul_fma, matmul_nt, matmul_q8, matmul_tn,
+    quantize_per_channel, Prng, Var,
 };
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -101,6 +102,40 @@ fn bench_relaxed_threads(b: &mut Bench, records: &mut Vec<Record>) {
     group.finish();
 }
 
+/// The fused tiled attention kernel (DESIGN.md §17) against the composed
+/// chain it replaced (`matmul_nt → scale → mask → softmax → matmul`, which
+/// materializes the `[B·H, T, T]` scores), at the serving-scale sequence
+/// length T=256. `ci.sh`'s attention gate asserts `attention_fused_256` is
+/// ≥1.5× `attention_naive_256` at equal thread counts.
+fn bench_attention_threads(b: &mut Bench, records: &mut Vec<Record>) {
+    let mut rng = Prng::new(5);
+    let (bh, t, dh) = (8, 256, 16);
+    let q = rng.randn(&[bh, t, dh]);
+    let k = rng.randn(&[bh, t, dh]);
+    let v = rng.randn(&[bh, t, dh]);
+    let scale = 1.0 / (dh as f32).sqrt();
+
+    let mut group = b.group("attention_fused_256");
+    for &threads in &THREAD_COUNTS {
+        let report = group.bench(format!("t{threads}"), || {
+            pool::with_threads(threads, || attention_fused(&q, &k, &v, scale, true, None).unwrap())
+        });
+        record(records, "attention_fused_256", "8x256x16_causal", threads, report);
+    }
+    group.finish();
+
+    let mut group = b.group("attention_naive_256");
+    for &threads in &THREAD_COUNTS {
+        let report = group.bench(format!("t{threads}"), || {
+            pool::with_threads(threads, || {
+                attention_reference(&q, &k, &v, scale, true, None).unwrap()
+            })
+        });
+        record(records, "attention_naive_256", "8x256x16_causal", threads, report);
+    }
+    group.finish();
+}
+
 fn bench_conv1d_threads(b: &mut Bench, records: &mut Vec<Record>) {
     let mut group = b.group("conv1d_forward_256");
     let mut rng = Prng::new(1);
@@ -173,6 +208,7 @@ fn main() {
     bench_matmul_threads(&mut b, &mut records);
     bench_matmul_transposed_threads(&mut b, &mut records);
     bench_relaxed_threads(&mut b, &mut records);
+    bench_attention_threads(&mut b, &mut records);
     bench_conv1d_threads(&mut b, &mut records);
     bench_elementwise_threads(&mut b, &mut records);
 

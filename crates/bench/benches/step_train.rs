@@ -55,14 +55,14 @@ fn main() {
     println!("allocs/step (steady state): {allocs_per_step}");
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads_env = std::env::var("TIMEDRL_THREADS").unwrap_or_default();
+    let threads = testkit::pool::num_threads();
 
     let mut whole = result_obj("pretrain_step", "whole_batch_b8_d16", &report);
     whole.push(("allocs_per_step".to_string(), Json::Num(allocs_per_step as f64)));
     let doc = Json::Obj(vec![
         ("suite".to_string(), Json::Str("step_train".to_string())),
         ("host_cores".to_string(), Json::Num(host_cores as f64)),
-        ("timedrl_threads".to_string(), Json::Str(threads_env)),
+        ("timedrl_threads".to_string(), Json::Num(threads as f64)),
         (
             "results".to_string(),
             Json::Arr(vec![

@@ -165,11 +165,11 @@ fn main() {
     }
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads_env = std::env::var("TIMEDRL_THREADS").unwrap_or_default();
+    let threads = testkit::pool::num_threads();
     let doc = Json::Obj(vec![
         ("suite".to_string(), Json::Str("stream".to_string())),
         ("host_cores".to_string(), Json::Num(host_cores as f64)),
-        ("timedrl_threads".to_string(), Json::Str(threads_env)),
+        ("timedrl_threads".to_string(), Json::Num(threads as f64)),
         ("patch_stride".to_string(), Json::Num(PATCH as f64)),
         ("speedup_at_largest_window".to_string(), Json::Num(largest_speedup)),
         ("results".to_string(), Json::Arr(results)),

@@ -1,0 +1,147 @@
+//! CI probe for the fused tiled attention kernel (see `ci.sh`).
+//!
+//! Two budgets, both enforced here so the gate is a single process run:
+//!
+//! 1. **Parity** — forward and backward of the fused kernel must be
+//!    bit-identical to the composed
+//!    `matmul_t → scale → mask → softmax → matmul` tape graph it replaced,
+//!    at pool thread counts 1 and 4, causal and bidirectional, on shapes
+//!    that exercise both the packed and reference microkernel dispatches.
+//! 2. **Speedup** — at the serving-scale sequence length T=256 the fused
+//!    kernel must beat the materialized `[B·H, T, T]` path by at least
+//!    [`MIN_SPEEDUP`]× in median wall time.
+//!
+//! Prints machine-parseable `key=value` lines and exits nonzero on any
+//! violated budget.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use testkit::pool;
+use timedrl_tensor::{attention_fused, attention_reference, NdArray, Prng, Var};
+
+const MIN_SPEEDUP: f64 = 1.5;
+
+/// Parity shapes: a packed-kernel shape, an odd non-multiple-of-tile
+/// shape, and a degenerate tiny one.
+const SHAPES: [(usize, usize, usize); 3] = [(4, 64, 8), (2, 33, 16), (3, 5, 2)];
+
+fn assert_bits_eq(a: &NdArray, b: &NdArray, what: &str) -> Result<(), String> {
+    if a.shape() != b.shape() {
+        return Err(format!("{what}: shape mismatch {:?} vs {:?}", a.shape(), b.shape()));
+    }
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("{what}: bit mismatch at {i}: {x} vs {y}"));
+        }
+    }
+    Ok(())
+}
+
+/// The additive causal mask constant the composed graph uses.
+fn causal_mask(t: usize) -> NdArray {
+    NdArray::from_fn(&[t, t], |flat| if flat % t > flat / t { -1e9 } else { 0.0 })
+}
+
+/// Forward + backward of the fused tape node against the composed graph,
+/// bit for bit, at the current thread count.
+fn check_parity(threads: usize) -> Result<(), String> {
+    pool::with_threads(threads, || {
+        for &(bh, t, dh) in &SHAPES {
+            for causal in [false, true] {
+                let mut rng = Prng::new(17 + t as u64 + causal as u64);
+                let q0 = rng.randn(&[bh, t, dh]);
+                let k0 = rng.randn(&[bh, t, dh]);
+                let v0 = rng.randn(&[bh, t, dh]);
+                let g0 = rng.randn(&[bh, t, dh]);
+                let scale = 1.0 / (dh as f32).sqrt();
+                let what = format!("threads={threads} bh={bh} t={t} dh={dh} causal={causal}");
+
+                // Raw kernel vs materialized reference chain.
+                let fused = attention_fused(&q0, &k0, &v0, scale, causal, None)
+                    .map_err(|e| format!("{what}: {e}"))?;
+                let naive = attention_reference(&q0, &k0, &v0, scale, causal, None)
+                    .map_err(|e| format!("{what}: {e}"))?;
+                assert_bits_eq(&fused, &naive, &format!("forward {what}"))?;
+
+                // Tape node (forward + backward) vs the composed graph.
+                let run = |composed: bool| {
+                    let q = Var::parameter(q0.clone());
+                    let k = Var::parameter(k0.clone());
+                    let v = Var::parameter(v0.clone());
+                    let out = if composed {
+                        let mut scores = q.matmul_t(&k).scale(scale);
+                        if causal {
+                            scores = scores.add(&Var::constant(causal_mask(t)));
+                        }
+                        scores.softmax_lastdim().matmul(&v)
+                    } else {
+                        Var::attention(&q, &k, &v, scale, causal, None)
+                    };
+                    out.backward_with(g0.clone());
+                    (
+                        out.to_array(),
+                        q.grad().expect("dq"),
+                        k.grad().expect("dk"),
+                        v.grad().expect("dv"),
+                    )
+                };
+                let (yf, dqf, dkf, dvf) = run(false);
+                let (yc, dqc, dkc, dvc) = run(true);
+                assert_bits_eq(&yf, &yc, &format!("node value {what}"))?;
+                assert_bits_eq(&dqf, &dqc, &format!("dQ {what}"))?;
+                assert_bits_eq(&dkf, &dkc, &format!("dK {what}"))?;
+                assert_bits_eq(&dvf, &dvc, &format!("dV {what}"))?;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Median wall time of `f` over `iters` runs (after one warm-up).
+fn median_time(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    for threads in [1usize, 4] {
+        if let Err(e) = check_parity(threads) {
+            println!("parity=FAIL");
+            println!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("parity=ok");
+
+    // Speedup at serving scale. TIMEDRL_THREADS from the environment
+    // applies to both paths equally; ci.sh runs this at 1 thread.
+    let mut rng = Prng::new(99);
+    let (bh, t, dh) = (8, 256, 16);
+    let q = rng.randn(&[bh, t, dh]);
+    let k = rng.randn(&[bh, t, dh]);
+    let v = rng.randn(&[bh, t, dh]);
+    let scale = 1.0 / (dh as f32).sqrt();
+    let fused_s = median_time(15, || {
+        attention_fused(&q, &k, &v, scale, true, None).expect("fused");
+    });
+    let naive_s = median_time(15, || {
+        attention_reference(&q, &k, &v, scale, true, None).expect("naive");
+    });
+    let speedup = naive_s / fused_s;
+    println!("fused_t256_s={fused_s:.6}");
+    println!("naive_t256_s={naive_s:.6}");
+    println!("speedup={speedup:.2}");
+    if speedup < MIN_SPEEDUP {
+        println!("FAIL: fused attention is only {speedup:.2}x the materialized path (budget {MIN_SPEEDUP}x)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

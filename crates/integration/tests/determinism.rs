@@ -14,7 +14,10 @@ use timedrl::config::TimeDrlConfig;
 use timedrl::model::TimeDrl;
 use timedrl::trainer::pretrain;
 use timedrl_nn::{Conv1d, Ctx, Module, MultiHeadAttention};
-use timedrl_tensor::{matmul, write_arrays, NdArray, Prng, Var};
+use timedrl_tensor::{
+    attention_fused, attention_reference, matmul, with_composed_attention, write_arrays, NdArray,
+    Prng, Var,
+};
 
 /// Checked thread counts: serial baseline plus two parallel settings.
 const THREADS: [usize; 3] = [1, 2, 4];
@@ -156,6 +159,52 @@ fn pretrain_checkpoint_is_byte_identical_across_identical_runs() {
     let (loss_b, bytes_b) = pretrain_checkpoint_bytes(4);
     prop_assert_eq!(loss_a, loss_b, "same-seed loss history not reproducible");
     prop_assert!(bytes_a == bytes_b, "same-seed checkpoints differ between runs");
+}
+
+/// The fused attention node (DESIGN.md §17) must leave training bits
+/// unchanged: a 2-epoch pre-training run through the fused kernel must
+/// serialize to exactly the bytes the composed
+/// `matmul_t → mask → softmax → matmul` graph produces. At one thread the
+/// whole run executes on the calling thread, so the thread-local
+/// `with_composed_attention` hook covers every forward.
+#[test]
+fn pretrain_checkpoint_is_byte_identical_fused_vs_composed_attention() {
+    let (loss_fused, bytes_fused) = pretrain_checkpoint_bytes(1);
+    let (loss_composed, bytes_composed) = with_composed_attention(|| pretrain_checkpoint_bytes(1));
+    prop_assert_eq!(loss_fused, loss_composed, "fused attention changed the loss history");
+    prop_assert!(
+        bytes_fused == bytes_composed,
+        "fused attention changed the checkpoint bytes"
+    );
+}
+
+/// The fused attention kernel across production-scale sequence lengths:
+/// bit-equal to the materialized reference chain and invariant to the
+/// thread count, causal and bidirectional.
+#[test]
+fn fused_attention_is_bitwise_and_thread_invariant_across_shapes() {
+    for t in [16usize, 64, 256] {
+        for causal in [false, true] {
+            let mut prng = Prng::new(7 + t as u64);
+            let (bh, dh) = (if t == 256 { 2 } else { 4 }, 8);
+            let q = prng.randn(&[bh, t, dh]);
+            let k = prng.randn(&[bh, t, dh]);
+            let v = prng.randn(&[bh, t, dh]);
+            let scale = 1.0 / (dh as f32).sqrt();
+            let reference = attention_reference(&q, &k, &v, scale, causal, None).unwrap();
+            assert_thread_invariant(1024, || {
+                let out = attention_fused(&q, &k, &v, scale, causal, None).unwrap();
+                for (i, (a, b)) in out.data().iter().zip(reference.data().iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "fused vs reference bit mismatch at {i} (t={t}, causal={causal})"
+                    );
+                }
+                out.data().to_vec()
+            });
+        }
+    }
 }
 
 /// The buffer pool (DESIGN.md §10) must be invisible to results: training

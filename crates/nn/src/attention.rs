@@ -2,7 +2,8 @@
 
 use crate::linear::Linear;
 use crate::module::{Ctx, Module};
-use timedrl_tensor::{NdArray, Prng, Var};
+use std::cell::RefCell;
+use timedrl_tensor::{composed_attention_forced, NdArray, Prng, Var};
 
 /// Multi-head self-attention over `[B, T, D]` sequences.
 ///
@@ -10,6 +11,13 @@ use timedrl_tensor::{NdArray, Prng, Var};
 /// Transformer *encoder* TimeDRL uses as its backbone; with `causal = true`
 /// each position attends only to itself and earlier positions, giving the
 /// Transformer *decoder* variant of the Table VIII encoder ablation.
+///
+/// The hot path runs through the fused tiled attention node
+/// ([`Var::attention`], DESIGN.md §17): no `[B·H, T, T]` score tensor is
+/// materialized forward or backward, bit-identical to the composed graph.
+/// The composed graph is kept for `forward_with_weights` (which needs the
+/// probability tensor by definition) and for the
+/// `with_composed_attention` proof hook.
 pub struct MultiHeadAttention {
     wq: Linear,
     wk: Linear,
@@ -19,6 +27,10 @@ pub struct MultiHeadAttention {
     head_dim: usize,
     causal: bool,
     attn_dropout: f32,
+    /// Cached additive causal mask for the composed path, rebuilt only
+    /// when the sequence length changes (`RefCell`: models are per-thread
+    /// — data-parallel replicas are constructed inside their worker).
+    mask_cache: RefCell<Option<NdArray>>,
 }
 
 impl MultiHeadAttention {
@@ -34,6 +46,7 @@ impl MultiHeadAttention {
             head_dim: d_model / n_heads,
             causal,
             attn_dropout: dropout,
+            mask_cache: RefCell::new(None),
         }
     }
 
@@ -42,6 +55,17 @@ impl MultiHeadAttention {
         x.reshape(&[b, t, self.n_heads, self.head_dim])
             .permute(&[0, 2, 1, 3])
             .reshape(&[b * self.n_heads, t, self.head_dim])
+    }
+
+    /// The additive causal mask for sequence length `t`, cached across
+    /// `attend` calls instead of rebuilt per call (the serving plan
+    /// precomputes its mask the same way).
+    fn cached_mask(&self, t: usize) -> NdArray {
+        let mut cache = self.mask_cache.borrow_mut();
+        if cache.as_ref().is_none_or(|m| m.shape()[0] != t) {
+            *cache = Some(causal_mask(t));
+        }
+        cache.as_ref().expect("mask just built").clone()
     }
 
     /// Applies self-attention; input and output are `[B, T, D]`.
@@ -57,10 +81,11 @@ impl MultiHeadAttention {
         (out, weights.expect("weights requested"))
     }
 
-    /// Shared attention core. The `[B, H, T, T]` weights view is a full
-    /// copy of the probability tensor, so it is materialized only when
-    /// `want_weights` asks for it — `forward` used to pay for it on every
-    /// training step and drop it immediately.
+    /// Shared attention core. When the probability tensor is not requested
+    /// the fused node runs — the `[B·H, T, T]` scores never exist — with
+    /// the dropout mask (training only) drawn here in exactly the order
+    /// [`Var::dropout`] would draw it, so the RNG stream and therefore all
+    /// training bits are unchanged from the composed path.
     fn attend(&self, x: &Var, ctx: &mut Ctx, want_weights: bool) -> (Var, Option<Var>) {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "attention expects [B, T, D]");
@@ -69,14 +94,31 @@ impl MultiHeadAttention {
         let q = self.split_heads(&self.wq.forward(x), b, t);
         let k = self.split_heads(&self.wk.forward(x), b, t);
         let v = self.split_heads(&self.wv.forward(x), b, t);
-
-        // [B*H, T, T]. matmul_t reads Kᵀ through strided packing, so
-        // neither the forward scores nor their backward products ever
-        // materialize a transposed copy (or its graph node).
         let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        if !want_weights && !composed_attention_forced() {
+            let drop_mask = (self.attn_dropout > 0.0 && ctx.training).then(|| {
+                let keep = 1.0 - self.attn_dropout;
+                NdArray::from_fn(&[b * self.n_heads, t, t], |_| {
+                    if ctx.rng.bernoulli(keep) {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
+            });
+            let out = Var::attention(&q, &k, &v, scale, self.causal, drop_mask)
+                .reshape(&[b, self.n_heads, t, self.head_dim])
+                .permute(&[0, 2, 1, 3])
+                .reshape(&[b, t, d]);
+            return (self.wo.forward(&out), None);
+        }
+
+        // Composed path: materializes [B*H, T, T] probabilities — needed
+        // when the caller wants them, or under the proof hook.
         let mut scores = q.matmul_t(&k).scale(scale);
         if self.causal {
-            scores = scores.add(&Var::constant(causal_mask(t)));
+            scores = scores.add(&Var::constant(self.cached_mask(t)));
         }
         let probs = scores.softmax_lastdim();
         let weights = want_weights.then(|| probs.reshape(&[b, self.n_heads, t, t]));
@@ -205,6 +247,68 @@ mod tests {
             assert!(g.l2_norm() > 0.0);
         }
     }
+
+    fn assert_bits_eq(a: &NdArray, b: &NdArray, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+        for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    /// The fused forward must reproduce the composed path bit for bit —
+    /// value and every projection gradient — in eval mode and in training
+    /// with live attention dropout (same RNG stream), causal and
+    /// bidirectional.
+    #[test]
+    fn fused_path_matches_composed_path_bitwise() {
+        for causal in [false, true] {
+            for dropout in [0.0f32, 0.25] {
+                let mk = || {
+                    let mut rng = Prng::new(77);
+                    MultiHeadAttention::new(8, 2, causal, dropout, &mut rng)
+                };
+                let mut rng = Prng::new(78);
+                let x0 = rng.randn(&[2, 6, 8]);
+                let run = |attn: &MultiHeadAttention, composed: bool| {
+                    let body = || {
+                        let x = Var::constant(x0.clone());
+                        let y = attn.forward(&x, &mut Ctx::train(5));
+                        let loss = y.powf(2.0).sum();
+                        loss.backward();
+                        let grads: Vec<NdArray> =
+                            attn.parameters().iter().map(|p| p.grad().unwrap()).collect();
+                        (y.to_array(), grads)
+                    };
+                    if composed {
+                        timedrl_tensor::with_composed_attention(body)
+                    } else {
+                        body()
+                    }
+                };
+                let a1 = mk();
+                let a2 = mk();
+                let (y_fused, g_fused) = run(&a1, false);
+                let (y_comp, g_comp) = run(&a2, true);
+                let what = format!("causal={causal} dropout={dropout}");
+                assert_bits_eq(&y_fused, &y_comp, &format!("output {what}"));
+                for (i, (gf, gc)) in g_fused.iter().zip(g_comp.iter()).enumerate() {
+                    assert_bits_eq(gf, gc, &format!("param grad {i} {what}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_causal_mask_tracks_sequence_length() {
+        let mut rng = Prng::new(21);
+        let attn = MultiHeadAttention::new(8, 2, true, 0.0, &mut rng);
+        assert_eq!(attn.cached_mask(4), causal_mask(4));
+        // Re-borrowing at the same length returns the cached array...
+        assert_eq!(attn.cached_mask(4), causal_mask(4));
+        // ...and a different length rebuilds.
+        assert_eq!(attn.cached_mask(7), causal_mask(7));
+        assert_eq!(attn.cached_mask(4), causal_mask(4));
+    }
 }
 // (appended tests for the introspection API)
 #[cfg(test)]
@@ -241,13 +345,22 @@ mod weight_tests {
         }
     }
 
+    /// `forward` takes the fused path, `forward_with_weights` the composed
+    /// one — their outputs must still agree bit for bit (the fused kernel's
+    /// exactness contract), causal and bidirectional.
     #[test]
     fn forward_and_forward_with_weights_agree() {
-        let mut rng = Prng::new(12);
-        let attn = MultiHeadAttention::new(8, 2, false, 0.0, &mut rng);
-        let x = Var::constant(rng.randn(&[2, 4, 8]));
-        let a = attn.forward(&x, &mut Ctx::eval()).to_array();
-        let (b, _) = attn.forward_with_weights(&x, &mut Ctx::eval());
-        assert_eq!(a, b.to_array());
+        for causal in [false, true] {
+            let mut rng = Prng::new(12);
+            let attn = MultiHeadAttention::new(8, 2, causal, 0.0, &mut rng);
+            let x = Var::constant(rng.randn(&[2, 4, 8]));
+            let a = attn.forward(&x, &mut Ctx::eval()).to_array();
+            let (b, _) = attn.forward_with_weights(&x, &mut Ctx::eval());
+            let bv = b.to_array();
+            assert_eq!(a.shape(), bv.shape());
+            for (x1, x2) in a.data().iter().zip(bv.data().iter()) {
+                assert_eq!(x1.to_bits(), x2.to_bits(), "fused vs composed (causal={causal})");
+            }
+        }
     }
 }

@@ -5,12 +5,15 @@
 //! node per op — even in eval mode, where no gradient will ever flow.
 //! [`CompiledModel`] strips that away: at load it resolves every
 //! batch-independent shape, validates the checkpoint against the declared
-//! architecture, precomputes the causal mask, and lowers the encoder to a
-//! [`PlanOp`] list. Execution walks that list calling the *same* packed
-//! [`matmul`]/[`matmul_nt`] kernels, broadcast arithmetic, and
-//! `softmax_lastdim` the tape path calls on its values — which is what
-//! makes the output bitwise-identical to `TimeDrl::encode` in eval mode
-//! (property-tested in `tests/parity.rs`), not merely close.
+//! architecture, and lowers the encoder to a [`PlanOp`] list. Execution
+//! walks that list calling the *same* packed [`matmul`] kernels and
+//! broadcast arithmetic the tape path calls on its values — attention in
+//! particular lowers to the fused tiled kernel ([`attention_fused`],
+//! DESIGN.md §17), which is bitwise-equal to the composed
+//! `matmul_nt → mask → softmax → matmul` chain without ever materializing
+//! the `[B·H, S, S]` score tensor. That is what makes the output
+//! bitwise-identical to `TimeDrl::encode` in eval mode (property-tested
+//! in `tests/parity.rs`), not merely close.
 //!
 //! Memory model: every intermediate lives in a pooled tensor buffer
 //! (DESIGN.md §10), so the arena is the PR-3 buffer pool itself.
@@ -23,7 +26,7 @@ use crate::error::{Result, ServeError};
 use timedrl::{read_model_export, EncoderKind, ModelExport, Pooling, Precision};
 use timedrl_data::InstanceStats;
 use timedrl_tensor::{
-    matmul, matmul_fma, matmul_nt, matmul_nt_fma, matmul_q8, quantize_per_channel, NdArray,
+    attention_fused, attention_fused_relaxed, matmul, matmul_q8, quantize_per_channel, NdArray,
     QuantizedMatrix,
 };
 
@@ -128,8 +131,9 @@ pub struct CompiledModel {
     token_w: Weight,
     token_b: NdArray,
     blocks: Vec<Block>,
-    /// Additive causal mask `[S, S]`, present for the decoder variant.
-    mask: Option<NdArray>,
+    /// Whether attention is causally masked (the decoder variant). The
+    /// fused kernel applies the mask per tile; no `[S, S]` constant exists.
+    causal: bool,
     /// Timestamp-predictive head `p_θ` (`[D, C·P]` weight + `[C·P]` bias) —
     /// not part of the embedding plan, but the streaming anomaly scorer
     /// reconstructs patches through it.
@@ -243,11 +247,6 @@ impl CompiledModel {
         take(&mut it, "contrast.l2.w", &[hidden, d])?;
         take(&mut it, "contrast.l2.b", &[d])?;
 
-        // Same additive mask constant the tape's attention layer builds.
-        let mask = causal.then(|| {
-            NdArray::from_fn(&[s, s], |flat| if flat % s > flat / s { -1e9 } else { 0.0 })
-        });
-
         let mut plan = vec![PlanOp::NormPatch, PlanOp::EmbedTokens];
         for l in 0..layers {
             plan.push(PlanOp::Attention(l));
@@ -272,7 +271,7 @@ impl CompiledModel {
             token_w,
             token_b,
             blocks,
-            mask,
+            causal,
             pred_w,
             pred_b,
             plan,
@@ -451,20 +450,12 @@ impl CompiledModel {
         let k = self.split_heads(&blk.wk.matmul(h)?.add(&blk.bk), b, s)?;
         let v = self.split_heads(&blk.wv.matmul(h)?.add(&blk.bv), b, s)?;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        // Activation·activation products have no load-time weight to
-        // quantize; the relaxed tier runs them through the FMA kernels.
-        let mut scores = match self.precision {
-            Precision::Exact => matmul_nt(&q, &k)?,
-            Precision::Relaxed => matmul_nt_fma(&q, &k)?,
-        }
-        .scale(scale);
-        if let Some(mask) = &self.mask {
-            scores = scores.add(mask);
-        }
-        let probs = scores.softmax_lastdim();
+        // The exact tier runs the fused tiled kernel bit-for-bit equal to
+        // the old composed chain; the relaxed tier takes the single-pass
+        // online-softmax FMA variant. Neither materializes [B·H, S, S].
         let merged = match self.precision {
-            Precision::Exact => matmul(&probs, &v)?,
-            Precision::Relaxed => matmul_fma(&probs, &v)?,
+            Precision::Exact => attention_fused(&q, &k, &v, scale, self.causal, None)?,
+            Precision::Relaxed => attention_fused_relaxed(&q, &k, &v, scale, self.causal)?,
         }
         .reshape(&[b, self.heads, s, self.head_dim])?
         .permute(&[0, 2, 1, 3])

@@ -21,7 +21,10 @@
 //!    current per-channel `(x − μ) / σ` — which produces the *same bits*
 //!    as the batch normalize-then-patch order, given the same `μ, σ`;
 //! 4. feeds the normalized tokens to [`CompiledModel::embed_patched`],
-//!    the identical kernels the batch path runs after patching.
+//!    the identical kernels the batch path runs after patching —
+//!    attention included, which lowers to the fused tiled kernel
+//!    (DESIGN.md §17): a hop never materializes `[B·H, T, T]` scores,
+//!    and the warmed steady-state tick stays at zero heap allocations.
 //!
 //! # The ε contract
 //!

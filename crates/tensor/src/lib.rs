@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod array;
+mod attention;
 pub mod bufpool;
 mod error;
 pub mod gradcheck;
@@ -36,6 +37,10 @@ pub mod shape;
 mod var;
 
 pub use array::NdArray;
+pub use attention::{
+    attention_fused, attention_fused_backward, attention_fused_relaxed, attention_reference,
+    composed_attention_forced, with_composed_attention,
+};
 pub use error::{Result, TensorError};
 pub use init::Prng;
 pub use matmul::{

@@ -35,7 +35,7 @@ use testkit::pool;
 pub(crate) const MATMUL_GRAIN: usize = 1 << 18;
 
 /// Rows per register block of the microkernel.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 
 /// Columns per packed panel / register block of the microkernel. Two
 /// 256-bit vectors per row: wide enough that the per-row scalar load,
@@ -82,7 +82,7 @@ pub(crate) fn matmul_rows_reference(
 }
 
 /// Number of [`NR`]-wide column panels covering `n` columns.
-fn panel_count(n: usize) -> usize {
+pub(crate) fn panel_count(n: usize) -> usize {
     n.div_ceil(NR)
 }
 
@@ -90,7 +90,7 @@ fn panel_count(n: usize) -> usize {
 /// holds columns `[p*NR, p*NR+NR)` as `k` contiguous `NR`-element rows,
 /// zero-padded on the right edge. Packing reorders *memory*, never values:
 /// `packed[p][kk][c] == b[kk][p*NR + c]`.
-fn pack_b_panels(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+pub(crate) fn pack_b_panels(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
     debug_assert_eq!(packed.len(), panel_count(n) * k * NR);
     if k == 0 {
         return; // zero-size inner axis: nothing to pack, output stays 0
@@ -269,7 +269,7 @@ fn matmul_rows_packed_avx2(
 /// Runtime-dispatched packed core: picks the widest instantiation the host
 /// supports. Both produce bit-identical output, so the choice never shows
 /// up in results — only in speed.
-fn matmul_rows_packed(
+pub(crate) fn matmul_rows_packed(
     a: &[f32],
     packed: &[f32],
     out_chunk: &mut [f32],
@@ -290,7 +290,7 @@ fn matmul_rows_packed(
 
 /// Whether the packed microkernel pays for `m x k * n`: both output
 /// dimensions must be big enough to amortize packing and panel padding.
-fn use_packed(m: usize, n: usize) -> bool {
+pub(crate) fn use_packed(m: usize, n: usize) -> bool {
     m >= MIN_PACKED_DIM && n >= MIN_PACKED_DIM
 }
 
@@ -532,7 +532,7 @@ fn transposed_dims(shape: &[usize]) -> Vec<usize> {
 /// writes. Writes the exact bytes [`pack_b_panels`] would produce from a
 /// materialized `b.transpose()`:
 /// `packed[p][kk][c] == Bᵀ[kk][p*NR + c] == b[(p*NR + c) * k + kk]`.
-fn pack_bt_panels(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+pub(crate) fn pack_bt_panels(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(packed.len(), panel_count(n) * k * NR);
     if k == 0 {
@@ -1074,7 +1074,7 @@ fn matmul_rows_fma_avx2(
 
 /// Relaxed row-range core: the FMA instantiation when the host supports it,
 /// otherwise the exact packed kernel (correct, just uncontracted).
-fn matmul_rows_relaxed(
+pub(crate) fn matmul_rows_relaxed(
     a: &[f32],
     packed: &[f32],
     out_chunk: &mut [f32],

@@ -20,6 +20,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::array::NdArray;
+use crate::attention::{attention_fused, attention_fused_backward};
 use crate::error::Result;
 use crate::init::Prng;
 use crate::matmul::{matmul, matmul_nt, matmul_tn, matmul_tn_fold};
@@ -65,6 +66,7 @@ enum Backward {
     Softmax { s: NdArray, last: usize },
     CrossEntropy { probs: NdArray, targets: Vec<usize> },
     Dropout { mask: NdArray },
+    Attention { scale: f32, causal: bool, mask: Option<NdArray> },
     MaeLoss { target: NdArray, n: f32 },
     Custom(Box<dyn Fn(&NdArray) -> Vec<NdArray>>),
 }
@@ -312,6 +314,16 @@ impl Backward {
                 Grads::one(grad.scale(scale))
             }
             Backward::Dropout { mask } => Grads::one(g.mul(mask)),
+            Backward::Attention { scale, causal, mask } => {
+                // Recomputes probability tiles from q/k — no saved [t, t]
+                // probabilities live on the tape (DESIGN.md §17). The only
+                // quadratic tensor the fused node retains is the dropout
+                // mask, and only in training.
+                let (q, k, v) = (parent(0), parent(1), parent(2));
+                let (dq, dk, dv) =
+                    attention_fused_backward(&q, &k, &v, g, *scale, *causal, mask.as_ref())?;
+                Grads::many(vec![dq, dk, dv])
+            }
             Backward::MaeLoss { target, n } => {
                 let s = g.to_scalar() / n;
                 Grads::one(
@@ -649,6 +661,34 @@ impl Var {
         Var::op(out, Parents::two(self.clone(), other.clone()), Backward::MatmulTN { ls, rs })
     }
 
+    /// Fused tiled attention node: `softmax(q·kᵀ·scale + mask)·v` over
+    /// `[bh, t, dh]` operands via
+    /// [`attention_fused`](crate::attention_fused) — never materializing
+    /// the `[bh, t, t]` score tensor, forward or backward. Bit-identical
+    /// (value and gradients) to the composed graph
+    /// `q.matmul_t(k).scale(scale) [+ causal mask] .softmax_lastdim()
+    /// [.mul(drop_mask)] .matmul(v)`; the backward recomputes probability
+    /// tiles instead of reading saved probabilities. `drop_mask` is the
+    /// inverted-dropout multiplier drawn by the caller (so the RNG stream
+    /// matches [`Var::dropout`] exactly); it is the only `[t, t]`-sized
+    /// state the node keeps, and only in training.
+    pub fn attention(
+        q: &Var,
+        k: &Var,
+        v: &Var,
+        scale: f32,
+        causal: bool,
+        drop_mask: Option<NdArray>,
+    ) -> Var {
+        let out = attention_fused(&q.value(), &k.value(), &v.value(), scale, causal, drop_mask.as_ref())
+            .expect("attention: incompatible shapes");
+        Var::op(
+            out,
+            Parents::Many(vec![q.clone(), k.clone(), v.clone()]),
+            Backward::Attention { scale, causal, mask: drop_mask },
+        )
+    }
+
     /// Swaps the last two axes.
     pub fn transpose(&self) -> Var {
         Var::op(
@@ -957,6 +997,74 @@ mod tests {
 
     fn grad_of(v: &Var) -> NdArray {
         v.grad().expect("gradient missing")
+    }
+
+    fn assert_bits_eq(a: &NdArray, b: &NdArray, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+        for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn attention_node_matches_composed_graph_bitwise() {
+        let mut rng = Prng::new(41);
+        for (causal, with_drop) in [(false, false), (true, false), (false, true), (true, true)] {
+            let (bh, t, dh) = (3usize, 9usize, 6usize);
+            let q0 = rng.randn(&[bh, t, dh]);
+            let k0 = rng.randn(&[bh, t, dh]);
+            let v0 = rng.randn(&[bh, t, dh]);
+            let g0 = rng.randn(&[bh, t, dh]);
+            let scale = 1.0 / (dh as f32).sqrt();
+            let keep = 0.8f32;
+            let mask = with_drop.then(|| {
+                NdArray::from_fn(&[bh, t, t], |_| {
+                    if rng.bernoulli(keep) {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
+            });
+
+            // Composed graph — the seed tape's exact op chain.
+            let (qc, kc, vc) =
+                (Var::parameter(q0.clone()), Var::parameter(k0.clone()), Var::parameter(v0.clone()));
+            let mut scores = qc.matmul_t(&kc).scale(scale);
+            if causal {
+                let m2 = NdArray::from_fn(&[t, t], |f| if f % t > f / t { -1e9 } else { 0.0 });
+                scores = scores.add(&Var::constant(m2));
+            }
+            let probs = scores.softmax_lastdim();
+            let attn = match &mask {
+                Some(m) => probs.mul(&Var::constant(m.clone())),
+                None => probs,
+            };
+            let composed = attn.matmul(&vc);
+            composed.backward_with(g0.clone());
+
+            // Fused node.
+            let (qf, kf, vf) =
+                (Var::parameter(q0), Var::parameter(k0), Var::parameter(v0));
+            let fused = Var::attention(&qf, &kf, &vf, scale, causal, mask);
+            fused.backward_with(g0);
+
+            let what = format!("causal={causal} drop={with_drop}");
+            assert_bits_eq(&fused.to_array(), &composed.to_array(), &format!("value {what}"));
+            assert_bits_eq(&grad_of(&qf), &grad_of(&qc), &format!("dq {what}"));
+            assert_bits_eq(&grad_of(&kf), &grad_of(&kc), &format!("dk {what}"));
+            assert_bits_eq(&grad_of(&vf), &grad_of(&vc), &format!("dv {what}"));
+        }
+    }
+
+    #[test]
+    fn attention_node_without_grad_parents_is_leaf() {
+        let mut rng = Prng::new(43);
+        let q = Var::constant(rng.randn(&[2, 5, 4]));
+        let k = Var::constant(rng.randn(&[2, 5, 4]));
+        let v = Var::constant(rng.randn(&[2, 5, 4]));
+        let out = Var::attention(&q, &k, &v, 0.5, true, None);
+        assert!(!out.requires_grad());
     }
 
     #[test]
